@@ -1,0 +1,157 @@
+//! Angle helpers: wrapping, conversion, and azimuth quadrants.
+
+use std::f64::consts::{PI, TAU};
+
+/// Converts degrees to radians.
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * PI / 180.0
+}
+
+/// Converts radians to degrees.
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / PI
+}
+
+/// Wraps an angle in radians to `[0, 2π)`.
+pub fn wrap_tau(angle: f64) -> f64 {
+    let a = angle % TAU;
+    if a < 0.0 {
+        a + TAU
+    } else {
+        a
+    }
+}
+
+/// Wraps an angle in radians to `(-π, π]`.
+pub fn wrap_pi(angle: f64) -> f64 {
+    let a = wrap_tau(angle);
+    if a > PI {
+        a - TAU
+    } else {
+        a
+    }
+}
+
+/// Wraps an angle in degrees to `[0, 360)`.
+pub fn wrap_deg(angle: f64) -> f64 {
+    let a = angle % 360.0;
+    if a < 0.0 {
+        a + 360.0
+    } else {
+        a
+    }
+}
+
+/// Smallest absolute difference between two angles in degrees, in `[0, 180]`.
+pub fn angular_separation_deg(a: f64, b: f64) -> f64 {
+    let d = (wrap_deg(a) - wrap_deg(b)).abs();
+    if d > 180.0 {
+        360.0 - d
+    } else {
+        d
+    }
+}
+
+/// Compass quadrant of an azimuth, using the paper's Figure 5 convention:
+/// azimuth is measured clockwise from north, and each quadrant spans 90°.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quadrant {
+    /// Azimuth in `[0°, 90°)`.
+    NorthEast,
+    /// Azimuth in `[90°, 180°)`.
+    SouthEast,
+    /// Azimuth in `[180°, 270°)`.
+    SouthWest,
+    /// Azimuth in `[270°, 360°)`.
+    NorthWest,
+}
+
+impl Quadrant {
+    /// All four quadrants in Figure 5 order (left to right on the x-axis).
+    pub const ALL: [Quadrant; 4] = [
+        Quadrant::NorthEast,
+        Quadrant::SouthEast,
+        Quadrant::SouthWest,
+        Quadrant::NorthWest,
+    ];
+
+    /// Classifies an azimuth given in degrees.
+    pub fn of_azimuth_deg(az: f64) -> Quadrant {
+        match wrap_deg(az) {
+            a if a < 90.0 => Quadrant::NorthEast,
+            a if a < 180.0 => Quadrant::SouthEast,
+            a if a < 270.0 => Quadrant::SouthWest,
+            _ => Quadrant::NorthWest,
+        }
+    }
+
+    /// True for the two quadrants facing north.
+    pub fn is_northern(self) -> bool {
+        matches!(self, Quadrant::NorthEast | Quadrant::NorthWest)
+    }
+
+    /// Human-readable label matching the paper's figure annotations.
+    pub fn label(self) -> &'static str {
+        match self {
+            Quadrant::NorthEast => "North East",
+            Quadrant::SouthEast => "South East",
+            Quadrant::SouthWest => "South West",
+            Quadrant::NorthWest => "North West",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_tau_handles_negative_angles() {
+        assert!((wrap_tau(-PI / 2.0) - 3.0 * PI / 2.0).abs() < 1e-12);
+        assert!((wrap_tau(5.0 * TAU + 0.25) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrap_pi_is_symmetric() {
+        assert!((wrap_pi(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_pi(-3.5 * PI) - 0.5 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_deg_examples() {
+        assert_eq!(wrap_deg(-90.0), 270.0);
+        assert_eq!(wrap_deg(720.0), 0.0);
+        assert_eq!(wrap_deg(359.0), 359.0);
+    }
+
+    #[test]
+    fn angular_separation_crosses_north() {
+        assert!((angular_separation_deg(350.0, 10.0) - 20.0).abs() < 1e-12);
+        assert!((angular_separation_deg(10.0, 350.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadrant_boundaries_follow_figure_five() {
+        assert_eq!(Quadrant::of_azimuth_deg(0.0), Quadrant::NorthEast);
+        assert_eq!(Quadrant::of_azimuth_deg(89.9), Quadrant::NorthEast);
+        assert_eq!(Quadrant::of_azimuth_deg(90.0), Quadrant::SouthEast);
+        assert_eq!(Quadrant::of_azimuth_deg(180.0), Quadrant::SouthWest);
+        assert_eq!(Quadrant::of_azimuth_deg(270.0), Quadrant::NorthWest);
+        assert_eq!(Quadrant::of_azimuth_deg(359.9), Quadrant::NorthWest);
+    }
+
+    #[test]
+    fn northern_quadrants() {
+        assert!(Quadrant::NorthEast.is_northern());
+        assert!(Quadrant::NorthWest.is_northern());
+        assert!(!Quadrant::SouthEast.is_northern());
+        assert!(!Quadrant::SouthWest.is_northern());
+    }
+
+    #[test]
+    fn deg_rad_round_trip() {
+        for d in [-720.0, -1.0, 0.0, 45.0, 180.0, 359.0, 1080.0] {
+            assert!((rad_to_deg(deg_to_rad(d)) - d).abs() < 1e-9);
+        }
+    }
+}

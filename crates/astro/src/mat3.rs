@@ -1,0 +1,120 @@
+//! 3×3 matrices for frame rotations.
+
+use crate::vec3::Vec3;
+use std::ops::Mul;
+
+/// A row-major 3×3 matrix of `f64`.
+///
+/// Used exclusively for rotation matrices between reference frames, so the
+/// API is limited to construction, transposition and multiplication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// Identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Builds a matrix from three rows.
+    pub const fn from_rows(r0: [f64; 3], r1: [f64; 3], r2: [f64; 3]) -> Self {
+        Mat3 { rows: [r0, r1, r2] }
+    }
+
+    /// Rotation about the Z axis by `angle` radians.
+    ///
+    /// This is the classical "R3" rotation: applying it to a vector rotates
+    /// the *frame* by `+angle`, i.e. the vector components by `-angle`.
+    pub fn rot_z(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([c, s, 0.0], [-s, c, 0.0], [0.0, 0.0, 1.0])
+    }
+
+    /// Rotation about the X axis by `angle` radians (frame rotation, "R1").
+    pub fn rot_x(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([1.0, 0.0, 0.0], [0.0, c, s], [0.0, -s, c])
+    }
+
+    /// Rotation about the Y axis by `angle` radians (frame rotation, "R2").
+    pub fn rot_y(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([c, 0.0, -s], [0.0, 1.0, 0.0], [s, 0.0, c])
+    }
+
+    /// Matrix transpose (inverse, for rotation matrices).
+    pub fn transpose(self) -> Mat3 {
+        let r = self.rows;
+        Mat3::from_rows(
+            [r[0][0], r[1][0], r[2][0]],
+            [r[0][1], r[1][1], r[2][1]],
+            [r[0][2], r[1][2], r[2][2]],
+        )
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        let r = self.rows;
+        Vec3::new(
+            r[0][0] * v.x + r[0][1] * v.y + r[0][2] * v.z,
+            r[1][0] * v.x + r[1][1] * v.y + r[1][2] * v.z,
+            r[2][0] * v.x + r[2][1] * v.y + r[2][2] * v.z,
+        )
+    }
+}
+
+impl Mul<Mat3> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.rows[i][k] * rhs.rows[k][j]).sum();
+            }
+        }
+        Mat3 { rows: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn close(a: Vec3, b: Vec3) -> bool {
+        (a - b).norm() < 1e-12
+    }
+
+    #[test]
+    fn identity_preserves_vectors() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(close(Mat3::IDENTITY * v, v));
+    }
+
+    #[test]
+    fn rot_z_quarter_turn_moves_x_axis_components() {
+        // Frame rotation by +90° about Z maps inertial +X onto rotated-frame -Y... i.e.
+        // the components of the +X vector expressed in the rotated frame are (0, -1, 0).
+        let v = Mat3::rot_z(FRAC_PI_2) * Vec3::X;
+        assert!(close(v, Vec3::new(0.0, -1.0, 0.0)));
+    }
+
+    #[test]
+    fn transpose_inverts_rotation() {
+        let r = Mat3::rot_z(0.7) * Mat3::rot_x(-0.3);
+        let v = Vec3::new(0.2, -1.5, 4.0);
+        assert!(close(r.transpose() * (r * v), v));
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let r = Mat3::rot_y(1.1) * Mat3::rot_z(2.2);
+        let v = Vec3::new(3.0, -4.0, 12.0);
+        assert!(((r * v).norm() - v.norm()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Campaign dataset export/import ("Model release", §6: "our model and
+//! data is available at this link").
+//!
+//! The released artifact is the per-slot observation table: one row per
+//! (terminal, slot, satellite) with the satellite's observed state and a
+//! flag marking the chosen one. The format round-trips losslessly enough
+//! to retrain the §6 model from a file instead of a live campaign.
+
+use crate::campaign::{SatObs, SlotObservation};
+use starsense_astro::time::JulianDate;
+use std::fmt::Write as _;
+
+/// CSV header of the released dataset.
+pub const DATASET_HEADER: &str = "terminal_id,slot,slot_start_jd,local_hour,norad_id,elevation_deg,azimuth_deg,age_days,sunlit,launch_year,launch_month,chosen,truth";
+
+/// Serializes observations to the release CSV format.
+pub fn to_csv(observations: &[SlotObservation]) -> String {
+    let mut out = String::new();
+    out.push_str(DATASET_HEADER);
+    out.push('\n');
+    for o in observations {
+        let chosen_id = o.chosen.as_ref().map(|c| c.norad_id);
+        for s in &o.available {
+            let _ = writeln!(
+                out,
+                "{},{},{:.9},{:.6},{},{:.4},{:.4},{:.3},{},{},{},{},{}",
+                o.terminal_id,
+                o.slot,
+                o.slot_start.0,
+                o.local_hour,
+                s.norad_id,
+                s.elevation_deg,
+                s.azimuth_deg,
+                s.age_days,
+                u8::from(s.sunlit),
+                s.launch_year,
+                s.launch_month,
+                u8::from(chosen_id == Some(s.norad_id)),
+                o.truth_id.map(|t| t.to_string()).unwrap_or_default(),
+            );
+        }
+    }
+    out
+}
+
+/// Errors from dataset parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// The header line is missing or wrong.
+    BadHeader,
+    /// A data row failed to parse.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::BadHeader => write!(f, "missing or malformed dataset header"),
+            DatasetError::BadRow { line } => write!(f, "malformed dataset row at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// Parses the release CSV back into observations.
+///
+/// Rows are grouped by (terminal, slot) in file order; the `chosen` flag
+/// reconstructs the pick.
+pub fn from_csv(text: &str) -> Result<Vec<SlotObservation>, DatasetError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == DATASET_HEADER => {}
+        _ => return Err(DatasetError::BadHeader),
+    }
+
+    let mut out: Vec<SlotObservation> = Vec::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 13 {
+            return Err(DatasetError::BadRow { line: idx + 1 });
+        }
+        let bad = || DatasetError::BadRow { line: idx + 1 };
+        let terminal_id: usize = f[0].parse().map_err(|_| bad())?;
+        let slot: i64 = f[1].parse().map_err(|_| bad())?;
+        let slot_start = JulianDate(f[2].parse().map_err(|_| bad())?);
+        let local_hour: f64 = f[3].parse().map_err(|_| bad())?;
+        let sat = SatObs {
+            norad_id: f[4].parse().map_err(|_| bad())?,
+            elevation_deg: f[5].parse().map_err(|_| bad())?,
+            azimuth_deg: f[6].parse().map_err(|_| bad())?,
+            age_days: f[7].parse().map_err(|_| bad())?,
+            sunlit: f[8] == "1",
+            launch_year: f[9].parse().map_err(|_| bad())?,
+            launch_month: f[10].parse().map_err(|_| bad())?,
+        };
+        let chosen = f[11] == "1";
+        let truth_id: Option<u32> =
+            if f[12].is_empty() { None } else { Some(f[12].parse().map_err(|_| bad())?) };
+
+        let need_new = out
+            .last()
+            .map(|o: &SlotObservation| o.terminal_id != terminal_id || o.slot != slot)
+            .unwrap_or(true);
+        if need_new {
+            out.push(SlotObservation {
+                terminal_id,
+                slot,
+                slot_start,
+                local_hour,
+                available: Vec::new(),
+                chosen: None,
+                truth_id,
+            });
+        }
+        let obs = out.last_mut().expect("just ensured");
+        if chosen {
+            obs.chosen = Some(sat.clone());
+        }
+        obs.available.push(sat);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, CampaignConfig};
+    use crate::vantage::paper_terminals;
+    use starsense_constellation::ConstellationBuilder;
+
+    fn small_obs() -> Vec<SlotObservation> {
+        let c = ConstellationBuilder::starlink_mini().seed(8).build();
+        let campaign = Campaign::oracle(&c, paper_terminals(), CampaignConfig::default(), 8);
+        campaign.run(JulianDate::from_ymd_hms(2023, 6, 1, 9, 0, 0.0), 6)
+    }
+
+    #[test]
+    fn csv_round_trips_observations() {
+        let obs = small_obs();
+        let text = to_csv(&obs);
+        let back = from_csv(&text).expect("round trip");
+
+        // Slots without any visible satellite produce no rows, so compare
+        // against the non-empty originals.
+        let nonempty: Vec<&SlotObservation> =
+            obs.iter().filter(|o| !o.available.is_empty()).collect();
+        assert_eq!(back.len(), nonempty.len());
+        for (a, b) in nonempty.iter().zip(&back) {
+            assert_eq!(a.terminal_id, b.terminal_id);
+            assert_eq!(a.slot, b.slot);
+            assert_eq!(a.available.len(), b.available.len());
+            assert_eq!(
+                a.chosen.as_ref().map(|c| c.norad_id),
+                b.chosen.as_ref().map(|c| c.norad_id)
+            );
+            assert_eq!(a.truth_id, b.truth_id);
+            assert!((a.local_hour - b.local_hour).abs() < 1e-5);
+            for (x, y) in a.available.iter().zip(&b.available) {
+                assert_eq!(x.norad_id, y.norad_id);
+                assert!((x.elevation_deg - y.elevation_deg).abs() < 1e-3);
+                assert_eq!(x.sunlit, y.sunlit);
+                assert_eq!((x.launch_year, x.launch_month), (y.launch_year, y.launch_month));
+            }
+        }
+    }
+
+    #[test]
+    fn retraining_from_export_matches_original_features() {
+        use crate::model::build_dataset;
+        let obs = small_obs();
+        let back = from_csv(&to_csv(&obs)).unwrap();
+        let (_, original) = build_dataset(&obs, 0);
+        let (_, reloaded) = build_dataset(&back, 0);
+        assert_eq!(original.len(), reloaded.len());
+        assert_eq!(original.n_classes(), reloaded.n_classes());
+        assert_eq!(original.labels(), reloaded.labels());
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(matches!(from_csv("nope\n1,2,3"), Err(DatasetError::BadHeader)));
+        assert!(matches!(from_csv(""), Err(DatasetError::BadHeader)));
+    }
+
+    #[test]
+    fn bad_row_is_rejected_with_line_number() {
+        let text = format!("{DATASET_HEADER}\ngarbage,row\n");
+        assert!(matches!(from_csv(&text), Err(DatasetError::BadRow { line: 2 })));
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(!DatasetError::BadHeader.to_string().is_empty());
+        assert!(DatasetError::BadRow { line: 7 }.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's vantage points.
+//!
+//! "We perform our measurement using four Starlink terminals — one each in
+//! Western Europe, Northeast US, Midwest US, and Northwest US" (§3), later
+//! named in the figures as Iowa, New York (Ithaca), Madrid, and Washington.
+//! The Ithaca terminal's north-west sky was "severely obstructed by trees"
+//! (§5.1).
+
+use starsense_astro::frames::Geodetic;
+use starsense_obstruction::SkyMask;
+use starsense_scheduler::Terminal;
+
+/// Index of the Iowa terminal in [`paper_terminals`].
+pub const IOWA: usize = 0;
+/// Index of the Ithaca, NY terminal.
+pub const ITHACA: usize = 1;
+/// Index of the Madrid terminal.
+pub const MADRID: usize = 2;
+/// Index of the Washington-state terminal.
+pub const WASHINGTON: usize = 3;
+
+/// The four terminals of the study, ids 0–3, Figure-label names.
+pub fn paper_terminals() -> Vec<Terminal> {
+    vec![
+        Terminal::new(IOWA, "Iowa", Geodetic::new(41.66, -91.53, 0.20)),
+        Terminal::new(ITHACA, "New York", Geodetic::new(42.44, -76.50, 0.30))
+            .with_mask(SkyMask::ithaca_trees()),
+        Terminal::new(MADRID, "Madrid", Geodetic::new(40.42, -3.70, 0.65)),
+        Terminal::new(WASHINGTON, "Washington", Geodetic::new(47.61, -122.33, 0.05)),
+    ]
+}
+
+/// The terminal indices with unobstructed skies — §5.2 "discarding the New
+/// York location because of significant obstructions".
+pub const UNOBSTRUCTED: [usize; 3] = [IOWA, MADRID, WASHINGTON];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_terminals_with_expected_names() {
+        let t = paper_terminals();
+        assert_eq!(t.len(), 4);
+        let names: Vec<&str> = t.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["Iowa", "New York", "Madrid", "Washington"]);
+        for (i, term) in t.iter().enumerate() {
+            assert_eq!(term.id, i);
+        }
+    }
+
+    #[test]
+    fn only_ithaca_is_obstructed() {
+        let t = paper_terminals();
+        assert!(t[IOWA].mask.is_clear());
+        assert!(!t[ITHACA].mask.is_clear());
+        assert!(t[MADRID].mask.is_clear());
+        assert!(t[WASHINGTON].mask.is_clear());
+    }
+
+    #[test]
+    fn all_terminals_are_north_of_40_degrees() {
+        // §5.1's GSO rationale applies "at latitudes more than 40°N, the
+        // approximate latitude of our terminals".
+        for t in paper_terminals() {
+            assert!(t.location.lat_deg > 40.0, "{} at {}", t.name, t.location.lat_deg);
+        }
+    }
+}

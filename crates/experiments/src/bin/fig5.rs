@@ -1,0 +1,75 @@
+//! Figure 5: CDFs of the azimuths of available vs. selected satellites,
+//! with the four compass quadrants, plus the Ithaca obstruction diagnostic.
+//!
+//! Paper shape targets: picks skew north (≈82% north vs ≈58% availability)
+//! everywhere except Ithaca, whose tree-obstructed north-west quadrant
+//! receives ≈9.7% of picks vs ≈55.4% at the other sites (NW+NE combined
+//! share in the paper's phrasing; the shape — strong suppression — is what
+//! must hold).
+
+use starsense_core::characterize::azimuth_analysis;
+use starsense_core::report::{csv, pct, text_table};
+use starsense_core::vantage::{paper_terminals, ITHACA};
+use starsense_experiments::{cdf_rows, slots_from_env, standard_campaign, standard_constellation, write_artifact};
+
+fn main() {
+    println!("== Figure 5: azimuth preference ==\n");
+    let constellation = standard_constellation();
+    let slots = slots_from_env(2400);
+    let obs = standard_campaign(&constellation, slots);
+    let names: Vec<String> = paper_terminals().iter().map(|t| t.name.clone()).collect();
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut analyses = Vec::new();
+    for (tid, name) in names.iter().enumerate() {
+        let a = azimuth_analysis(&obs, tid);
+        rows.push(vec![
+            name.clone(),
+            pct(a.available_north),
+            pct(a.chosen_north),
+            pct(a.chosen_quadrants[0]),
+            pct(a.chosen_quadrants[1]),
+            pct(a.chosen_quadrants[2]),
+            pct(a.chosen_quadrants[3]),
+        ]);
+        csv_rows.extend(cdf_rows(&format!("{name}/available"), &a.available_ecdf.curve(0.0, 360.0, 73)));
+        csv_rows.extend(cdf_rows(&format!("{name}/chosen"), &a.chosen_ecdf.curve(0.0, 360.0, 73)));
+        analyses.push(a);
+    }
+
+    println!(
+        "{}",
+        text_table(
+            &["location", "avail north", "chosen north", "NE", "SE", "SW", "NW"],
+            &rows
+        )
+    );
+
+    // The Ithaca diagnostic.
+    let others_nw: f64 = analyses
+        .iter()
+        .enumerate()
+        .filter(|(tid, _)| *tid != ITHACA)
+        .map(|(_, a)| a.chosen_northwest)
+        .sum::<f64>()
+        / 3.0;
+    println!(
+        "\nNW-quadrant pick share: Ithaca {} vs other sites {} (paper: 9.7% vs 55.4% for the obstructed region)",
+        pct(analyses[ITHACA].chosen_northwest),
+        pct(others_nw)
+    );
+    println!("({slots} slots per location)");
+
+    write_artifact("fig5_azimuth_cdfs.csv", &csv(&["series", "azimuth_deg", "cdf"], &csv_rows));
+
+    assert!(
+        analyses[ITHACA].chosen_northwest < others_nw * 0.6,
+        "Ithaca's trees must suppress north-west picks"
+    );
+    for (tid, a) in analyses.iter().enumerate() {
+        if tid != ITHACA {
+            assert!(a.chosen_north > a.available_north, "north preference must hold at {tid}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! §4.1 validation table: identification accuracy of the obstruction-map
+//! pipeline against ground truth, with a TLE-staleness sweep.
+//!
+//! The paper validated its matcher on 500 trajectory sets with >99%
+//! agreement against manual inspection. The reproduction scores against
+//! the hidden scheduler's actual assignments instead, and additionally
+//! sweeps the published-TLE staleness — the pipeline's main error source —
+//! which the paper could not vary.
+
+use starsense_astro::frames::Geodetic;
+use starsense_constellation::ConstellationBuilder;
+use starsense_core::report::{csv, num, pct, text_table};
+use starsense_experiments::{campaign_start, slots_from_env, write_artifact, WORLD_SEED};
+use starsense_ident::run_validation;
+use starsense_scheduler::{GlobalScheduler, SchedulerPolicy, Terminal};
+
+fn main() {
+    println!("== §4.1: identification-pipeline validation ==\n");
+    // 500 slots ≈ the paper's 500-set pilot study.
+    let slots = slots_from_env(500);
+    let location = Geodetic::new(41.66, -91.53, 0.2); // Iowa
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (lo, hi) in [(0.0, 0.5), (0.0, 6.0), (6.0, 12.0), (12.0, 24.0)] {
+        let constellation = ConstellationBuilder::starlink_gen1()
+            .seed(WORLD_SEED)
+            .staleness_hours(lo, hi)
+            .build();
+        let terminals = vec![Terminal::new(0, "Iowa", location)];
+        let mut scheduler =
+            GlobalScheduler::new(SchedulerPolicy::default(), terminals, WORLD_SEED);
+        let report = run_validation(&constellation, &mut scheduler, 0, campaign_start(), slots);
+
+        rows.push(vec![
+            format!("{lo:.0}-{hi:.0} h"),
+            report.slots_played.to_string(),
+            report.attempted.to_string(),
+            report.correct.to_string(),
+            report.wrong.to_string(),
+            report.skipped.to_string(),
+            pct(report.accuracy()),
+            num(report.mean_margin, 3),
+        ]);
+        csv_rows.push(vec![
+            format!("{lo}"),
+            format!("{hi}"),
+            report.attempted.to_string(),
+            format!("{:.5}", report.accuracy()),
+        ]);
+
+        if hi <= 6.0 {
+            assert!(
+                report.accuracy() > 0.9,
+                "CelesTrak-like staleness must identify >90%: got {}",
+                pct(report.accuracy())
+            );
+        }
+    }
+
+    println!(
+        "{}",
+        text_table(
+            &["TLE staleness", "slots", "attempted", "correct", "wrong", "skipped", "accuracy", "mean margin"],
+            &rows
+        )
+    );
+    println!("\npaper: DTW matching agreed with manual inspection on >99% of 500 sets");
+    println!("(the 0-6 h row is the CelesTrak regime the paper operated in)");
+
+    write_artifact(
+        "tab_ident_staleness.csv",
+        &csv(&["staleness_lo_h", "staleness_hi_h", "attempted", "accuracy"], &csv_rows),
+    );
+}

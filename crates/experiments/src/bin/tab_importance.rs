@@ -1,0 +1,56 @@
+//! §6 feature-importance table: gini importances of the trained model.
+//!
+//! Paper observations to reproduce in shape: `local_hour` ranks among the
+//! most important features; tuples with sunlit=1 and age below the mean
+//! (`(x,y,-1,1)`) recur; high-AOE tuples (`(x,2,y,z)`) are favored.
+
+use starsense_core::model::{default_grid, train_and_evaluate};
+use starsense_core::report::{csv, num, text_table};
+use starsense_core::vantage::paper_terminals;
+use starsense_experiments::{slots_from_env, standard_campaign, standard_constellation, write_artifact, WORLD_SEED};
+
+fn main() {
+    println!("== §6: gini feature importances ==\n");
+    let constellation = standard_constellation();
+    let slots = slots_from_env(2400);
+    let obs = standard_campaign(&constellation, slots);
+    let names: Vec<String> = paper_terminals().iter().map(|t| t.name.clone()).collect();
+    let grid = default_grid();
+
+    let mut csv_rows = Vec::new();
+    for (tid, name) in names.iter().enumerate() {
+        let eval = train_and_evaluate(&obs, tid, &grid, WORLD_SEED ^ tid as u64);
+        let top: Vec<Vec<String>> = eval
+            .importances
+            .iter()
+            .take(12)
+            .map(|(n, v)| vec![n.clone(), num(*v, 4)])
+            .collect();
+        println!("--- {name} ---\n{}", text_table(&["feature", "gini importance"], &top));
+
+        let local_hour_rank = eval
+            .importances
+            .iter()
+            .position(|(n, _)| n == "local_hour")
+            .expect("local_hour feature exists");
+        println!("local_hour rank: {} of {}\n", local_hour_rank + 1, eval.importances.len());
+
+        for (n, v) in &eval.importances {
+            csv_rows.push(vec![name.clone(), n.clone(), format!("{v:.6}")]);
+        }
+
+        // Shape check: high-AOE clusters ((x,2,y,z) tuples) must carry real
+        // importance — the scheduler's strongest preference.
+        let high_aoe_mass: f64 = eval
+            .importances
+            .iter()
+            .filter(|(n, _)| n.split(',').nth(1) == Some("2"))
+            .map(|(_, v)| v)
+            .sum();
+        println!("total importance on (x,2,y,z) high-AOE clusters: {}\n", num(high_aoe_mass, 3));
+        assert!(high_aoe_mass > 0.05, "{name}: high-AOE clusters must matter");
+    }
+    println!("({slots} slots per location)");
+
+    write_artifact("tab_importance.csv", &csv(&["location", "feature", "importance"], &csv_rows));
+}

@@ -1,0 +1,112 @@
+//! Cross-validation and grid search.
+//!
+//! §6: "We got the parameters of this model using grid-search and
+//! five-fold cross-validation."
+
+use crate::dataset::Dataset;
+use crate::forest::{ForestParams, RandomForest};
+use crate::metrics::accuracy;
+
+/// Mean k-fold cross-validated accuracy of a forest configuration.
+pub fn k_fold_cv(data: &Dataset, params: &ForestParams, k: usize, seed: u64) -> f64 {
+    let folds = data.stratified_folds(k, seed);
+    let mut total = 0.0;
+    for (fi, (train_idx, test_idx)) in folds.iter().enumerate() {
+        let train = data.subset(train_idx);
+        let forest = RandomForest::fit(&train, params, seed ^ (fi as u64) << 32);
+        let predicted: Vec<usize> =
+            test_idx.iter().map(|&i| forest.predict(data.row(i).0)).collect();
+        let truth: Vec<usize> = test_idx.iter().map(|&i| data.row(i).1).collect();
+        total += accuracy(&predicted, &truth);
+    }
+    total / folds.len() as f64
+}
+
+/// One grid-search candidate's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearchResult {
+    /// The configuration evaluated.
+    pub params: ForestParams,
+    /// Its mean cross-validated accuracy.
+    pub cv_accuracy: f64,
+}
+
+/// Evaluates every configuration with k-fold CV and returns all results
+/// sorted best-first. The caller refits the winner on the full training
+/// split.
+pub fn grid_search(
+    data: &Dataset,
+    grid: &[ForestParams],
+    k: usize,
+    seed: u64,
+) -> Vec<GridSearchResult> {
+    assert!(!grid.is_empty(), "empty grid");
+    let mut results: Vec<GridSearchResult> = grid
+        .iter()
+        .map(|p| GridSearchResult { params: *p, cv_accuracy: k_fold_cv(data, p, k, seed) })
+        .collect();
+    results.sort_by(|a, b| b.cv_accuracy.total_cmp(&a.cv_accuracy));
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{MaxFeatures, TreeParams};
+
+    fn blobs() -> Dataset {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..120 {
+            let c = i % 2;
+            let j = ((i * 29) % 19) as f64 / 19.0;
+            features.push(vec![c as f64 * 3.0 + j, j]);
+            labels.push(c);
+        }
+        Dataset::unnamed(features, labels, 2)
+    }
+
+    #[test]
+    fn cv_accuracy_is_high_on_separable_data() {
+        let d = blobs();
+        let p = ForestParams { n_trees: 10, ..Default::default() };
+        let acc = k_fold_cv(&d, &p, 5, 1);
+        assert!(acc > 0.95, "cv accuracy {acc}");
+    }
+
+    #[test]
+    fn cv_is_deterministic() {
+        let d = blobs();
+        let p = ForestParams { n_trees: 5, ..Default::default() };
+        assert_eq!(k_fold_cv(&d, &p, 5, 1), k_fold_cv(&d, &p, 5, 1));
+    }
+
+    #[test]
+    fn grid_search_ranks_configurations() {
+        let d = blobs();
+        let grid = vec![
+            ForestParams {
+                n_trees: 1,
+                tree: TreeParams {
+                    max_depth: 1,
+                    max_features: MaxFeatures::Fixed(1),
+                    ..TreeParams::default()
+                },
+                bootstrap: true,
+            },
+            ForestParams { n_trees: 15, ..Default::default() },
+        ];
+        let results = grid_search(&d, &grid, 4, 1);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].cv_accuracy >= results[1].cv_accuracy);
+        // The serious configuration should win on this data.
+        assert_eq!(results[0].params.n_trees, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_panics() {
+        let d = blobs();
+        let _ = grid_search(&d, &[], 5, 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Datasets: feature matrices with class labels.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A classification dataset.
+///
+/// Features are dense `f64` rows; labels are class indices `0..n_classes`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+    feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rows are ragged, label/feature counts differ, a label is
+    /// `≥ n_classes`, or feature names don't match the width.
+    pub fn new(
+        features: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        n_classes: usize,
+        feature_names: Vec<String>,
+    ) -> Dataset {
+        assert_eq!(features.len(), labels.len(), "one label per row");
+        assert!(n_classes > 0, "need at least one class");
+        if let Some(first) = features.first() {
+            assert!(
+                features.iter().all(|r| r.len() == first.len()),
+                "ragged feature rows"
+            );
+            assert_eq!(feature_names.len(), first.len(), "one name per feature");
+        }
+        assert!(
+            labels.iter().all(|&l| l < n_classes),
+            "label out of range"
+        );
+        Dataset { features, labels, n_classes, feature_names }
+    }
+
+    /// Creates a dataset with auto-generated feature names `f0..fN`.
+    pub fn unnamed(features: Vec<Vec<f64>>, labels: Vec<usize>, n_classes: usize) -> Dataset {
+        let width = features.first().map(|r| r.len()).unwrap_or(0);
+        let names = (0..width).map(|i| format!("f{i}")).collect();
+        Dataset::new(features, labels, n_classes, names)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per row.
+    pub fn width(&self) -> usize {
+        self.features.first().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Row accessor.
+    pub fn row(&self, i: usize) -> (&[f64], usize) {
+        (&self.features[i], self.labels[i])
+    }
+
+    /// All feature rows.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Builds a sub-dataset from row indices (duplicates allowed — this is
+    /// also the bootstrap-sampling primitive).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Shuffled train/holdout split; `train_fraction` of rows go to the
+    /// first dataset (the paper: "80% of the data is used to create a
+    /// training/testing data-set... the remaining 20%... a holdout
+    /// data-set").
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_fraction));
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let cut = (self.len() as f64 * train_fraction).round() as usize;
+        (self.subset(&idx[..cut]), self.subset(&idx[cut..]))
+    }
+
+    /// Stratified k-fold indices: returns `k` (train, test) index pairs
+    /// where each test fold approximately preserves class proportions.
+    pub fn stratified_folds(&self, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(k >= 2, "need at least two folds");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Group indices by class, shuffle within class, deal round-robin.
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        let mut fold_of = vec![0usize; self.len()];
+        let mut next_fold = 0usize;
+        for class_rows in by_class.iter_mut() {
+            class_rows.shuffle(&mut rng);
+            for &i in class_rows.iter() {
+                fold_of[i] = next_fold;
+                next_fold = (next_fold + 1) % k;
+            }
+        }
+
+        (0..k)
+            .map(|f| {
+                let test: Vec<usize> =
+                    (0..self.len()).filter(|&i| fold_of[i] == f).collect();
+                let train: Vec<usize> =
+                    (0..self.len()).filter(|&i| fold_of[i] != f).collect();
+                (train, test)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features = (0..20).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let labels = (0..20).map(|i| i % 2).collect();
+        Dataset::unnamed(features, labels, 2)
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let d = toy();
+        assert_eq!(d.len(), 20);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.feature_names(), &["f0".to_string(), "f1".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn mismatched_labels_panic() {
+        let _ = Dataset::unnamed(vec![vec![1.0]], vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let _ = Dataset::unnamed(vec![vec![1.0]], vec![5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Dataset::unnamed(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 0], 1);
+    }
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let d = toy();
+        let (train, test) = d.split(0.8, 7);
+        assert_eq!(train.len(), 16);
+        assert_eq!(test.len(), 4);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = toy();
+        let (a, _) = d.split(0.8, 7);
+        let (b, _) = d.split(0.8, 7);
+        assert_eq!(a, b);
+        let (c, _) = d.split(0.8, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stratified_folds_cover_everything_exactly_once() {
+        let d = toy();
+        let folds = d.stratified_folds(5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; d.len()];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), d.len());
+            for &i in test {
+                seen[i] += 1;
+            }
+            // No overlap between train and test.
+            for &i in test {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each row in exactly one test fold");
+    }
+
+    #[test]
+    fn stratified_folds_preserve_class_balance() {
+        let d = toy(); // alternating labels, perfectly balanced
+        for (_, test) in d.stratified_folds(4, 3) {
+            let ones = test.iter().filter(|&&i| d.labels()[i] == 1).count();
+            let diff = (2 * ones).abs_diff(test.len());
+            assert!(diff <= 1, "fold imbalance: {ones}/{}", test.len());
+        }
+    }
+
+    #[test]
+    fn subset_supports_duplicates() {
+        let d = toy();
+        let s = d.subset(&[0, 0, 1]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.row(0).0, s.row(1).0);
+    }
+}

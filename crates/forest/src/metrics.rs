@@ -1,0 +1,81 @@
+//! Classification metrics.
+
+/// Plain accuracy: fraction of `predicted[i] == truth[i]`.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    let hits = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Top-k accuracy (§6's metric): the fraction of rows whose true class
+/// appears among that row's `k` ranked guesses.
+///
+/// `ranked[i]` holds the model's guesses for row `i`, best first; only the
+/// first `k` are considered (shorter lists are used as-is).
+pub fn top_k_accuracy(ranked: &[Vec<usize>], truth: &[usize], k: usize) -> f64 {
+    assert_eq!(ranked.len(), truth.len(), "length mismatch");
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    let hits = ranked
+        .iter()
+        .zip(truth)
+        .filter(|(guesses, t)| guesses.iter().take(k).any(|g| g == *t))
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+        assert!(accuracy(&[], &[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn top_k_grows_with_k() {
+        let ranked = vec![vec![0, 1, 2], vec![2, 0, 1], vec![1, 2, 0]];
+        let truth = vec![1, 0, 0];
+        let a1 = top_k_accuracy(&ranked, &truth, 1);
+        let a2 = top_k_accuracy(&ranked, &truth, 2);
+        let a3 = top_k_accuracy(&ranked, &truth, 3);
+        assert_eq!(a1, 0.0);
+        assert_eq!(a2, 2.0 / 3.0);
+        assert_eq!(a3, 1.0);
+        assert!(a1 <= a2 && a2 <= a3);
+    }
+
+    #[test]
+    fn top_1_equals_plain_accuracy() {
+        let ranked = vec![vec![0], vec![1], vec![2]];
+        let truth = vec![0, 2, 2];
+        assert_eq!(
+            top_k_accuracy(&ranked, &truth, 1),
+            accuracy(&[0, 1, 2], &truth)
+        );
+    }
+
+    #[test]
+    fn short_guess_lists_are_tolerated() {
+        let ranked = vec![vec![0], vec![]];
+        let truth = vec![0, 1];
+        assert_eq!(top_k_accuracy(&ranked, &truth, 5), 0.5);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the forest crate.
+
+use proptest::prelude::*;
+use starsense_forest::{
+    top_k_accuracy, Dataset, DecisionTree, ForestParams, RandomForest, TreeParams,
+};
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..5, 10usize..60).prop_flat_map(|(classes, rows)| {
+        prop::collection::vec(
+            (prop::collection::vec(-10.0f64..10.0, 3), 0usize..classes),
+            rows,
+        )
+        .prop_map(move |data| {
+            let features: Vec<Vec<f64>> = data.iter().map(|(f, _)| f.clone()).collect();
+            let labels: Vec<usize> = data.iter().map(|(_, l)| *l).collect();
+            Dataset::unnamed(features, labels, classes)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tree_probabilities_are_distributions(data in arb_dataset()) {
+        let tree = DecisionTree::fit(&data, &TreeParams::default(), 1);
+        for i in 0..data.len() {
+            let p = tree.predict_proba(data.row(i).0);
+            prop_assert_eq!(p.len(), data.n_classes());
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn forest_probabilities_are_distributions(data in arb_dataset()) {
+        let params = ForestParams { n_trees: 7, ..Default::default() };
+        let forest = RandomForest::fit(&data, &params, 1);
+        for i in 0..data.len().min(10) {
+            let p = forest.predict_proba(data.row(i).0);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn importances_are_normalized_or_zero(data in arb_dataset()) {
+        let params = ForestParams { n_trees: 5, ..Default::default() };
+        let forest = RandomForest::fit(&data, &params, 2);
+        let imp = forest.feature_importances();
+        prop_assert_eq!(imp.len(), data.width());
+        let total: f64 = imp.iter().sum();
+        prop_assert!(total.abs() < 1e-9 || (total - 1.0).abs() < 1e-9, "total {total}");
+        prop_assert!(imp.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn top_k_accuracy_is_monotone_in_k(data in arb_dataset()) {
+        let params = ForestParams { n_trees: 5, ..Default::default() };
+        let forest = RandomForest::fit(&data, &params, 3);
+        let ranked: Vec<Vec<usize>> =
+            (0..data.len()).map(|i| forest.predict_top_k(data.row(i).0, data.n_classes())).collect();
+        let truth: Vec<usize> = data.labels().to_vec();
+        let mut prev = 0.0;
+        for k in 1..=data.n_classes() {
+            let acc = top_k_accuracy(&ranked, &truth, k);
+            prop_assert!(acc >= prev - 1e-12);
+            prev = acc;
+        }
+        // k = all classes with full-length rankings is always a hit.
+        prop_assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_trees_never_lose_training_accuracy(data in arb_dataset()) {
+        let acc = |depth: usize| {
+            let tree = DecisionTree::fit(
+                &data,
+                &TreeParams { max_depth: depth, min_samples_split: 2, ..TreeParams::default() },
+                1,
+            );
+            (0..data.len()).filter(|&i| tree.predict(data.row(i).0) == data.row(i).1).count()
+        };
+        // Greedy splitting means more depth can only refine leaves.
+        prop_assert!(acc(12) >= acc(1));
+    }
+
+    #[test]
+    fn stratified_folds_partition(data in arb_dataset(), k in 2usize..5) {
+        let folds = data.stratified_folds(k, 7);
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![0usize; data.len()];
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), data.len());
+            for &i in test { seen[i] += 1; }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,221 @@
+//! The simulated dish: obstruction-map painting and snapshotting.
+//!
+//! The real dish paints the trajectory of whichever satellite currently
+//! serves it. Our simulator does the same from the hidden scheduler's
+//! ground-truth allocations — this module is part of the *system under
+//! measurement*, not of the inference pipeline, which only ever sees the
+//! snapshots.
+
+use starsense_astro::frames::Geodetic;
+use starsense_astro::time::JulianDate;
+use starsense_constellation::Constellation;
+use starsense_obstruction::{paint, ObstructionMap};
+use starsense_scheduler::slots::SLOT_PERIOD_SECONDS;
+
+/// An obstruction-map snapshot taken at the end of a slot, as
+/// `starlink-grpc-tools` would fetch it every 15 seconds.
+#[derive(Debug, Clone)]
+pub struct SlotCapture {
+    /// Global slot index the snapshot closes.
+    pub slot: i64,
+    /// Slot start time.
+    pub slot_start: JulianDate,
+    /// The map state after the slot's trajectory was painted.
+    pub map: ObstructionMap,
+    /// Whether the dish was reset (blank map) immediately before this slot.
+    pub after_reset: bool,
+}
+
+/// Simulates the dish's obstruction-map behaviour for one terminal.
+#[derive(Debug, Clone)]
+pub struct DishSimulator {
+    location: Geodetic,
+    map: ObstructionMap,
+    /// Reset cadence in slots (paper: every 10 minutes = 40 slots).
+    reset_every_slots: u32,
+    slots_since_reset: u32,
+    /// Samples painted per slot (the dish tracks continuously; ~1 Hz
+    /// sampling keeps the Bresenham trail identical to a continuous one).
+    samples_per_slot: u32,
+}
+
+impl DishSimulator {
+    /// Creates a dish at `location` with the paper's 10-minute reset policy.
+    pub fn new(location: Geodetic) -> DishSimulator {
+        DishSimulator {
+            location,
+            map: ObstructionMap::new(),
+            reset_every_slots: 40,
+            slots_since_reset: 0,
+            samples_per_slot: 16,
+        }
+    }
+
+    /// Overrides the reset cadence (0 = never reset, for the 2-day
+    /// saturation run of §4.1).
+    pub fn with_reset_every_slots(mut self, slots: u32) -> DishSimulator {
+        self.reset_every_slots = slots;
+        self
+    }
+
+    /// The dish's location.
+    pub fn location(&self) -> Geodetic {
+        self.location
+    }
+
+    /// Current map state (what a gRPC fetch would return right now).
+    pub fn map(&self) -> &ObstructionMap {
+        &self.map
+    }
+
+    /// Forces a terminal reset (blank map).
+    pub fn reset(&mut self) {
+        self.map = ObstructionMap::new();
+        self.slots_since_reset = 0;
+    }
+
+    /// Plays one slot: applies the reset policy, paints the serving
+    /// satellite's true sky track across the slot, and returns the
+    /// end-of-slot snapshot.
+    ///
+    /// `serving` is the ground-truth allocation for this slot (`None` =
+    /// outage, nothing painted).
+    pub fn play_slot(
+        &mut self,
+        constellation: &Constellation,
+        slot: i64,
+        slot_start: JulianDate,
+        serving: Option<u32>,
+    ) -> SlotCapture {
+        let mut after_reset = false;
+        if self.reset_every_slots > 0 && self.slots_since_reset >= self.reset_every_slots {
+            self.reset();
+            after_reset = true;
+        }
+        self.slots_since_reset += 1;
+
+        if let Some(id) = serving {
+            if let Some(sat) = constellation.get(id) {
+                let samples = sky_track(sat, self.location, slot_start, self.samples_per_slot);
+                paint(&mut self.map, &samples);
+            }
+        }
+
+        SlotCapture { slot, slot_start, map: self.map.clone(), after_reset }
+    }
+}
+
+/// The true sky track of a satellite over one slot, as (elevation°,
+/// azimuth°) samples.
+pub fn sky_track(
+    sat: &starsense_constellation::Satellite,
+    observer: Geodetic,
+    slot_start: JulianDate,
+    samples: u32,
+) -> Vec<(f64, f64)> {
+    (0..samples)
+        .filter_map(|k| {
+            let t = slot_start
+                .plus_seconds(k as f64 * SLOT_PERIOD_SECONDS / (samples.max(2) - 1) as f64);
+            let teme = sat.true_position(t)?;
+            let look = starsense_astro::frames::look_angles_teme(observer, teme, t);
+            Some((look.elevation_deg, look.azimuth_deg))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starsense_constellation::ConstellationBuilder;
+    use starsense_scheduler::slots::{slot_index, slot_start};
+
+    fn setup() -> (Constellation, Geodetic, JulianDate) {
+        let c = ConstellationBuilder::starlink_gen1().seed(5).build();
+        let loc = Geodetic::new(41.66, -91.53, 0.2);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 13.0);
+        (c, loc, at)
+    }
+
+    fn a_visible_sat(c: &Constellation, loc: Geodetic, at: JulianDate) -> u32 {
+        c.field_of_view(loc, at, 40.0)
+            .first()
+            .expect("some satellite above 40°")
+            .norad_id
+    }
+
+    #[test]
+    fn playing_a_slot_paints_a_trail() {
+        let (c, loc, at) = setup();
+        let start = slot_start(at);
+        let id = a_visible_sat(&c, loc, start);
+        let mut dish = DishSimulator::new(loc);
+        let cap = dish.play_slot(&c, slot_index(at), start, Some(id));
+        assert!(cap.map.count_set() >= 3, "trail has {} pixels", cap.map.count_set());
+        assert!(!cap.after_reset);
+    }
+
+    #[test]
+    fn outage_slot_paints_nothing() {
+        let (c, loc, at) = setup();
+        let mut dish = DishSimulator::new(loc);
+        let cap = dish.play_slot(&c, slot_index(at), slot_start(at), None);
+        assert_eq!(cap.map.count_set(), 0);
+    }
+
+    #[test]
+    fn map_accumulates_across_slots() {
+        let (c, loc, at) = setup();
+        let start = slot_start(at);
+        let mut dish = DishSimulator::new(loc);
+        let fov = c.field_of_view(loc, start, 40.0);
+        let cap1 = dish.play_slot(&c, 0, start, Some(fov[0].norad_id));
+        let n1 = cap1.map.count_set();
+        let cap2 = dish.play_slot(
+            &c,
+            1,
+            start.plus_seconds(15.0),
+            Some(fov[1 % fov.len()].norad_id),
+        );
+        assert!(cap2.map.count_set() >= n1, "map must be cumulative");
+    }
+
+    #[test]
+    fn reset_policy_blanks_the_map() {
+        let (c, loc, at) = setup();
+        let start = slot_start(at);
+        let id = a_visible_sat(&c, loc, start);
+        let mut dish = DishSimulator::new(loc).with_reset_every_slots(2);
+        dish.play_slot(&c, 0, start, Some(id));
+        dish.play_slot(&c, 1, start.plus_seconds(15.0), Some(id));
+        // Third slot triggers the reset.
+        let cap = dish.play_slot(&c, 2, start.plus_seconds(30.0), Some(id));
+        assert!(cap.after_reset);
+    }
+
+    #[test]
+    fn zero_reset_cadence_never_resets() {
+        let (c, loc, at) = setup();
+        let start = slot_start(at);
+        let id = a_visible_sat(&c, loc, start);
+        let mut dish = DishSimulator::new(loc).with_reset_every_slots(0);
+        for k in 0..100 {
+            let cap = dish.play_slot(&c, k, start.plus_seconds(15.0 * k as f64), Some(id));
+            assert!(!cap.after_reset);
+        }
+    }
+
+    #[test]
+    fn sky_track_stays_in_valid_ranges() {
+        let (c, loc, at) = setup();
+        let start = slot_start(at);
+        let id = a_visible_sat(&c, loc, start);
+        let sat = c.get(id).unwrap();
+        let track = sky_track(sat, loc, start, 16);
+        assert_eq!(track.len(), 16);
+        for (el, az) in track {
+            assert!((-90.0..=90.0).contains(&el));
+            assert!((0.0..360.0).contains(&az));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The identification pipeline: XOR → extract → DTW match.
+
+use crate::candidates::{candidate_tracks, CandidateTrack};
+use starsense_astro::frames::Geodetic;
+use starsense_astro::time::JulianDate;
+use starsense_constellation::Constellation;
+use starsense_dtw::dtw_distance;
+use starsense_obstruction::{extract_trajectory, isolate, ObstructionMap, PolarSample};
+
+/// A successful identification for one slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdentifiedSat {
+    /// The matched satellite.
+    pub norad_id: u32,
+    /// Its DTW distance to the isolated trajectory.
+    pub distance: f64,
+    /// The runner-up's distance (∞ with a single candidate). A small gap
+    /// between `distance` and `runner_up` marks an ambiguous match.
+    pub runner_up: f64,
+    /// Number of candidates considered.
+    pub n_candidates: usize,
+    /// Number of pixels in the isolated trajectory.
+    pub trail_pixels: usize,
+}
+
+impl IdentifiedSat {
+    /// A crude confidence signal in `[0, 1]`: how decisively the winner
+    /// beat the runner-up.
+    pub fn margin(&self) -> f64 {
+        if !self.runner_up.is_finite() || self.runner_up == 0.0 {
+            return 1.0;
+        }
+        (1.0 - self.distance / self.runner_up).clamp(0.0, 1.0)
+    }
+}
+
+/// DTW distance between an isolated trajectory and a candidate track,
+/// tried in both directions (a bitmap has no arrow of time) — the smaller
+/// of the two alignments.
+fn track_distance(isolated: &[[f64; 2]], candidate: &CandidateTrack) -> f64 {
+    let cand = candidate.cartesian();
+    let forward = dtw_distance(isolated, &cand);
+    let mut rev = cand;
+    rev.reverse();
+    let backward = dtw_distance(isolated, &rev);
+    forward.min(backward)
+}
+
+/// Identifies the satellite that served the terminal during the slot whose
+/// maps are `prev` (end of slot t−1) and `curr` (end of slot t).
+///
+/// Returns `None` when the XOR leaves no usable trajectory (outage slot,
+/// repeated satellite fully overlapping, or a post-reset capture) or when
+/// no candidate is in view.
+pub fn identify_slot(
+    prev: &ObstructionMap,
+    curr: &ObstructionMap,
+    constellation: &Constellation,
+    observer: Geodetic,
+    slot_start: JulianDate,
+) -> Option<IdentifiedSat> {
+    let isolated_map = isolate(prev, curr);
+    let trajectory = extract_trajectory(&isolated_map);
+    identify_from_trajectory(&trajectory, constellation, observer, slot_start)
+}
+
+/// The matching half of the pipeline, for callers that already extracted a
+/// trajectory (e.g. the validation harness's ambiguity analyses).
+pub fn identify_from_trajectory(
+    trajectory: &[PolarSample],
+    constellation: &Constellation,
+    observer: Geodetic,
+    slot_start: JulianDate,
+) -> Option<IdentifiedSat> {
+    // A couple of pixels carry no directional information; the paper's
+    // protocol guarantees fresh trails, so tiny residues are XOR noise.
+    if trajectory.len() < 3 {
+        return None;
+    }
+    let isolated: Vec<[f64; 2]> = trajectory.iter().map(|s| s.to_cartesian()).collect();
+
+    let candidates = candidate_tracks(constellation, observer, slot_start, 25.0, 16);
+    if candidates.is_empty() {
+        return None;
+    }
+
+    let mut best: Option<(usize, f64)> = None;
+    let mut runner_up = f64::INFINITY;
+    for (i, cand) in candidates.iter().enumerate() {
+        let d = track_distance(&isolated, cand);
+        match best {
+            None => best = Some((i, d)),
+            Some((_, bd)) if d < bd => {
+                runner_up = bd;
+                best = Some((i, d));
+            }
+            Some(_) => {
+                if d < runner_up {
+                    runner_up = d;
+                }
+            }
+        }
+    }
+
+    let (idx, distance) = best?;
+    Some(IdentifiedSat {
+        norad_id: candidates[idx].norad_id,
+        distance,
+        runner_up,
+        n_candidates: candidates.len(),
+        trail_pixels: trajectory.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dish::DishSimulator;
+    use starsense_constellation::ConstellationBuilder;
+    use starsense_scheduler::slots::{slot_index, slot_start};
+
+    fn setup() -> (Constellation, Geodetic, JulianDate) {
+        let c = ConstellationBuilder::starlink_gen1().seed(5).build();
+        let loc = Geodetic::new(41.66, -91.53, 0.2);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 13.0);
+        (c, loc, slot_start(at))
+    }
+
+    #[test]
+    fn identifies_the_painted_satellite() {
+        let (c, loc, start) = setup();
+        // Serve a high-elevation satellite for one slot after an empty map.
+        let truth = c.field_of_view(loc, start, 45.0);
+        let serving = truth.first().expect("a high satellite").norad_id;
+
+        let mut dish = DishSimulator::new(loc);
+        let prev = dish.map().clone();
+        let cap = dish.play_slot(&c, slot_index(start), start, Some(serving));
+
+        let id = identify_slot(&prev, &cap.map, &c, loc, start).expect("identification");
+        assert_eq!(id.norad_id, serving, "margin {}", id.margin());
+        assert!(id.n_candidates > 10);
+        assert!(id.distance < id.runner_up);
+    }
+
+    #[test]
+    fn blank_xor_gives_none() {
+        let (c, loc, start) = setup();
+        let blank = ObstructionMap::new();
+        assert!(identify_slot(&blank, &blank, &c, loc, start).is_none());
+    }
+
+    #[test]
+    fn identification_works_across_consecutive_slots() {
+        let (c, loc, start) = setup();
+        let mut dish = DishSimulator::new(loc);
+
+        // Slot 1: one satellite; slot 2: a different one. Identify slot 2
+        // from the XOR of the two captures.
+        let fov = c.field_of_view(loc, start, 40.0);
+        assert!(fov.len() >= 2);
+        let cap1 = dish.play_slot(&c, 0, start, Some(fov[0].norad_id));
+        let next_start = start.plus_seconds(15.0);
+        let cap2 = dish.play_slot(&c, 1, next_start, Some(fov[1].norad_id));
+
+        let id = identify_slot(&cap1.map, &cap2.map, &c, loc, next_start).expect("match");
+        assert_eq!(id.norad_id, fov[1].norad_id);
+    }
+
+    #[test]
+    fn margin_is_unit_interval() {
+        let a = IdentifiedSat {
+            norad_id: 1,
+            distance: 5.0,
+            runner_up: 20.0,
+            n_candidates: 4,
+            trail_pixels: 9,
+        };
+        assert!((a.margin() - 0.75).abs() < 1e-12);
+        let b = IdentifiedSat { runner_up: f64::INFINITY, ..a.clone() };
+        assert_eq!(b.margin(), 1.0);
+        let c = IdentifiedSat { distance: 30.0, runner_up: 20.0, ..a };
+        assert_eq!(c.margin(), 0.0);
+    }
+
+    #[test]
+    fn tiny_trails_are_rejected() {
+        let (c, loc, start) = setup();
+        let samples = vec![
+            PolarSample { elevation_deg: 50.0, azimuth_deg: 10.0 },
+            PolarSample { elevation_deg: 51.0, azimuth_deg: 11.0 },
+        ];
+        assert!(identify_from_trajectory(&samples, &c, loc, start).is_none());
+    }
+}

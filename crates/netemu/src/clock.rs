@@ -1,0 +1,93 @@
+//! Clock-offset model.
+//!
+//! The paper's vantage points "were routinely synchronized using NTP":
+//! residual offset between prober and server clocks is sub-millisecond but
+//! not zero, and it wanders slowly between synchronizations. The RTT
+//! measurements themselves are one-clock quantities, but iRTT also reports
+//! one-way delays, which the offset contaminates — so the emulator applies
+//! it the same way.
+
+use starsense_astro::time::JulianDate;
+
+/// A slowly wandering residual clock offset: a sum of two incommensurate
+/// sinusoids (thermal drift + NTP correction sawtooth smoothed), bounded by
+/// `amplitude_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockModel {
+    /// Peak offset magnitude, ms.
+    pub amplitude_ms: f64,
+    /// Primary wander period, seconds.
+    pub period_s: f64,
+    phase: f64,
+}
+
+impl ClockModel {
+    /// Creates a clock model; `phase_seed` decorrelates terminals.
+    pub fn new(amplitude_ms: f64, period_s: f64, phase_seed: u64) -> ClockModel {
+        assert!(amplitude_ms >= 0.0 && period_s > 0.0);
+        let phase = (phase_seed % 10_007) as f64 / 10_007.0 * std::f64::consts::TAU;
+        ClockModel { amplitude_ms, period_s, phase }
+    }
+
+    /// Typical NTP-disciplined residual: ±0.4 ms over ~17 minutes.
+    pub fn ntp_nominal(phase_seed: u64) -> ClockModel {
+        ClockModel::new(0.4, 1024.0, phase_seed)
+    }
+
+    /// Offset (prober clock − server clock) at `at`, in ms.
+    pub fn offset_ms(&self, at: JulianDate) -> f64 {
+        let t = at.0 * 86_400.0;
+        let w1 = std::f64::consts::TAU / self.period_s;
+        let w2 = w1 * std::f64::consts::E / 2.0; // incommensurate second tone
+        self.amplitude_ms * (0.7 * (w1 * t + self.phase).sin() + 0.3 * (w2 * t).sin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_is_bounded_by_amplitude() {
+        let c = ClockModel::ntp_nominal(42);
+        let t0 = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0);
+        for k in 0..5_000 {
+            let off = c.offset_ms(t0.plus_seconds(k as f64 * 1.7));
+            assert!(off.abs() <= c.amplitude_ms + 1e-9, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn offset_wanders_over_time() {
+        let c = ClockModel::ntp_nominal(42);
+        let t0 = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0);
+        let a = c.offset_ms(t0);
+        let b = c.offset_ms(t0.plus_seconds(300.0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn offset_is_smooth_at_probe_cadence() {
+        // Between consecutive 20 ms probes the offset moves by far less
+        // than the RTT noise floor.
+        let c = ClockModel::ntp_nominal(7);
+        let t0 = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let d = (c.offset_ms(t0.plus_seconds(0.02)) - c.offset_ms(t0)).abs();
+        assert!(d < 0.001, "per-probe drift {d} ms");
+    }
+
+    #[test]
+    fn different_seeds_give_different_phases() {
+        let t0 = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0);
+        let a = ClockModel::ntp_nominal(1).offset_ms(t0);
+        let b = ClockModel::ntp_nominal(2).offset_ms(t0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_amplitude_is_a_perfect_clock() {
+        let c = ClockModel::new(0.0, 100.0, 5);
+        let t0 = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0);
+        assert_eq!(c.offset_ms(t0), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Ground stations and points of presence.
+//!
+//! §2: "Ground stations consist of a set of phased-array antennas that
+//! receive traffic from satellites and send it through wired links to
+//! Starlink's PoPs... Like user terminals, ground stations can communicate
+//! with satellites at an angle of elevation higher than 25°." The paper's
+//! destination servers sit at the PoP, so terrestrial latency beyond the
+//! GS→PoP fiber hop is out of the measurement path.
+
+use starsense_astro::frames::{look_angles, teme_to_ecef, Geodetic};
+use starsense_astro::time::JulianDate;
+use starsense_astro::vec3::Vec3;
+
+/// A ground-station site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundStation {
+    /// Site name.
+    pub name: String,
+    /// Geodetic location.
+    pub location: Geodetic,
+}
+
+/// A PoP with the ground stations that home to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopSite {
+    /// PoP name (city).
+    pub name: String,
+    /// PoP location (where the measurement server sits).
+    pub location: Geodetic,
+    /// Ground stations wired to this PoP.
+    pub ground_stations: Vec<GroundStation>,
+}
+
+impl PopSite {
+    /// Builds a PoP with a ring of `n` ground stations placed
+    /// `spread_deg` degrees of latitude/longitude around it — the pattern
+    /// of real deployments, where several gateway sites within a few
+    /// hundred kilometres feed one PoP.
+    pub fn with_gs_ring(name: impl Into<String>, location: Geodetic, n: usize, spread_deg: f64) -> PopSite {
+        let name = name.into();
+        let ground_stations = (0..n)
+            .map(|i| {
+                let ang = std::f64::consts::TAU * i as f64 / n as f64;
+                GroundStation {
+                    name: format!("{name}-gs{i}"),
+                    location: Geodetic::new(
+                        location.lat_deg + spread_deg * ang.cos(),
+                        location.lon_deg + spread_deg * ang.sin(),
+                        location.alt_km,
+                    ),
+                }
+            })
+            .collect();
+        PopSite { name, location, ground_stations }
+    }
+
+    /// Selects the ground station to relay through for a satellite at TEME
+    /// position `sat_teme`: the visible (elevation ≥ `min_elevation_deg`)
+    /// station with the shortest slant range. Returns `None` when no
+    /// station sees the satellite (the bent pipe is broken — the emulator
+    /// drops such packets).
+    pub fn best_ground_station(
+        &self,
+        sat_teme: Vec3,
+        at: JulianDate,
+        min_elevation_deg: f64,
+    ) -> Option<(&GroundStation, f64)> {
+        let ecef = teme_to_ecef(sat_teme, at);
+        self.ground_stations
+            .iter()
+            .filter_map(|gs| {
+                let look = look_angles(gs.location, ecef);
+                (look.elevation_deg >= min_elevation_deg).then_some((gs, look.range_km))
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+/// The paper's four measurement regions, with a PoP placed at the real
+/// Starlink PoP city serving each (Chicago, New York, Madrid, Seattle) and
+/// three gateway sites around it.
+pub fn paper_pops() -> Vec<PopSite> {
+    vec![
+        PopSite::with_gs_ring("Chicago", Geodetic::new(41.88, -87.63, 0.18), 3, 2.0),
+        PopSite::with_gs_ring("NewYork", Geodetic::new(40.71, -74.01, 0.01), 3, 2.0),
+        PopSite::with_gs_ring("Madrid", Geodetic::new(40.42, -3.70, 0.65), 3, 2.0),
+        PopSite::with_gs_ring("Seattle", Geodetic::new(47.61, -122.33, 0.05), 3, 2.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starsense_astro::frames::{ecef_to_teme, geodetic_to_ecef};
+
+    #[test]
+    fn gs_ring_is_centred_on_the_pop() {
+        let p = PopSite::with_gs_ring("X", Geodetic::new(40.0, -90.0, 0.1), 4, 1.5);
+        assert_eq!(p.ground_stations.len(), 4);
+        let mean_lat: f64 =
+            p.ground_stations.iter().map(|g| g.location.lat_deg).sum::<f64>() / 4.0;
+        let mean_lon: f64 =
+            p.ground_stations.iter().map(|g| g.location.lon_deg).sum::<f64>() / 4.0;
+        assert!((mean_lat - 40.0).abs() < 1e-9);
+        assert!((mean_lon + 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_satellite_selects_a_station() {
+        let p = PopSite::with_gs_ring("X", Geodetic::new(40.0, -90.0, 0.1), 3, 2.0);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0);
+        // Satellite straight above the PoP at 550 km.
+        let pop_ecef = geodetic_to_ecef(p.location);
+        let sat_ecef = pop_ecef.unit() * (pop_ecef.norm() + 550.0);
+        let sat_teme = ecef_to_teme(sat_ecef, at);
+        let (gs, range) = p.best_ground_station(sat_teme, at, 25.0).expect("visible");
+        assert!(range < 650.0, "range {range}");
+        assert!(gs.name.starts_with("X-gs"));
+    }
+
+    #[test]
+    fn satellite_over_the_horizon_selects_nothing() {
+        let p = PopSite::with_gs_ring("X", Geodetic::new(40.0, -90.0, 0.1), 3, 2.0);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0);
+        // Satellite above the antipode.
+        let anti = geodetic_to_ecef(Geodetic::new(-40.0, 90.0, 550.0));
+        let sat_teme = ecef_to_teme(anti, at);
+        assert!(p.best_ground_station(sat_teme, at, 25.0).is_none());
+    }
+
+    #[test]
+    fn paper_pops_cover_the_four_regions() {
+        let pops = paper_pops();
+        assert_eq!(pops.len(), 4);
+        let names: Vec<&str> = pops.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["Chicago", "NewYork", "Madrid", "Seattle"]);
+        for p in &pops {
+            assert_eq!(p.ground_stations.len(), 3);
+        }
+    }
+
+    #[test]
+    fn closest_visible_station_wins() {
+        let p = PopSite {
+            name: "X".into(),
+            location: Geodetic::new(40.0, -90.0, 0.0),
+            ground_stations: vec![
+                GroundStation { name: "near".into(), location: Geodetic::new(40.0, -90.0, 0.0) },
+                GroundStation { name: "far".into(), location: Geodetic::new(43.0, -90.0, 0.0) },
+            ],
+        };
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0);
+        let pop_ecef = geodetic_to_ecef(p.location);
+        let sat_teme = ecef_to_teme(pop_ecef.unit() * (pop_ecef.norm() + 550.0), at);
+        let (gs, _) = p.best_ground_station(sat_teme, at, 25.0).unwrap();
+        assert_eq!(gs.name, "near");
+    }
+}

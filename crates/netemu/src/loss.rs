@@ -1,0 +1,129 @@
+//! Packet-loss models.
+//!
+//! The paper measured loss alongside RTT and chose its probe parameters so
+//! that "packet loss rates and measured round-trip times" stayed stable.
+//! Radio links lose packets in bursts, not independently; the standard
+//! two-state Gilbert-Elliott chain captures that, and a short extra burst
+//! around each 15-second reallocation models the handover gap.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Two-state Gilbert-Elliott loss chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// P(Good → Bad) per packet.
+    pub p_good_to_bad: f64,
+    /// P(Bad → Good) per packet.
+    pub p_bad_to_good: f64,
+    /// Loss probability in the Good state.
+    pub loss_good: f64,
+    /// Loss probability in the Bad state.
+    pub loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Creates a chain starting in the Good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(p_good_to_bad: f64, p_bad_to_good: f64, loss_good: f64, loss_bad: f64) -> Self {
+        for p in [p_good_to_bad, p_bad_to_good, loss_good, loss_bad] {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+        GilbertElliott { p_good_to_bad, p_bad_to_good, loss_good, loss_bad, in_bad: false }
+    }
+
+    /// Default parameters for a healthy Starlink link: ~1–2% average loss,
+    /// bursty.
+    pub fn starlink_nominal() -> Self {
+        GilbertElliott::new(0.004, 0.25, 0.002, 0.45)
+    }
+
+    /// Advances one packet; returns `true` when that packet is lost.
+    pub fn step(&mut self, rng: &mut StdRng) -> bool {
+        if self.in_bad {
+            if rng.random_range(0.0..1.0) < self.p_bad_to_good {
+                self.in_bad = false;
+            }
+        } else if rng.random_range(0.0..1.0) < self.p_good_to_bad {
+            self.in_bad = true;
+        }
+        let p = if self.in_bad { self.loss_bad } else { self.loss_good };
+        rng.random_range(0.0..1.0) < p
+    }
+
+    /// Steady-state expected loss rate.
+    pub fn expected_loss(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom == 0.0 {
+            return self.loss_good;
+        }
+        let p_bad = self.p_good_to_bad / denom;
+        p_bad * self.loss_bad + (1.0 - p_bad) * self.loss_good
+    }
+
+    /// Whether the chain currently sits in the Bad state.
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_loss_matches_expectation() {
+        let mut ge = GilbertElliott::starlink_nominal();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let lost = (0..n).filter(|_| ge.step(&mut rng)).count();
+        let rate = lost as f64 / n as f64;
+        let expect = ge.expected_loss();
+        assert!(
+            (rate - expect).abs() < 0.01,
+            "empirical {rate:.4} vs expected {expect:.4}"
+        );
+    }
+
+    #[test]
+    fn losses_are_bursty() {
+        // Consecutive-loss runs should be far more common than under
+        // independent Bernoulli loss at the same mean rate.
+        let mut ge = GilbertElliott::starlink_nominal();
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcomes: Vec<bool> = (0..100_000).map(|_| ge.step(&mut rng)).collect();
+        let losses = outcomes.iter().filter(|&&l| l).count() as f64;
+        let pairs = outcomes.windows(2).filter(|w| w[0] && w[1]).count() as f64;
+        let rate = losses / outcomes.len() as f64;
+        let pair_rate = pairs / (outcomes.len() - 1) as f64;
+        assert!(
+            pair_rate > 3.0 * rate * rate,
+            "pair rate {pair_rate:.6} vs independent {:.6}",
+            rate * rate
+        );
+    }
+
+    #[test]
+    fn zero_loss_chain_never_loses() {
+        let mut ge = GilbertElliott::new(0.1, 0.1, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..10_000).all(|_| !ge.step(&mut rng)));
+    }
+
+    #[test]
+    fn expected_loss_degenerate_chain() {
+        let ge = GilbertElliott::new(0.0, 0.0, 0.05, 0.9);
+        assert_eq!(ge.expected_loss(), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_panics() {
+        let _ = GilbertElliott::new(1.5, 0.1, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Bent-pipe path latency.
+
+use starsense_astro::frames::{geodetic_to_ecef, teme_to_ecef, Geodetic};
+use starsense_astro::time::JulianDate;
+use starsense_astro::vec3::Vec3;
+
+/// Speed of light in vacuum, km/s.
+pub const SPEED_OF_LIGHT_KM_S: f64 = 299_792.458;
+
+/// Fixed one-way fiber + switching latency from ground station to PoP, ms.
+pub const GS_TO_POP_MS: f64 = 0.9;
+
+/// Fixed PoP server turnaround (kernel + application), ms.
+pub const POP_TURNAROUND_MS: f64 = 0.4;
+
+/// Fixed per-direction modem/phased-array processing latency, ms.
+pub const MODEM_PROCESSING_MS: f64 = 1.8;
+
+/// Propagation-only round-trip time over the bent pipe, in milliseconds:
+/// terminal → satellite → ground station (and back), plus fixed wire and
+/// processing terms. Excludes MAC queueing (the emulator adds it) and
+/// excludes any terrestrial path beyond the PoP — the paper explicitly
+/// co-located its servers at the PoP to cut that term out.
+pub fn bent_pipe_rtt_ms(
+    terminal: Geodetic,
+    sat_teme: Vec3,
+    gs_range_km: f64,
+    at: JulianDate,
+) -> f64 {
+    let sat_ecef = teme_to_ecef(sat_teme, at);
+    let terminal_ecef = geodetic_to_ecef(terminal);
+    let up_km = terminal_ecef.distance(sat_ecef);
+    let one_way_ms = (up_km + gs_range_km) / SPEED_OF_LIGHT_KM_S * 1_000.0;
+    2.0 * (one_way_ms + GS_TO_POP_MS + MODEM_PROCESSING_MS) + POP_TURNAROUND_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starsense_astro::frames::ecef_to_teme;
+
+    #[test]
+    fn overhead_satellite_gives_realistic_rtt() {
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0);
+        let term = Geodetic::new(41.66, -91.53, 0.2);
+        let term_ecef = geodetic_to_ecef(term);
+        let sat_ecef = term_ecef.unit() * (term_ecef.norm() + 550.0);
+        let sat_teme = ecef_to_teme(sat_ecef, at);
+        // GS essentially co-located: range ≈ 560 km.
+        let rtt = bent_pipe_rtt_ms(term, sat_teme, 560.0, at);
+        // 2 × (1100 km / c ≈ 3.7 ms + 2.7 ms fixed) ≈ 13 ms.
+        assert!((10.0..18.0).contains(&rtt), "rtt {rtt}");
+    }
+
+    #[test]
+    fn lower_elevation_means_higher_rtt() {
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0);
+        let term = Geodetic::new(41.66, -91.53, 0.2);
+        let term_ecef = geodetic_to_ecef(term);
+        let overhead = ecef_to_teme(term_ecef.unit() * (term_ecef.norm() + 550.0), at);
+        // A satellite 1500 km away horizontally at the same altitude.
+        let offset = geodetic_to_ecef(Geodetic::new(41.66, -110.0, 550.0));
+        let slanted = ecef_to_teme(offset, at);
+        let near = bent_pipe_rtt_ms(term, overhead, 560.0, at);
+        let far = bent_pipe_rtt_ms(term, slanted, 1600.0, at);
+        assert!(far > near + 3.0, "near {near}, far {far}");
+    }
+
+    #[test]
+    fn rtt_scales_linearly_with_gs_range() {
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0);
+        let term = Geodetic::new(41.66, -91.53, 0.2);
+        let term_ecef = geodetic_to_ecef(term);
+        let sat = ecef_to_teme(term_ecef.unit() * (term_ecef.norm() + 550.0), at);
+        let a = bent_pipe_rtt_ms(term, sat, 600.0, at);
+        let b = bent_pipe_rtt_ms(term, sat, 900.0, at);
+        let expect = 2.0 * 300.0 / SPEED_OF_LIGHT_KM_S * 1000.0;
+        assert!((b - a - expect).abs() < 1e-9);
+    }
+}

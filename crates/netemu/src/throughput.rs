@@ -1,0 +1,154 @@
+//! Uplink throughput model (the iPerf side of the measurement).
+//!
+//! §3: alongside the 20 ms iRTT probes, the paper ran "iPerf3 at a
+//! bandwidth of 50% of the upstream connection" — enough load to exercise
+//! the MAC scheduler without saturating it. This module models the
+//! per-slot uplink capacity a terminal sees:
+//!
+//! * the radio's spectral efficiency follows the link budget, which
+//!   improves with elevation (shorter slant range → higher SNR → denser
+//!   modulation),
+//! * the MAC round-robin divides air time across the attached terminals,
+//! * the global scheduler's 15-second reallocations therefore produce
+//!   visible capacity steps, the throughput twin of Figure 2's RTT
+//!   regimes.
+
+use starsense_astro::frames::LookAngles;
+
+/// Channel bandwidth of one Starlink uplink carrier, MHz (public filings).
+pub const CHANNEL_BANDWIDTH_MHZ: f64 = 62.5;
+
+/// Spectral efficiency (bit/s/Hz) of the adaptive modulation at a given
+/// elevation.
+///
+/// A piecewise-linear stand-in for the MODCOD ladder: ~0.8 bit/s/Hz at the
+/// 25° rim rising to ~4.5 bit/s/Hz at zenith. The exact ladder is
+/// proprietary; what the reproduction needs is the monotone
+/// elevation-capacity coupling.
+pub fn spectral_efficiency(elevation_deg: f64) -> f64 {
+    let el = elevation_deg.clamp(25.0, 90.0);
+    let t = (el - 25.0) / 65.0;
+    0.8 + t * 3.7
+}
+
+/// Per-slot uplink throughput for one terminal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotThroughput {
+    /// Raw link capacity at this elevation, Mbit/s (whole carrier).
+    pub link_capacity_mbps: f64,
+    /// This terminal's share after MAC round-robin division.
+    pub terminal_share_mbps: f64,
+    /// Terminals sharing the MAC cycle (including this one).
+    pub mac_share: usize,
+}
+
+/// Computes the slot throughput for a terminal looking at its serving
+/// satellite with `look`, sharing the satellite with `mac_share` terminals
+/// in total.
+///
+/// # Panics
+///
+/// Panics when `mac_share` is zero (a satellite always serves at least the
+/// terminal being asked about).
+pub fn slot_throughput(look: &LookAngles, mac_share: usize) -> SlotThroughput {
+    assert!(mac_share >= 1, "the querying terminal is always attached");
+    let link = spectral_efficiency(look.elevation_deg) * CHANNEL_BANDWIDTH_MHZ;
+    SlotThroughput {
+        link_capacity_mbps: link,
+        terminal_share_mbps: link / mac_share as f64,
+        mac_share,
+    }
+}
+
+/// An iPerf-style constant-rate sender: reports whether a target rate is
+/// sustainable in a slot and what utilization it induces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IperfSender {
+    /// Offered rate, Mbit/s.
+    pub rate_mbps: f64,
+}
+
+impl IperfSender {
+    /// The paper's configuration: 50% of a nominal upstream link.
+    pub fn paper_nominal(upstream_mbps: f64) -> IperfSender {
+        IperfSender { rate_mbps: 0.5 * upstream_mbps }
+    }
+
+    /// Utilization of the terminal's slot share in `[0, ∞)`; values above
+    /// 1 mean the sender saturates the slot (queue growth and loss).
+    pub fn utilization(&self, slot: &SlotThroughput) -> f64 {
+        self.rate_mbps / slot.terminal_share_mbps.max(1e-9)
+    }
+
+    /// Whether the slot sustains the offered rate.
+    pub fn sustainable(&self, slot: &SlotThroughput) -> bool {
+        self.utilization(slot) <= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn look(el: f64) -> LookAngles {
+        LookAngles { elevation_deg: el, azimuth_deg: 0.0, range_km: 800.0 }
+    }
+
+    #[test]
+    fn efficiency_rises_with_elevation() {
+        assert!(spectral_efficiency(25.0) < spectral_efficiency(50.0));
+        assert!(spectral_efficiency(50.0) < spectral_efficiency(90.0));
+        assert!((spectral_efficiency(25.0) - 0.8).abs() < 1e-12);
+        assert!((spectral_efficiency(90.0) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_clamps_out_of_range() {
+        assert_eq!(spectral_efficiency(10.0), spectral_efficiency(25.0));
+        assert_eq!(spectral_efficiency(95.0), spectral_efficiency(90.0));
+    }
+
+    #[test]
+    fn zenith_alone_beats_rim_shared() {
+        let good = slot_throughput(&look(85.0), 1);
+        let bad = slot_throughput(&look(30.0), 5);
+        assert!(good.terminal_share_mbps > 4.0 * bad.terminal_share_mbps);
+    }
+
+    #[test]
+    fn mac_share_divides_capacity_exactly() {
+        let alone = slot_throughput(&look(60.0), 1);
+        let shared = slot_throughput(&look(60.0), 4);
+        assert!((alone.terminal_share_mbps / 4.0 - shared.terminal_share_mbps).abs() < 1e-9);
+        assert_eq!(alone.link_capacity_mbps, shared.link_capacity_mbps);
+    }
+
+    #[test]
+    #[should_panic(expected = "always attached")]
+    fn zero_share_panics() {
+        let _ = slot_throughput(&look(60.0), 0);
+    }
+
+    #[test]
+    fn paper_nominal_iperf_is_half_upstream() {
+        let sender = IperfSender::paper_nominal(40.0);
+        assert_eq!(sender.rate_mbps, 20.0);
+    }
+
+    #[test]
+    fn sustainability_threshold() {
+        let slot = slot_throughput(&look(60.0), 2);
+        let below = IperfSender { rate_mbps: slot.terminal_share_mbps * 0.9 };
+        let above = IperfSender { rate_mbps: slot.terminal_share_mbps * 1.1 };
+        assert!(below.sustainable(&slot));
+        assert!(!above.sustainable(&slot));
+        assert!((below.utilization(&slot) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_is_in_plausible_mbps_range() {
+        // A whole carrier at mid elevation: tens to a couple hundred Mbit/s.
+        let s = slot_throughput(&look(55.0), 1);
+        assert!((50.0..300.0).contains(&s.link_capacity_mbps), "{}", s.link_capacity_mbps);
+    }
+}

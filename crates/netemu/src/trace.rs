@@ -1,0 +1,186 @@
+//! RTT traces and their 15-second window segmentation.
+
+use starsense_astro::time::JulianDate;
+
+/// One probe's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeRecord {
+    /// Send time.
+    pub at: JulianDate,
+    /// Probe sequence number.
+    pub seq: u64,
+    /// Measured round-trip time in ms; `None` when the probe was lost.
+    pub rtt_ms: Option<f64>,
+    /// One-way uplink delay as iRTT would report it — contaminated by the
+    /// residual clock offset between prober and server.
+    pub owd_up_ms: Option<f64>,
+    /// Global scheduler slot the probe was sent in.
+    pub slot: i64,
+    /// Serving satellite during that slot (ground truth; `None` = outage).
+    pub serving_sat: Option<u32>,
+}
+
+/// A contiguous group of probes sharing one scheduler slot.
+#[derive(Debug, Clone)]
+pub struct SlotWindow {
+    /// Global slot index.
+    pub slot: i64,
+    /// Serving satellite (ground truth).
+    pub serving_sat: Option<u32>,
+    /// Send time of the first probe in the window.
+    pub start: JulianDate,
+    /// Successful RTT samples in the window, in send order.
+    pub rtts: Vec<f64>,
+    /// Number of lost probes in the window.
+    pub lost: usize,
+}
+
+impl SlotWindow {
+    /// Loss rate within the window.
+    pub fn loss_rate(&self) -> f64 {
+        let total = self.rtts.len() + self.lost;
+        if total == 0 {
+            return 0.0;
+        }
+        self.lost as f64 / total as f64
+    }
+}
+
+/// A full probe trace from one terminal.
+#[derive(Debug, Clone)]
+pub struct RttTrace {
+    /// Terminal that sent the probes.
+    pub terminal_id: usize,
+    /// All probe records, in send order.
+    pub records: Vec<ProbeRecord>,
+}
+
+impl RttTrace {
+    /// Successful RTT samples, in send order.
+    pub fn rtts(&self) -> Vec<f64> {
+        self.records.iter().filter_map(|r| r.rtt_ms).collect()
+    }
+
+    /// Overall loss rate.
+    pub fn loss_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let lost = self.records.iter().filter(|r| r.rtt_ms.is_none()).count();
+        lost as f64 / self.records.len() as f64
+    }
+
+    /// Segments the trace into per-slot windows (the unit of the paper's
+    /// Mann-Whitney analysis). Windows appear in time order.
+    pub fn windows(&self) -> Vec<SlotWindow> {
+        let mut out: Vec<SlotWindow> = Vec::new();
+        for r in &self.records {
+            let need_new = out.last().map(|w| w.slot != r.slot).unwrap_or(true);
+            if need_new {
+                out.push(SlotWindow {
+                    slot: r.slot,
+                    serving_sat: r.serving_sat,
+                    start: r.at,
+                    rtts: Vec::new(),
+                    lost: 0,
+                });
+            }
+            let w = out.last_mut().expect("just pushed");
+            match r.rtt_ms {
+                Some(v) => w.rtts.push(v),
+                None => w.lost += 1,
+            }
+        }
+        out
+    }
+
+    /// `(seconds since trace start, rtt_ms)` series for plotting Figure 2.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let Some(first) = self.records.first() else { return Vec::new() };
+        self.records
+            .iter()
+            .filter_map(|r| r.rtt_ms.map(|v| (r.at.seconds_since(first.at), v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(sec: f64, slot: i64, rtt: Option<f64>) -> ProbeRecord {
+        ProbeRecord {
+            at: JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0).plus_seconds(sec),
+            seq: (sec * 50.0) as u64,
+            rtt_ms: rtt,
+            owd_up_ms: rtt.map(|r| r / 2.0),
+            slot,
+            serving_sat: Some(44_000 + slot as u32),
+        }
+    }
+
+    #[test]
+    fn windows_split_on_slot_change() {
+        let t = RttTrace {
+            terminal_id: 0,
+            records: vec![
+                record(0.0, 10, Some(25.0)),
+                record(0.02, 10, Some(26.0)),
+                record(0.04, 10, None),
+                record(15.0, 11, Some(31.0)),
+                record(15.02, 11, Some(32.0)),
+            ],
+        };
+        let w = t.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].slot, 10);
+        assert_eq!(w[0].rtts, vec![25.0, 26.0]);
+        assert_eq!(w[0].lost, 1);
+        assert!((w[0].loss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(w[1].rtts.len(), 2);
+        assert_eq!(w[1].serving_sat, Some(44_011));
+    }
+
+    #[test]
+    fn loss_rate_counts_none_records() {
+        let t = RttTrace {
+            terminal_id: 0,
+            records: vec![record(0.0, 1, Some(20.0)), record(0.02, 1, None)],
+        };
+        assert!((t.loss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(t.rtts(), vec![20.0]);
+    }
+
+    #[test]
+    fn empty_trace_is_well_behaved() {
+        let t = RttTrace { terminal_id: 0, records: vec![] };
+        assert_eq!(t.loss_rate(), 0.0);
+        assert!(t.windows().is_empty());
+        assert!(t.series().is_empty());
+    }
+
+    #[test]
+    fn series_is_relative_to_first_probe() {
+        let t = RttTrace {
+            terminal_id: 0,
+            records: vec![record(5.0, 1, Some(20.0)), record(5.02, 1, Some(21.0))],
+        };
+        let s = t.series();
+        assert!((s[0].0 - 0.0).abs() < 1e-6);
+        assert!((s[1].0 - 0.02).abs() < 1e-4);
+    }
+
+    #[test]
+    fn interleaved_slot_revisit_starts_a_new_window() {
+        // Windows are contiguous runs, not global groups.
+        let t = RttTrace {
+            terminal_id: 0,
+            records: vec![
+                record(0.0, 1, Some(20.0)),
+                record(15.0, 2, Some(30.0)),
+                record(30.0, 1, Some(20.0)), // same slot id reappearing
+            ],
+        };
+        assert_eq!(t.windows().len(), 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Blind recovery of the map's polar-plot parameters (§4.1).
+//!
+//! The authors did not know the obstruction map's geometry a priori: "By
+//! leaving the terminal online consecutively for a 2-day period, we allowed
+//! the terminal to connect to satellites from practically all the regions
+//! of the sky... Once the 2-d image is completely filled-up, we draw
+//! bounding boxes around these trajectories to identify the center and
+//! boundaries of the 2-d image."
+//!
+//! [`calibrate`] implements that procedure: bounding box of all set pixels
+//! on a saturated map → center and plot radius. The reproduction uses it
+//! both as a regression test of the map geometry and as the first stage of
+//! the end-to-end identification pipeline, so that the pipeline never
+//! "cheats" by reading the geometry constants directly.
+
+use crate::map::ObstructionMap;
+
+/// Recovered obstruction-map geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Plot center x, pixels.
+    pub center_x: f64,
+    /// Plot center y, pixels.
+    pub center_y: f64,
+    /// Plot radius, pixels.
+    pub radius_px: f64,
+    /// Number of set pixels the calibration was computed from.
+    pub support: usize,
+}
+
+impl Calibration {
+    /// Converts a pixel to (elevation°, azimuth°) under this calibration,
+    /// assuming the rim is 25° and the center 90° (the physical connection
+    /// limits, which are known independently of the image geometry).
+    pub fn pixel_to_polar(&self, x: usize, y: usize) -> Option<(f64, f64)> {
+        let dx = x as f64 - self.center_x;
+        let dy = y as f64 - self.center_y;
+        let r = (dx * dx + dy * dy).sqrt();
+        if r > self.radius_px + 0.75 {
+            return None;
+        }
+        let elevation = 90.0 - r / self.radius_px * 65.0;
+        let azimuth = dx.atan2(-dy).to_degrees().rem_euclid(360.0);
+        Some((elevation.clamp(25.0, 90.0), azimuth))
+    }
+}
+
+/// Recovers the plot geometry from a saturated map by bounding box.
+///
+/// Returns `None` when the map is too sparse to calibrate (the bounding box
+/// of a single pass says nothing about the full plot; §4.1's two-day fill
+/// is what makes the box meaningful). The threshold is conservative: at
+/// least 500 set pixels and a reasonably square box.
+pub fn calibrate(saturated: &ObstructionMap) -> Option<Calibration> {
+    let pixels: Vec<(usize, usize)> = saturated.set_pixels().collect();
+    if pixels.len() < 500 {
+        return None;
+    }
+
+    let min_x = pixels.iter().map(|p| p.0).min()? as f64;
+    let max_x = pixels.iter().map(|p| p.0).max()? as f64;
+    let min_y = pixels.iter().map(|p| p.1).min()? as f64;
+    let max_y = pixels.iter().map(|p| p.1).max()? as f64;
+
+    let width = max_x - min_x;
+    let height = max_y - min_y;
+    if width < 20.0 || height < 20.0 {
+        return None;
+    }
+    // A saturated polar plot has an essentially square bounding box; a very
+    // elongated box means the sky was only partially covered.
+    if (width / height).max(height / width) > 1.3 {
+        return None;
+    }
+
+    Some(Calibration {
+        center_x: (min_x + max_x) / 2.0,
+        center_y: (min_y + max_y) / 2.0,
+        radius_px: (width + height) / 4.0,
+        support: pixels.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{CENTER_PX, PLOT_RADIUS_PX};
+    use crate::paint::paint;
+
+    /// Simulates a 2-day fill: passes in many directions saturate the plot.
+    fn saturated_map() -> ObstructionMap {
+        let mut m = ObstructionMap::new();
+        for k in 0..180 {
+            let az0 = (k * 13 % 360) as f64;
+            let az1 = az0 + 120.0;
+            let samples: Vec<(f64, f64)> = (0..40)
+                .map(|i| {
+                    let t = i as f64 / 39.0;
+                    // chord across the dome, dipping through various heights
+                    let el = 25.0 + 60.0 * (std::f64::consts::PI * t).sin()
+                        * (0.3 + 0.7 * ((k % 7) as f64 / 7.0));
+                    (el, az0 + (az1 - az0) * t)
+                })
+                .collect();
+            paint(&mut m, &samples);
+        }
+        m
+    }
+
+    #[test]
+    fn calibration_recovers_center_and_radius() {
+        let m = saturated_map();
+        let c = calibrate(&m).expect("saturated map must calibrate");
+        assert!((c.center_x - CENTER_PX).abs() < 2.0, "cx = {}", c.center_x);
+        assert!((c.center_y - CENTER_PX).abs() < 2.0, "cy = {}", c.center_y);
+        assert!((c.radius_px - PLOT_RADIUS_PX).abs() < 2.5, "r = {}", c.radius_px);
+        assert!(c.support > 500);
+    }
+
+    #[test]
+    fn sparse_map_refuses_to_calibrate() {
+        let mut m = ObstructionMap::new();
+        paint(&mut m, &[(30.0, 10.0), (50.0, 40.0), (70.0, 80.0)]);
+        assert!(calibrate(&m).is_none());
+    }
+
+    #[test]
+    fn blank_map_refuses_to_calibrate() {
+        assert!(calibrate(&ObstructionMap::new()).is_none());
+    }
+
+    #[test]
+    fn elongated_coverage_refuses_to_calibrate() {
+        // Only east-west passes at one elevation: a thin band, not a disk.
+        let mut m = ObstructionMap::new();
+        for rep in 0..60 {
+            let el = 29.0 + (rep % 3) as f64;
+            let samples: Vec<(f64, f64)> =
+                (0..90).map(|i| (el, 45.0 + i as f64)).collect();
+            paint(&mut m, &samples);
+        }
+        // Either too sparse or too elongated; both must return None.
+        assert!(calibrate(&m).is_none());
+    }
+
+    #[test]
+    fn calibrated_conversion_agrees_with_ground_truth() {
+        let m = saturated_map();
+        let c = calibrate(&m).unwrap();
+        for &(el, az) in &[(40.0, 30.0), (60.0, 200.0), (80.0, 300.0)] {
+            let (x, y) = ObstructionMap::polar_to_pixel(el, az).unwrap();
+            let (el2, az2) = c.pixel_to_polar(x, y).expect("in-plot pixel");
+            assert!((el - el2).abs() < 5.0, "el {el} vs {el2}");
+            let daz = (az - az2).abs().min(360.0 - (az - az2).abs());
+            assert!(daz < 8.0, "az {az} vs {az2}");
+        }
+    }
+}

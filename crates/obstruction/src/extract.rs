@@ -1,0 +1,269 @@
+//! XOR isolation and trajectory extraction (§4.1).
+//!
+//! Given the obstruction map at slot `t` and at slot `t − 1`, the XOR leaves
+//! exactly the pixels painted during slot `t` — the trajectory of the
+//! satellite that served the terminal in that slot (provided trajectories
+//! don't overlap, which the measurement protocol guarantees by resetting
+//! the terminal every 10 minutes).
+//!
+//! The isolated pixels are unordered; DTW matching wants an ordered
+//! sequence. We order by connected-component walking when the trail is a
+//! clean 8-connected curve, falling back to projection onto the principal
+//! axis of the pixel cloud otherwise.
+
+use crate::map::ObstructionMap;
+
+/// One extracted trajectory sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolarSample {
+    /// Angle of elevation, degrees.
+    pub elevation_deg: f64,
+    /// Azimuth, degrees clockwise from north.
+    pub azimuth_deg: f64,
+}
+
+impl PolarSample {
+    /// Projects to Cartesian coordinates on the unit hemisphere's ground
+    /// plane — the conversion §4.1 applies before computing DTW distances
+    /// ("we first need to convert all positions from polar to Cartesian
+    /// co-ordinates"). North is +y, east is +x, and the radius shrinks with
+    /// elevation like the map's own projection.
+    pub fn to_cartesian(self) -> [f64; 2] {
+        let r = 90.0 - self.elevation_deg; // zenith-centred polar radius
+        let az = self.azimuth_deg.to_radians();
+        [r * az.sin(), r * az.cos()]
+    }
+}
+
+/// The §4.1 isolation step: XOR of consecutive slot maps.
+pub fn isolate(prev: &ObstructionMap, curr: &ObstructionMap) -> ObstructionMap {
+    prev.xor(curr)
+}
+
+/// Finds the largest 8-connected component of set pixels.
+///
+/// XOR residue (single pixels where an old trail was re-crossed) is
+/// discarded this way: the genuine new trajectory is by far the largest
+/// component.
+pub fn largest_component(map: &ObstructionMap) -> Vec<(usize, usize)> {
+    let pixels: Vec<(usize, usize)> = map.set_pixels().collect();
+    if pixels.is_empty() {
+        return Vec::new();
+    }
+    let index_of = |p: &(usize, usize)| -> usize { p.1 * crate::map::MAP_SIZE + p.0 };
+    let mut visited = vec![false; crate::map::MAP_SIZE * crate::map::MAP_SIZE];
+    let mut best: Vec<(usize, usize)> = Vec::new();
+
+    for &start in &pixels {
+        if visited[index_of(&start)] {
+            continue;
+        }
+        // BFS flood fill.
+        let mut component = Vec::new();
+        let mut queue = vec![start];
+        visited[index_of(&start)] = true;
+        while let Some((x, y)) = queue.pop() {
+            component.push((x, y));
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let (nx, ny) = (x as i64 + dx, y as i64 + dy);
+                    if nx < 0 || ny < 0 {
+                        continue;
+                    }
+                    let (nx, ny) = (nx as usize, ny as usize);
+                    if map.get(nx, ny) && !visited[ny * crate::map::MAP_SIZE + nx] {
+                        visited[ny * crate::map::MAP_SIZE + nx] = true;
+                        queue.push((nx, ny));
+                    }
+                }
+            }
+        }
+        if component.len() > best.len() {
+            best = component;
+        }
+    }
+    best
+}
+
+/// Extracts the ordered trajectory from an isolated map: largest component,
+/// pixels converted to polar samples, ordered along the trail.
+///
+/// Returns an empty vector when the map holds no in-plot pixels.
+pub fn extract_trajectory(isolated: &ObstructionMap) -> Vec<PolarSample> {
+    let component = largest_component(isolated);
+    let mut pts: Vec<(usize, usize)> = component
+        .into_iter()
+        .filter(|&(x, y)| ObstructionMap::pixel_to_polar(x, y).is_some())
+        .collect();
+    if pts.is_empty() {
+        return Vec::new();
+    }
+
+    order_along_principal_axis(&mut pts);
+
+    pts.into_iter()
+        .map(|(x, y)| {
+            let (el, az) = ObstructionMap::pixel_to_polar(x, y)
+                .expect("filtered to in-plot pixels above");
+            PolarSample { elevation_deg: el, azimuth_deg: az }
+        })
+        .collect()
+}
+
+/// Orders pixels by their projection onto the principal axis of the cloud.
+///
+/// A satellite pass across the field of view is close to a straight chord
+/// in the map projection, so the principal axis orders the trail correctly
+/// even when Bresenham painting makes the pixel adjacency ambiguous. The
+/// absolute direction (start vs end) is unknowable from a single bitmap —
+/// DTW matching is direction-checked by the caller trying both.
+fn order_along_principal_axis(pts: &mut [(usize, usize)]) {
+    let n = pts.len() as f64;
+    let mx = pts.iter().map(|p| p.0 as f64).sum::<f64>() / n;
+    let my = pts.iter().map(|p| p.1 as f64).sum::<f64>() / n;
+
+    // 2×2 covariance.
+    let (mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0);
+    for p in pts.iter() {
+        let dx = p.0 as f64 - mx;
+        let dy = p.1 as f64 - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+
+    // Leading eigenvector of [[sxx, sxy], [sxy, syy]].
+    let trace = sxx + syy;
+    let det = sxx * syy - sxy * sxy;
+    let lambda = trace / 2.0 + (trace * trace / 4.0 - det).max(0.0).sqrt();
+    let (ax, ay) = if sxy.abs() > 1e-12 {
+        (lambda - syy, sxy)
+    } else if sxx >= syy {
+        (1.0, 0.0)
+    } else {
+        (0.0, 1.0)
+    };
+
+    pts.sort_by(|a, b| {
+        let pa = (a.0 as f64 - mx) * ax + (a.1 as f64 - my) * ay;
+        let pb = (b.0 as f64 - mx) * ax + (b.1 as f64 - my) * ay;
+        pa.total_cmp(&pb)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paint::paint;
+
+    fn pass(el0: f64, az0: f64, el1: f64, az1: f64, n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                (el0 + (el1 - el0) * t, az0 + (az1 - az0) * t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn isolate_recovers_only_the_new_trajectory() {
+        let mut prev = ObstructionMap::new();
+        paint(&mut prev, &pass(30.0, 10.0, 70.0, 60.0, 15));
+
+        let mut curr = prev.clone();
+        paint(&mut curr, &pass(40.0, 200.0, 80.0, 250.0, 15));
+
+        let iso = isolate(&prev, &curr);
+        // Every isolated pixel must be in curr but not prev.
+        for (x, y) in iso.set_pixels() {
+            assert!(curr.get(x, y) && !prev.get(x, y));
+        }
+        assert!(iso.count_set() > 10);
+    }
+
+    #[test]
+    fn extract_empty_map_gives_empty_trajectory() {
+        assert!(extract_trajectory(&ObstructionMap::new()).is_empty());
+    }
+
+    #[test]
+    fn extracted_samples_match_painted_pass() {
+        let mut m = ObstructionMap::new();
+        let truth = pass(30.0, 100.0, 75.0, 160.0, 20);
+        paint(&mut m, &truth);
+        let traj = extract_trajectory(&m);
+        assert!(!traj.is_empty());
+        // Each extracted sample should be near the painted chord: check
+        // elevation and azimuth stay within the truth's bounding ranges
+        // (plus pixel quantization slack).
+        for s in &traj {
+            assert!((27.0..=78.0).contains(&s.elevation_deg), "el {}", s.elevation_deg);
+            assert!((95.0..=165.0).contains(&s.azimuth_deg), "az {}", s.azimuth_deg);
+        }
+    }
+
+    #[test]
+    fn extraction_orders_the_trail_monotonically() {
+        let mut m = ObstructionMap::new();
+        // A rising pass: elevation strictly increases along the trail.
+        paint(&mut m, &pass(28.0, 45.0, 85.0, 50.0, 30));
+        let traj = extract_trajectory(&m);
+        assert!(traj.len() > 10);
+        let first = traj.first().unwrap().elevation_deg;
+        let last = traj.last().unwrap().elevation_deg;
+        // Order may be reversed (direction is unknowable) but must be
+        // monotone end-to-end.
+        let (lo, hi) = if first < last { (first, last) } else { (last, first) };
+        assert!(hi - lo > 40.0, "trail should span the pass: {lo}..{hi}");
+        let mut increasing = 0;
+        let mut decreasing = 0;
+        for w in traj.windows(2) {
+            if w[1].elevation_deg > w[0].elevation_deg {
+                increasing += 1;
+            } else if w[1].elevation_deg < w[0].elevation_deg {
+                decreasing += 1;
+            }
+        }
+        let (dominant, contrary) =
+            if increasing > decreasing { (increasing, decreasing) } else { (decreasing, increasing) };
+        assert!(
+            contrary * 10 <= dominant,
+            "ordering is not monotone: {increasing} up vs {decreasing} down"
+        );
+    }
+
+    #[test]
+    fn largest_component_discards_specks() {
+        let mut m = ObstructionMap::new();
+        paint(&mut m, &pass(30.0, 300.0, 60.0, 340.0, 20)); // real trail
+        m.set(61, 61, true); // isolated speck at zenith
+        let comp = largest_component(&m);
+        assert!(!comp.contains(&(61, 61)));
+        assert!(comp.len() >= 15);
+    }
+
+    #[test]
+    fn cartesian_projection_is_north_up_east_right() {
+        let north = PolarSample { elevation_deg: 45.0, azimuth_deg: 0.0 }.to_cartesian();
+        assert!(north[0].abs() < 1e-9 && north[1] > 0.0);
+        let east = PolarSample { elevation_deg: 45.0, azimuth_deg: 90.0 }.to_cartesian();
+        assert!(east[0] > 0.0 && east[1].abs() < 1e-9);
+        let zenith = PolarSample { elevation_deg: 90.0, azimuth_deg: 123.0 }.to_cartesian();
+        assert!(zenith[0].abs() < 1e-9 && zenith[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_disjoint_trails_yield_the_bigger_one() {
+        let mut m = ObstructionMap::new();
+        paint(&mut m, &pass(30.0, 10.0, 40.0, 20.0, 5)); // short
+        paint(&mut m, &pass(30.0, 180.0, 80.0, 240.0, 30)); // long
+        let traj = extract_trajectory(&m);
+        // All samples should belong to the long trail (azimuth ≥ ~170°).
+        for s in &traj {
+            assert!(s.azimuth_deg > 150.0, "unexpected sample az {}", s.azimuth_deg);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! The obstruction-map bitmap and its polar-plot geometry.
+
+/// Side length of the obstruction map in pixels (the gRPC maps are 123×123).
+pub const MAP_SIZE: usize = 123;
+
+/// Radius of the contained polar plot in pixels (recovered in §4.1).
+pub const PLOT_RADIUS_PX: f64 = 45.0;
+
+/// Angle of elevation at the rim of the plot, degrees (the minimum
+/// connection elevation).
+pub const RIM_ELEVATION_DEG: f64 = 25.0;
+
+/// Angle of elevation at the center of the plot, degrees (zenith).
+pub const CENTER_ELEVATION_DEG: f64 = 90.0;
+
+/// Pixel coordinate (x = column, y = row) of the plot center.
+///
+/// The 123-pixel image centers the plot at index 61 (0-based), which the
+/// paper reports as "62×62" in 1-based pixel coordinates.
+pub const CENTER_PX: f64 = 61.0;
+
+/// A 123×123 1-bit obstruction map.
+///
+/// Bit semantics follow the dish: a set pixel means "a serving satellite's
+/// trajectory passed through this sky direction since the last reset".
+#[derive(Clone, PartialEq, Eq)]
+pub struct ObstructionMap {
+    bits: Vec<bool>,
+}
+
+impl std::fmt::Debug for ObstructionMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObstructionMap({} set pixels)", self.count_set())
+    }
+}
+
+impl ObstructionMap {
+    /// A blank map (freshly reset terminal).
+    pub fn new() -> ObstructionMap {
+        ObstructionMap { bits: vec![false; MAP_SIZE * MAP_SIZE] }
+    }
+
+    /// Reads a pixel. Out-of-bounds reads return `false`.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        if x >= MAP_SIZE || y >= MAP_SIZE {
+            return false;
+        }
+        self.bits[y * MAP_SIZE + x]
+    }
+
+    /// Writes a pixel. Out-of-bounds writes are ignored (the dish clips the
+    /// trail at the rim of the image the same way).
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        if x < MAP_SIZE || y < MAP_SIZE {
+            if x >= MAP_SIZE || y >= MAP_SIZE {
+                return;
+            }
+            self.bits[y * MAP_SIZE + x] = value;
+        }
+    }
+
+    /// Number of set pixels.
+    pub fn count_set(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterates over the coordinates of all set pixels, row-major.
+    pub fn set_pixels(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| (i % MAP_SIZE, i / MAP_SIZE))
+    }
+
+    /// Pixel-wise XOR: the §4.1 isolation primitive. Trajectories present
+    /// in both maps cancel, leaving only what changed between the slots.
+    pub fn xor(&self, other: &ObstructionMap) -> ObstructionMap {
+        let bits = self
+            .bits
+            .iter()
+            .zip(other.bits.iter())
+            .map(|(&a, &b)| a ^ b)
+            .collect();
+        ObstructionMap { bits }
+    }
+
+    /// Pixel-wise OR, used to accumulate multi-day saturated maps.
+    pub fn or(&self, other: &ObstructionMap) -> ObstructionMap {
+        let bits = self
+            .bits
+            .iter()
+            .zip(other.bits.iter())
+            .map(|(&a, &b)| a | b)
+            .collect();
+        ObstructionMap { bits }
+    }
+
+    /// Fraction of pixels *inside the polar plot* that are set — the
+    /// "fill level" of the map. A 2-day run without resets drives this
+    /// towards the visible-sky coverage.
+    pub fn fill_fraction(&self) -> f64 {
+        let mut inside = 0usize;
+        let mut set = 0usize;
+        for y in 0..MAP_SIZE {
+            for x in 0..MAP_SIZE {
+                let dx = x as f64 - CENTER_PX;
+                let dy = y as f64 - CENTER_PX;
+                if (dx * dx + dy * dy).sqrt() <= PLOT_RADIUS_PX + 0.5 {
+                    inside += 1;
+                    if self.get(x, y) {
+                        set += 1;
+                    }
+                }
+            }
+        }
+        set as f64 / inside as f64
+    }
+
+    /// Converts a sky direction to the pixel it paints.
+    ///
+    /// Returns `None` below the rim elevation (such directions are outside
+    /// the plot and are never painted by the dish).
+    pub fn polar_to_pixel(elevation_deg: f64, azimuth_deg: f64) -> Option<(usize, usize)> {
+        if elevation_deg < RIM_ELEVATION_DEG || elevation_deg > CENTER_ELEVATION_DEG {
+            return None;
+        }
+        let r = (CENTER_ELEVATION_DEG - elevation_deg)
+            / (CENTER_ELEVATION_DEG - RIM_ELEVATION_DEG)
+            * PLOT_RADIUS_PX;
+        let az = azimuth_deg.to_radians();
+        // North (az 0) is up, i.e. −y in image coordinates; east is +x.
+        let x = CENTER_PX + r * az.sin();
+        let y = CENTER_PX - r * az.cos();
+        let xi = x.round();
+        let yi = y.round();
+        if !(0.0..MAP_SIZE as f64).contains(&xi) || !(0.0..MAP_SIZE as f64).contains(&yi) {
+            return None;
+        }
+        Some((xi as usize, yi as usize))
+    }
+
+    /// Converts a pixel back to a sky direction — the inverse used by the
+    /// identification pipeline (§4.1 "for each isolated satellite
+    /// trajectory, we compute the AOE and Azimuth for each individual
+    /// pixel").
+    ///
+    /// Returns `None` for pixels outside the polar plot.
+    pub fn pixel_to_polar(x: usize, y: usize) -> Option<(f64, f64)> {
+        let dx = x as f64 - CENTER_PX;
+        let dy = y as f64 - CENTER_PX;
+        let r = (dx * dx + dy * dy).sqrt();
+        if r > PLOT_RADIUS_PX + 0.5 {
+            return None;
+        }
+        let elevation = CENTER_ELEVATION_DEG
+            - r / PLOT_RADIUS_PX * (CENTER_ELEVATION_DEG - RIM_ELEVATION_DEG);
+        // atan2(east, north) with image y pointing down.
+        let azimuth = dx.atan2(-dy).to_degrees().rem_euclid(360.0);
+        Some((elevation.clamp(RIM_ELEVATION_DEG, CENTER_ELEVATION_DEG), azimuth))
+    }
+}
+
+impl Default for ObstructionMap {
+    fn default() -> Self {
+        ObstructionMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_map_is_blank() {
+        let m = ObstructionMap::new();
+        assert_eq!(m.count_set(), 0);
+        assert!(!m.get(61, 61));
+        assert_eq!(m.fill_fraction(), 0.0);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut m = ObstructionMap::new();
+        m.set(10, 20, true);
+        assert!(m.get(10, 20));
+        assert!(!m.get(20, 10));
+        m.set(10, 20, false);
+        assert!(!m.get(10, 20));
+    }
+
+    #[test]
+    fn out_of_bounds_is_safe() {
+        let mut m = ObstructionMap::new();
+        m.set(MAP_SIZE, 0, true);
+        m.set(0, MAP_SIZE + 5, true);
+        assert_eq!(m.count_set(), 0);
+        assert!(!m.get(MAP_SIZE + 1, 3));
+    }
+
+    #[test]
+    fn zenith_maps_to_center_pixel() {
+        let (x, y) = ObstructionMap::polar_to_pixel(90.0, 0.0).unwrap();
+        assert_eq!((x, y), (61, 61));
+        // Azimuth is irrelevant at zenith.
+        let (x2, y2) = ObstructionMap::polar_to_pixel(90.0, 213.0).unwrap();
+        assert_eq!((x2, y2), (61, 61));
+    }
+
+    #[test]
+    fn rim_elevation_maps_to_radius_45() {
+        let (x, y) = ObstructionMap::polar_to_pixel(25.0, 0.0).unwrap();
+        // North at the rim: straight up from center.
+        assert_eq!((x, y), (61, 61 - 45));
+        let (x, y) = ObstructionMap::polar_to_pixel(25.0, 90.0).unwrap();
+        assert_eq!((x, y), (61 + 45, 61));
+        let (x, y) = ObstructionMap::polar_to_pixel(25.0, 180.0).unwrap();
+        assert_eq!((x, y), (61, 61 + 45));
+        let (x, y) = ObstructionMap::polar_to_pixel(25.0, 270.0).unwrap();
+        assert_eq!((x, y), (61 - 45, 61));
+    }
+
+    #[test]
+    fn below_rim_is_outside_the_plot() {
+        assert!(ObstructionMap::polar_to_pixel(24.9, 0.0).is_none());
+        assert!(ObstructionMap::polar_to_pixel(-5.0, 0.0).is_none());
+        assert!(ObstructionMap::polar_to_pixel(90.1, 0.0).is_none());
+    }
+
+    #[test]
+    fn pixel_polar_round_trip_is_within_quantization() {
+        // One pixel ≙ 65°/45 ≈ 1.44° of elevation; allow ~2 pixels of slack.
+        for &(el, az) in &[
+            (30.0, 10.0),
+            (45.0, 123.0),
+            (60.0, 250.0),
+            (75.0, 359.0),
+            (89.0, 42.0),
+            (25.5, 180.0),
+        ] {
+            let (x, y) = ObstructionMap::polar_to_pixel(el, az).unwrap();
+            let (el2, az2) = ObstructionMap::pixel_to_polar(x, y).unwrap();
+            assert!((el - el2).abs() < 3.0, "elevation {el} → {el2}");
+            // Azimuth precision degrades towards the zenith where pixels are
+            // angularly huge; scale tolerance by radius.
+            let r = (90.0 - el) / 65.0 * 45.0;
+            let tol = (60.0 / r.max(1.0)).max(2.0);
+            let daz = (az - az2).abs().min(360.0 - (az - az2).abs());
+            assert!(daz < tol, "azimuth {az} → {az2} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn pixels_outside_plot_radius_are_none() {
+        assert!(ObstructionMap::pixel_to_polar(0, 0).is_none());
+        assert!(ObstructionMap::pixel_to_polar(61, 61).is_some());
+        assert!(ObstructionMap::pixel_to_polar(61 + 46, 61).is_none());
+    }
+
+    #[test]
+    fn xor_cancels_common_pixels() {
+        let mut a = ObstructionMap::new();
+        let mut b = ObstructionMap::new();
+        a.set(5, 5, true);
+        a.set(6, 6, true);
+        b.set(5, 5, true);
+        b.set(7, 7, true);
+        let x = a.xor(&b);
+        assert!(!x.get(5, 5));
+        assert!(x.get(6, 6));
+        assert!(x.get(7, 7));
+        assert_eq!(x.count_set(), 2);
+    }
+
+    #[test]
+    fn xor_with_self_is_blank() {
+        let mut a = ObstructionMap::new();
+        for i in 0..50 {
+            a.set(i * 2, i, true);
+        }
+        assert_eq!(a.xor(&a).count_set(), 0);
+    }
+
+    #[test]
+    fn or_accumulates() {
+        let mut a = ObstructionMap::new();
+        let mut b = ObstructionMap::new();
+        a.set(1, 1, true);
+        b.set(2, 2, true);
+        let o = a.or(&b);
+        assert!(o.get(1, 1) && o.get(2, 2));
+        assert_eq!(o.count_set(), 2);
+    }
+
+    #[test]
+    fn set_pixels_iterates_in_row_major_order() {
+        let mut m = ObstructionMap::new();
+        m.set(3, 1, true);
+        m.set(2, 1, true);
+        m.set(0, 0, true);
+        let px: Vec<(usize, usize)> = m.set_pixels().collect();
+        assert_eq!(px, vec![(0, 0), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn fill_fraction_grows_with_coverage() {
+        let mut m = ObstructionMap::new();
+        for az in 0..360 {
+            for el in [30.0, 45.0, 60.0, 75.0] {
+                if let Some((x, y)) = ObstructionMap::polar_to_pixel(el, az as f64) {
+                    m.set(x, y, true);
+                }
+            }
+        }
+        assert!(m.fill_fraction() > 0.1, "fill = {}", m.fill_fraction());
+        assert!(m.fill_fraction() < 1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Painting served-satellite trajectories onto the map.
+//!
+//! The dish records the sky track of the serving satellite as a thin
+//! contiguous trail. We reproduce that by converting each (elevation,
+//! azimuth) observation to its pixel and joining consecutive observations
+//! with Bresenham line segments — without the joining, a 15-second pass
+//! sampled at 1 Hz would leave visible gaps near the rim where the
+//! satellite moves fastest in pixel space.
+
+use crate::map::ObstructionMap;
+
+/// Paints a trajectory of (elevation°, azimuth°) samples onto `map`.
+///
+/// Samples below the rim elevation are skipped; the trail is broken there
+/// and resumes when the satellite re-enters the plot, exactly like the real
+/// maps (which only show the sky above 25°).
+pub fn paint(map: &mut ObstructionMap, samples: &[(f64, f64)]) {
+    let mut prev: Option<(usize, usize)> = None;
+    for &(el, az) in samples {
+        match ObstructionMap::polar_to_pixel(el, az) {
+            Some(px) => {
+                match prev {
+                    Some(p) => draw_segment(map, p, px),
+                    None => map.set(px.0, px.1, true),
+                }
+                prev = Some(px);
+            }
+            None => prev = None,
+        }
+    }
+}
+
+/// Bresenham line between two pixels, inclusive of both endpoints.
+fn draw_segment(map: &mut ObstructionMap, from: (usize, usize), to: (usize, usize)) {
+    let (mut x0, mut y0) = (from.0 as i64, from.1 as i64);
+    let (x1, y1) = (to.0 as i64, to.1 as i64);
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        if x0 >= 0 && y0 >= 0 {
+            map.set(x0 as usize, y0 as usize, true);
+        }
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_paints_one_pixel() {
+        let mut m = ObstructionMap::new();
+        paint(&mut m, &[(60.0, 45.0)]);
+        assert_eq!(m.count_set(), 1);
+    }
+
+    #[test]
+    fn empty_trajectory_paints_nothing() {
+        let mut m = ObstructionMap::new();
+        paint(&mut m, &[]);
+        assert_eq!(m.count_set(), 0);
+    }
+
+    #[test]
+    fn consecutive_samples_leave_a_connected_trail() {
+        let mut m = ObstructionMap::new();
+        // A pass sweeping azimuth at fixed elevation near the rim, where
+        // pixel motion per sample is largest.
+        let samples: Vec<(f64, f64)> = (0..20).map(|i| (30.0, i as f64 * 4.0)).collect();
+        paint(&mut m, &samples);
+        // Every set pixel must have at least one 8-neighbour also set
+        // (no isolated dots in the middle of a trail).
+        let pixels: Vec<(usize, usize)> = m.set_pixels().collect();
+        assert!(pixels.len() >= 20);
+        for &(x, y) in &pixels {
+            let mut neighbours = 0;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let (nx, ny) = (x as i64 + dx, y as i64 + dy);
+                    if nx >= 0 && ny >= 0 && m.get(nx as usize, ny as usize) {
+                        neighbours += 1;
+                    }
+                }
+            }
+            assert!(neighbours >= 1, "isolated pixel at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn trail_breaks_below_the_rim() {
+        let mut m = ObstructionMap::new();
+        // Pass dips below 25° in the middle: two disjoint trail pieces, and
+        // crucially no segment drawn straight across the gap.
+        paint(&mut m, &[(30.0, 0.0), (24.0, 10.0), (24.0, 20.0), (30.0, 30.0)]);
+        assert_eq!(m.count_set(), 2, "only the two ≥25° endpoints");
+    }
+
+    #[test]
+    fn segment_endpoints_are_painted() {
+        let mut m = ObstructionMap::new();
+        paint(&mut m, &[(80.0, 0.0), (40.0, 180.0)]);
+        let a = ObstructionMap::polar_to_pixel(80.0, 0.0).unwrap();
+        let b = ObstructionMap::polar_to_pixel(40.0, 180.0).unwrap();
+        assert!(m.get(a.0, a.1));
+        assert!(m.get(b.0, b.1));
+    }
+
+    #[test]
+    fn repainting_is_idempotent() {
+        let mut m = ObstructionMap::new();
+        let traj = [(50.0, 100.0), (55.0, 110.0), (60.0, 120.0)];
+        paint(&mut m, &traj);
+        let first = m.count_set();
+        paint(&mut m, &traj);
+        assert_eq!(m.count_set(), first);
+    }
+
+    #[test]
+    fn diagonal_bresenham_is_contiguous() {
+        let mut m = ObstructionMap::new();
+        draw_segment(&mut m, (10, 10), (20, 17));
+        // Walk along x: for each column crossed there must be a set pixel.
+        for x in 10..=20 {
+            let hit = (0..crate::map::MAP_SIZE).any(|y| m.get(x, y));
+            assert!(hit, "column {x} empty");
+        }
+    }
+}

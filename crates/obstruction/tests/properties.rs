@@ -1,0 +1,123 @@
+//! Property-based tests for the obstruction-map raster.
+
+use proptest::prelude::*;
+use starsense_obstruction::{
+    extract_trajectory, isolate, paint, MaskSector, ObstructionMap, SkyMask,
+};
+
+fn arb_map(max_points: usize) -> impl Strategy<Value = ObstructionMap> {
+    prop::collection::vec((25.0f64..90.0, 0.0f64..360.0), 0..max_points).prop_map(|pts| {
+        let mut m = ObstructionMap::new();
+        for (el, az) in pts {
+            if let Some((x, y)) = ObstructionMap::polar_to_pixel(el, az) {
+                m.set(x, y, true);
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn polar_pixel_round_trip_stays_within_quantization(
+        el in 26.0f64..89.0,
+        az in 0.0f64..360.0,
+    ) {
+        let (x, y) = ObstructionMap::polar_to_pixel(el, az).expect("in range");
+        let (el2, az2) = ObstructionMap::pixel_to_polar(x, y).expect("in plot");
+        prop_assert!((el - el2).abs() < 3.0, "el {el} → {el2}");
+        // Azimuth resolution degrades towards the zenith.
+        let r = (90.0 - el) / 65.0 * 45.0;
+        let tol = (90.0 / r.max(0.5)).max(2.5);
+        let daz = (az - az2).abs().min(360.0 - (az - az2).abs());
+        prop_assert!(daz < tol, "az {az} → {az2} (r={r:.1}, tol={tol:.1})");
+    }
+
+    #[test]
+    fn xor_is_an_involution(a in arb_map(40), b in arb_map(40)) {
+        // a ⊕ (a ⊕ b) == b
+        let back = a.xor(&a.xor(&b));
+        prop_assert_eq!(back, b);
+    }
+
+    #[test]
+    fn xor_is_commutative(a in arb_map(40), b in arb_map(40)) {
+        prop_assert_eq!(a.xor(&b), b.xor(&a));
+    }
+
+    #[test]
+    fn or_dominates_both_inputs(a in arb_map(40), b in arb_map(40)) {
+        let o = a.or(&b);
+        prop_assert!(o.count_set() >= a.count_set().max(b.count_set()));
+        for (x, y) in a.set_pixels() {
+            prop_assert!(o.get(x, y));
+        }
+    }
+
+    #[test]
+    fn isolate_recovers_exactly_the_new_pixels(base in arb_map(60), extra in arb_map(20)) {
+        // curr = base ∪ extra; the genuinely new pixels are extra \ base.
+        let curr = base.or(&extra);
+        let iso = isolate(&base, &curr);
+        for (x, y) in iso.set_pixels() {
+            prop_assert!(extra.get(x, y) && !base.get(x, y));
+        }
+        let expected = extra.set_pixels().filter(|&(x, y)| !base.get(x, y)).count();
+        prop_assert_eq!(iso.count_set(), expected);
+    }
+
+    #[test]
+    fn painting_is_idempotent(pts in prop::collection::vec((25.0f64..90.0, 0.0f64..360.0), 1..15)) {
+        let mut once = ObstructionMap::new();
+        paint(&mut once, &pts);
+        let mut twice = once.clone();
+        paint(&mut twice, &pts);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn extracted_samples_lie_in_the_plot(m in arb_map(80)) {
+        for s in extract_trajectory(&m) {
+            prop_assert!((25.0..=90.0).contains(&s.elevation_deg));
+            prop_assert!((0.0..360.0).contains(&s.azimuth_deg));
+        }
+    }
+
+    #[test]
+    fn mask_blocks_iff_inside_some_sector(
+        from in 0.0f64..360.0,
+        width in 1.0f64..180.0,
+        cutoff in 26.0f64..89.0,
+        el in 25.0f64..90.0,
+        az in 0.0f64..360.0,
+    ) {
+        let mask = SkyMask::new(vec![MaskSector {
+            az_from_deg: from,
+            az_to_deg: from + width,
+            max_blocked_elevation_deg: cutoff,
+        }]);
+        let in_sector = {
+            let rel = (az - from).rem_euclid(360.0);
+            rel < width
+        };
+        prop_assert_eq!(mask.blocks(el, az), in_sector && el < cutoff);
+    }
+
+    #[test]
+    fn blocked_fraction_monotone_in_cutoff(
+        from in 0.0f64..360.0,
+        width in 10.0f64..120.0,
+        lo in 30.0f64..50.0,
+        hi in 55.0f64..85.0,
+    ) {
+        let f = |cutoff: f64| {
+            SkyMask::new(vec![MaskSector {
+                az_from_deg: from,
+                az_to_deg: from + width,
+                max_blocked_elevation_deg: cutoff,
+            }])
+            .blocked_fraction()
+        };
+        prop_assert!(f(hi) >= f(lo) - 1e-12);
+    }
+}

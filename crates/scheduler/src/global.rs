@@ -1,0 +1,490 @@
+//! The hidden global scheduler.
+//!
+//! Every 15 seconds (§3's :12/:27/:42/:57 boundaries) the global scheduler
+//! assigns one satellite to every terminal, scoring each *eligible*
+//! candidate by the preferences the paper later infers:
+//!
+//! * **angle of elevation** — higher is better (RF power falls with
+//!   distance; §5.1's rationale), with a much steeper fall-off for *dark*
+//!   satellites, which are only worth their battery drain when nearly
+//!   overhead (§5.3's rationale),
+//! * **GSO exclusion** — a hard constraint; the northward azimuth skew of
+//!   Figure 5 emerges from this geometry rather than from a weight,
+//! * **launch date** — newer satellites are slightly preferred
+//!   (constellation-lifetime leveling; §5.2's rationale, explicitly "low
+//!   absolute values" — the weight is small),
+//! * **sunlit status** — sunlit satellites preferred (§5.3),
+//! * **background load** — lightly loaded satellites preferred; load is
+//!   invisible to the measurement side, reproducing §6's stated accuracy
+//!   ceiling,
+//! * **hysteresis** — a small bonus for keeping the current satellite.
+//!
+//! Selection is a softmax draw over scores rather than a hard argmax: the
+//! real scheduler serves a whole population under constraints we do not
+//! model, and the paper's measured distributions (e.g. "80% of picks from
+//! the 45–90° band", not 100%) show exactly the graded preference a
+//! temperature parameter captures.
+
+use crate::gso::GsoExclusion;
+use crate::load::LoadModel;
+use crate::slots::{slot_index, slot_start};
+use crate::terminal::Terminal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use starsense_astro::time::JulianDate;
+use starsense_constellation::{Constellation, VisibleSat};
+use std::collections::HashMap;
+
+/// Tunable preferences of the hidden scheduler. Zeroing a weight removes
+/// the corresponding preference — the knobs the ablation benches turn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerPolicy {
+    /// Minimum connection elevation, degrees (25 for Starlink terminals).
+    pub min_elevation_deg: f64,
+    /// Weight of normalized elevation in the score.
+    pub w_elevation: f64,
+    /// Penalty a *dark* satellite pays per unit of sky below the zenith:
+    /// its score loses `w_dark_low_elevation · (1 − el_norm)`. A dark
+    /// satellite is battery-limited, and the RF power needed grows with
+    /// slant range, so darkness only costs little when the satellite is
+    /// nearly overhead (§5.3's rationale). The same term makes equally
+    /// placed sunlit satellites preferable everywhere below the zenith,
+    /// and steepens the elevation preference when the whole sky is dark.
+    pub w_dark_low_elevation: f64,
+    /// Weight of (newer) launch date.
+    pub w_age: f64,
+    /// Additive bonus for sunlit satellites.
+    pub w_sunlit: f64,
+    /// Weight of (1 − background load).
+    pub w_load: f64,
+    /// Additive bonus for keeping the previously assigned satellite.
+    pub w_hysteresis: f64,
+    /// GSO protection half-angle, degrees; `None` disables the zone.
+    pub gso_half_angle_deg: Option<f64>,
+    /// Weight of the angular margin to the GSO arc (normalized by 90°).
+    ///
+    /// Beyond the hard exclusion, the scheduler prefers links that keep
+    /// interference margin from the protected belt — for a northern
+    /// mid-latitude terminal the belt fills the southern sky, so this is
+    /// what produces Figure 5's northward skew.
+    pub w_gso_margin: f64,
+    /// Softmax temperature; lower = more deterministic.
+    pub temperature: f64,
+    /// Age normalization horizon, days (≈ the 5-year design life).
+    pub max_age_days: f64,
+}
+
+impl Default for SchedulerPolicy {
+    fn default() -> Self {
+        SchedulerPolicy {
+            min_elevation_deg: 25.0,
+            w_elevation: 1.9,
+            w_dark_low_elevation: 1.2,
+            w_age: 0.25,
+            w_sunlit: 0.1,
+            w_load: 0.9,
+            w_hysteresis: 0.15,
+            gso_half_angle_deg: Some(12.0),
+            w_gso_margin: 0.9,
+            temperature: 0.35,
+            max_age_days: 5.0 * 365.25,
+        }
+    }
+}
+
+/// The outcome of one slot's allocation for one terminal.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Terminal this allocation is for.
+    pub terminal_id: usize,
+    /// Global slot index.
+    pub slot: i64,
+    /// Slot start time.
+    pub slot_start: JulianDate,
+    /// Every satellite above the minimum elevation ("available" in the
+    /// paper's §5 terminology — environmental obstruction and the GSO zone
+    /// do *not* remove a satellite from this list).
+    pub available: Vec<VisibleSat>,
+    /// Catalog ids of the available satellites that were actually eligible
+    /// (not sky-masked, not GSO-excluded).
+    pub eligible_ids: Vec<u32>,
+    /// The chosen satellite, `None` on outage (no eligible candidate).
+    pub chosen: Option<VisibleSat>,
+}
+
+impl Allocation {
+    /// Convenience: the chosen satellite's catalog id.
+    pub fn chosen_id(&self) -> Option<u32> {
+        self.chosen.as_ref().map(|s| s.norad_id)
+    }
+}
+
+/// The global scheduler: owns per-terminal GSO geometry, the background
+/// load model, the softmax RNG and the previous-assignment state.
+#[derive(Debug, Clone)]
+pub struct GlobalScheduler {
+    policy: SchedulerPolicy,
+    terminals: Vec<Terminal>,
+    gso: Vec<GsoExclusion>,
+    load: LoadModel,
+    rng: StdRng,
+    previous: HashMap<usize, u32>,
+}
+
+impl GlobalScheduler {
+    /// Creates a scheduler for a set of terminals.
+    pub fn new(policy: SchedulerPolicy, terminals: Vec<Terminal>, seed: u64) -> GlobalScheduler {
+        let gso = terminals
+            .iter()
+            .map(|t| match policy.gso_half_angle_deg {
+                Some(half) => GsoExclusion::for_site(t.location, half),
+                None => GsoExclusion::disabled(),
+            })
+            .collect();
+        GlobalScheduler {
+            policy,
+            terminals,
+            gso,
+            load: LoadModel::new(seed ^ 0x10AD, 0.5),
+            rng: StdRng::seed_from_u64(seed),
+            previous: HashMap::new(),
+        }
+    }
+
+    /// The terminals this scheduler serves.
+    pub fn terminals(&self) -> &[Terminal] {
+        &self.terminals
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &SchedulerPolicy {
+        &self.policy
+    }
+
+    /// The (hidden) background load model — exposed for ablation benches
+    /// and oracle analyses only; the measurement pipeline never reads it.
+    pub fn load_model(&self) -> &LoadModel {
+        &self.load
+    }
+
+    /// Allocates a satellite to every terminal for the slot containing
+    /// `at`. Returns one [`Allocation`] per terminal, in terminal order.
+    pub fn allocate(&mut self, constellation: &Constellation, at: JulianDate) -> Vec<Allocation> {
+        let slot = slot_index(at);
+        let start = slot_start(at);
+        let mut out = Vec::with_capacity(self.terminals.len());
+
+        // One propagation pass per slot, shared by every terminal.
+        let snapshot = constellation.snapshot(start);
+
+        for ti in 0..self.terminals.len() {
+            let terminal = &self.terminals[ti];
+            let available = constellation.field_of_view_from(
+                &snapshot,
+                terminal.location,
+                self.policy.min_elevation_deg,
+            );
+
+            let eligible: Vec<&VisibleSat> = available
+                .iter()
+                .filter(|v| !terminal.mask.blocks(v.look.elevation_deg, v.look.azimuth_deg))
+                .filter(|v| !self.gso[ti].excludes(&v.look))
+                .collect();
+
+            let eligible_ids: Vec<u32> = eligible.iter().map(|v| v.norad_id).collect();
+            let scores: Vec<f64> = eligible
+                .iter()
+                .map(|s| self.score(ti, slot, s, &self.gso[ti]))
+                .collect();
+            let chosen = self.sample(&scores).map(|i| eligible[i].clone());
+
+            match chosen.as_ref() {
+                Some(c) => {
+                    self.previous.insert(ti, c.norad_id);
+                }
+                None => {
+                    self.previous.remove(&ti);
+                }
+            }
+
+            out.push(Allocation {
+                terminal_id: ti,
+                slot,
+                slot_start: start,
+                available,
+                eligible_ids,
+                chosen,
+            });
+        }
+        out
+    }
+
+    /// Runs `slots` consecutive allocations starting from the slot
+    /// containing `from`, returning all allocations flattened
+    /// (slot-major, terminal-minor).
+    pub fn allocate_range(
+        &mut self,
+        constellation: &Constellation,
+        from: JulianDate,
+        slots: usize,
+    ) -> Vec<Allocation> {
+        let mut out = Vec::with_capacity(slots * self.terminals.len());
+        // Query mid-slot so float rounding can never straddle a boundary.
+        let period = crate::slots::SLOT_PERIOD_SECONDS;
+        let first_mid = slot_start(from).plus_seconds(period / 2.0);
+        for k in 0..slots {
+            out.extend(self.allocate(constellation, first_mid.plus_seconds(k as f64 * period)));
+        }
+        out
+    }
+
+    /// Scores one candidate for one terminal.
+    fn score(&self, terminal_id: usize, slot: i64, sat: &VisibleSat, gso: &GsoExclusion) -> f64 {
+        let p = &self.policy;
+        let el_norm = ((sat.look.elevation_deg - p.min_elevation_deg)
+            / (90.0 - p.min_elevation_deg))
+            .clamp(0.0, 1.0);
+        let dark_penalty =
+            if sat.sunlit { 0.0 } else { p.w_dark_low_elevation * (1.0 - el_norm) };
+        let age_norm = 1.0 - (sat.age_days / p.max_age_days).clamp(0.0, 1.0);
+        let load = self.load.utilization(sat.norad_id, slot);
+        let gso_margin = (gso.separation_deg(&sat.look) / 90.0).clamp(0.0, 1.0);
+        let hyst = if self.previous.get(&terminal_id) == Some(&sat.norad_id) {
+            p.w_hysteresis
+        } else {
+            0.0
+        };
+        p.w_elevation * el_norm - dark_penalty
+            + p.w_age * age_norm
+            + if sat.sunlit { p.w_sunlit } else { 0.0 }
+            + p.w_load * (1.0 - load)
+            + p.w_gso_margin * gso_margin
+            + hyst
+    }
+
+    /// Softmax draw over candidate scores; returns the winning index.
+    fn sample(&mut self, scores: &[f64]) -> Option<usize> {
+        if scores.is_empty() {
+            return None;
+        }
+        let tau = self.policy.temperature.max(1e-6);
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = scores.iter().map(|s| ((s - max) / tau).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut draw = self.rng.random_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            draw -= w;
+            if draw <= 0.0 {
+                return Some(i);
+            }
+        }
+        Some(scores.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starsense_astro::frames::Geodetic;
+    use starsense_constellation::ConstellationBuilder;
+    use starsense_obstruction::SkyMask;
+
+    fn constellation() -> Constellation {
+        ConstellationBuilder::starlink_gen1().seed(11).build()
+    }
+
+    fn terminals() -> Vec<Terminal> {
+        vec![
+            Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2)),
+            Terminal::new(1, "Ithaca", Geodetic::new(42.44, -76.50, 0.3))
+                .with_mask(SkyMask::ithaca_trees()),
+        ]
+    }
+
+    fn at() -> JulianDate {
+        JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 5.0)
+    }
+
+    #[test]
+    fn allocate_returns_one_allocation_per_terminal() {
+        let c = constellation();
+        let mut g = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), 3);
+        let allocs = g.allocate(&c, at());
+        assert_eq!(allocs.len(), 2);
+        assert_eq!(allocs[0].terminal_id, 0);
+        assert_eq!(allocs[1].terminal_id, 1);
+        for a in &allocs {
+            assert!(!a.available.is_empty(), "full constellation always has FOV");
+            assert!(a.chosen.is_some(), "clear-ish sky should always allocate");
+            let id = a.chosen_id().unwrap();
+            assert!(a.eligible_ids.contains(&id), "chosen must be eligible");
+        }
+    }
+
+    #[test]
+    fn chosen_is_above_minimum_elevation() {
+        let c = constellation();
+        let mut g = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), 3);
+        for a in g.allocate_range(&c, at(), 10) {
+            if let Some(ch) = &a.chosen {
+                assert!(ch.look.elevation_deg >= 25.0);
+            }
+        }
+    }
+
+    #[test]
+    fn chosen_respects_sky_mask() {
+        let c = constellation();
+        let mut g = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), 3);
+        for a in g.allocate_range(&c, at(), 20) {
+            if a.terminal_id == 1 {
+                if let Some(ch) = &a.chosen {
+                    assert!(
+                        !SkyMask::ithaca_trees()
+                            .blocks(ch.look.elevation_deg, ch.look.azimuth_deg),
+                        "picked a tree-blocked satellite: {:?}",
+                        ch.look
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chosen_respects_gso_zone() {
+        let c = constellation();
+        let mut g = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), 3);
+        let zone = GsoExclusion::for_site(Geodetic::new(41.66, -91.53, 0.2), 12.0);
+        for a in g.allocate_range(&c, at(), 20) {
+            if a.terminal_id == 0 {
+                if let Some(ch) = &a.chosen {
+                    assert!(!zone.excludes(&ch.look), "picked inside the GSO zone");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_allocations() {
+        let c = constellation();
+        let run = |seed| {
+            let mut g = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), seed);
+            g.allocate_range(&c, at(), 8)
+                .iter()
+                .map(|a| a.chosen_id())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should eventually differ");
+    }
+
+    #[test]
+    fn allocations_change_across_slots() {
+        let c = constellation();
+        let mut g = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), 3);
+        let allocs = g.allocate_range(&c, at(), 12);
+        let iowa: Vec<Option<u32>> = allocs
+            .iter()
+            .filter(|a| a.terminal_id == 0)
+            .map(|a| a.chosen_id())
+            .collect();
+        let distinct: std::collections::HashSet<_> = iowa.iter().collect();
+        assert!(distinct.len() > 3, "reallocation every 15 s should churn: {iowa:?}");
+    }
+
+    #[test]
+    fn elevation_preference_is_visible_in_aggregate() {
+        let c = constellation();
+        let mut g = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), 3);
+        let allocs = g.allocate_range(&c, at(), 60);
+        let mut chosen_el = Vec::new();
+        let mut avail_el = Vec::new();
+        for a in &allocs {
+            if let Some(ch) = &a.chosen {
+                chosen_el.push(ch.look.elevation_deg);
+            }
+            avail_el.extend(a.available.iter().map(|v| v.look.elevation_deg));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&chosen_el) > mean(&avail_el) + 10.0,
+            "chosen {:.1} vs available {:.1}",
+            mean(&chosen_el),
+            mean(&avail_el)
+        );
+    }
+
+    #[test]
+    fn zero_weights_remove_elevation_preference() {
+        let c = constellation();
+        let flat = SchedulerPolicy {
+            w_elevation: 0.0,
+            w_dark_low_elevation: 0.0,
+            w_age: 0.0,
+            w_sunlit: 0.0,
+            w_load: 0.0,
+            w_hysteresis: 0.0,
+            gso_half_angle_deg: None,
+            w_gso_margin: 0.0,
+            temperature: 5.0,
+            ..SchedulerPolicy::default()
+        };
+        let mut g = GlobalScheduler::new(flat, terminals(), 3);
+        let allocs = g.allocate_range(&c, at(), 60);
+        let mut chosen_el = Vec::new();
+        let mut avail_el = Vec::new();
+        for a in &allocs {
+            if let Some(ch) = &a.chosen {
+                chosen_el.push(ch.look.elevation_deg);
+            }
+            avail_el.extend(a.available.iter().map(|v| v.look.elevation_deg));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            (mean(&chosen_el) - mean(&avail_el)).abs() < 8.0,
+            "flat policy should pick ~uniformly: chosen {:.1} vs avail {:.1}",
+            mean(&chosen_el),
+            mean(&avail_el)
+        );
+    }
+
+    #[test]
+    fn stronger_hysteresis_reduces_handovers() {
+        let c = constellation();
+        let churn = |w_hysteresis: f64| {
+            let policy = SchedulerPolicy { w_hysteresis, ..SchedulerPolicy::default() };
+            let mut g = GlobalScheduler::new(policy, terminals(), 3);
+            let allocs = g.allocate_range(&c, at(), 80);
+            let iowa: Vec<Option<u32>> = allocs
+                .iter()
+                .filter(|a| a.terminal_id == 0)
+                .map(|a| a.chosen_id())
+                .collect();
+            iowa.windows(2).filter(|w| w[0] != w[1]).count()
+        };
+        let sticky = churn(3.0);
+        let free = churn(0.0);
+        assert!(
+            sticky < free,
+            "hysteresis 3.0 changed satellite {sticky} times vs {free} with none"
+        );
+    }
+
+    #[test]
+    fn empty_fov_yields_outage() {
+        // A terminal whose whole sky is masked can never be assigned.
+        let blocked = Terminal::new(0, "Bunker", Geodetic::new(41.66, -91.53, 0.2)).with_mask(
+            SkyMask::new(vec![starsense_obstruction::MaskSector {
+                az_from_deg: 0.0,
+                az_to_deg: 360.0,
+                max_blocked_elevation_deg: 90.0,
+            }]),
+        );
+        let c = constellation();
+        let mut g = GlobalScheduler::new(SchedulerPolicy::default(), vec![blocked], 3);
+        let allocs = g.allocate(&c, at());
+        assert!(allocs[0].chosen.is_none());
+        assert!(allocs[0].eligible_ids.is_empty());
+        assert!(!allocs[0].available.is_empty(), "available ignores the mask");
+    }
+}

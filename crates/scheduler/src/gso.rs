@@ -1,0 +1,187 @@
+//! The geostationary-orbit exclusion zone.
+//!
+//! §5.1's rationale for the northward azimuth skew: "The International
+//! Telecommunication Union has imposed a mandatory geo-stationary orbit
+//! exclusion zone, which prohibits LEO satellites from transmitting to or
+//! receiving from a ground station while being in the protected part of
+//! the sky" (47 CFR §25.289). For a terminal in the northern mid-latitudes
+//! the GSO belt arcs across the southern sky at moderate elevation, so
+//! avoiding it removes much of the southern field of view — the scheduler
+//! crate implements the zone as a hard constraint and the azimuth
+//! preference of Figure 5 *emerges* from the geometry rather than being
+//! baked in as a weight.
+
+use starsense_astro::frames::{look_angles, Geodetic, LookAngles};
+use starsense_astro::vec3::Vec3;
+
+/// Radius of the geostationary belt, km.
+pub const GSO_RADIUS_KM: f64 = 42_164.0;
+
+/// The exclusion test for one terminal location.
+///
+/// Construction samples the GSO arc as seen from the terminal once;
+/// per-satellite tests are then a handful of dot products. (The arc is
+/// fixed in the terminal's sky — GSO satellites do not move in ECEF.)
+#[derive(Debug, Clone)]
+pub struct GsoExclusion {
+    /// Unit vectors (ENU-style local frame) toward sampled GSO arc points
+    /// that are above the horizon.
+    arc_dirs: Vec<Vec3>,
+    /// Protection half-angle, degrees: a satellite within this angular
+    /// separation of the arc is excluded.
+    pub half_angle_deg: f64,
+}
+
+/// Converts look angles to a local unit direction vector (east, north, up).
+fn look_to_unit(look: &LookAngles) -> Vec3 {
+    let el = look.elevation_deg.to_radians();
+    let az = look.azimuth_deg.to_radians();
+    Vec3::new(el.cos() * az.sin(), el.cos() * az.cos(), el.sin())
+}
+
+impl GsoExclusion {
+    /// Builds the exclusion tester for a terminal at `site` with a given
+    /// protection half-angle (degrees).
+    pub fn for_site(site: Geodetic, half_angle_deg: f64) -> GsoExclusion {
+        let mut arc_dirs = Vec::new();
+        // Sample the whole belt; only points above the horizon matter.
+        for k in 0..720 {
+            let lon = k as f64 * 0.5;
+            let gso = Vec3::new(
+                GSO_RADIUS_KM * lon.to_radians().cos(),
+                GSO_RADIUS_KM * lon.to_radians().sin(),
+                0.0,
+            );
+            let look = look_angles(site, gso);
+            if look.elevation_deg > -5.0 {
+                arc_dirs.push(look_to_unit(&look));
+            }
+        }
+        GsoExclusion { arc_dirs, half_angle_deg }
+    }
+
+    /// A disabled zone (never excludes) — the ablation configuration.
+    pub fn disabled() -> GsoExclusion {
+        GsoExclusion { arc_dirs: Vec::new(), half_angle_deg: 0.0 }
+    }
+
+    /// True when a satellite seen at `look` falls inside the protected zone.
+    pub fn excludes(&self, look: &LookAngles) -> bool {
+        if self.arc_dirs.is_empty() {
+            return false;
+        }
+        let dir = look_to_unit(look);
+        let threshold = self.half_angle_deg.to_radians().cos();
+        self.arc_dirs.iter().any(|a| a.dot(dir) > threshold)
+    }
+
+    /// Minimum angular separation (degrees) between `look` and the visible
+    /// GSO arc; `f64::INFINITY` when the arc is below the horizon entirely.
+    pub fn separation_deg(&self, look: &LookAngles) -> f64 {
+        let dir = look_to_unit(look);
+        self.arc_dirs
+            .iter()
+            .map(|a| a.angle_to(dir).to_degrees())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether any part of the belt is visible from the site at all.
+    pub fn arc_visible(&self) -> bool {
+        !self.arc_dirs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iowa() -> Geodetic {
+        Geodetic::new(41.66, -91.53, 0.2)
+    }
+
+    fn look(el: f64, az: f64) -> LookAngles {
+        LookAngles { elevation_deg: el, azimuth_deg: az, range_km: 1000.0 }
+    }
+
+    #[test]
+    fn gso_arc_peaks_due_south_at_midlatitude() {
+        let z = GsoExclusion::for_site(iowa(), 12.0);
+        assert!(z.arc_visible());
+        // The arc's highest point from 41.66°N is due south at elevation
+        // ~41-43° (geometry of the belt). A satellite there must be excluded.
+        assert!(z.excludes(&look(42.0, 180.0)));
+        // Straight north at the same elevation: far from the belt.
+        assert!(!z.excludes(&look(42.0, 0.0)));
+    }
+
+    #[test]
+    fn zenith_is_outside_the_zone_at_midlatitude() {
+        let z = GsoExclusion::for_site(iowa(), 15.0);
+        assert!(!z.excludes(&look(90.0, 0.0)));
+        assert!(z.separation_deg(&look(90.0, 0.0)) > 30.0);
+    }
+
+    #[test]
+    fn southern_low_sky_is_excluded_northern_low_sky_is_not() {
+        let z = GsoExclusion::for_site(iowa(), 15.0);
+        // Low southern sky hugs the belt for a wide azimuth span.
+        assert!(z.excludes(&look(35.0, 160.0)));
+        assert!(z.excludes(&look(35.0, 200.0)));
+        assert!(!z.excludes(&look(35.0, 330.0)));
+        assert!(!z.excludes(&look(35.0, 30.0)));
+    }
+
+    #[test]
+    fn separation_shrinks_toward_the_belt() {
+        let z = GsoExclusion::for_site(iowa(), 15.0);
+        let near = z.separation_deg(&look(45.0, 180.0));
+        let far = z.separation_deg(&look(80.0, 0.0));
+        assert!(near < far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn disabled_zone_never_excludes() {
+        let z = GsoExclusion::disabled();
+        assert!(!z.excludes(&look(42.0, 180.0)));
+        assert!(!z.arc_visible());
+        assert_eq!(z.separation_deg(&look(42.0, 180.0)), f64::INFINITY);
+    }
+
+    #[test]
+    fn equatorial_site_has_belt_overhead() {
+        let z = GsoExclusion::for_site(Geodetic::new(0.0, 0.0, 0.0), 12.0);
+        // From the equator the belt passes through zenith.
+        assert!(z.excludes(&look(89.0, 90.0)) || z.excludes(&look(89.0, 270.0)));
+    }
+
+    #[test]
+    fn southern_hemisphere_mirror_image() {
+        // From 41°S the belt is in the *northern* sky: the exclusion flips,
+        // which is exactly the generalization limitation §8 of the paper
+        // calls out.
+        let z = GsoExclusion::for_site(Geodetic::new(-41.66, -91.53, 0.2), 12.0);
+        assert!(z.excludes(&look(42.0, 0.0)));
+        assert!(!z.excludes(&look(42.0, 180.0)));
+    }
+
+    #[test]
+    fn wider_half_angle_excludes_more() {
+        let narrow = GsoExclusion::for_site(iowa(), 5.0);
+        let wide = GsoExclusion::for_site(iowa(), 25.0);
+        let probe = look(55.0, 180.0);
+        if narrow.excludes(&probe) {
+            assert!(wide.excludes(&probe));
+        }
+        // A direction excluded by the wide zone but not the narrow one
+        // must exist somewhere along the southern sky.
+        let mut found = false;
+        for el in 25..80 {
+            let l = look(el as f64, 180.0);
+            if wide.excludes(&l) && !narrow.excludes(&l) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found);
+    }
+}

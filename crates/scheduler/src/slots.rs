@@ -1,0 +1,99 @@
+//! Global-scheduler slot timing.
+//!
+//! §3: "major changes in latency characteristics occur every 15 seconds —
+//! specifically, at the 12th, 27th, 42nd, and 57th second past every
+//! minute... globally." Slots are therefore anchored at :12 and repeat
+//! every 15 s, simultaneously for every terminal on the planet.
+
+use starsense_astro::time::JulianDate;
+
+/// Reallocation happens this many seconds past the minute (first anchor).
+pub const SLOT_ANCHOR_SECONDS: f64 = 12.0;
+
+/// Slot length in seconds.
+pub const SLOT_PERIOD_SECONDS: f64 = 15.0;
+
+/// Global slot index containing `at` (an absolute count since the epoch,
+/// consistent across terminals — the "globally simultaneous" property).
+pub fn slot_index(at: JulianDate) -> i64 {
+    let seconds = at.0 * 86_400.0 - SLOT_ANCHOR_SECONDS;
+    (seconds / SLOT_PERIOD_SECONDS).floor() as i64
+}
+
+/// Start instant of the slot containing `at`.
+pub fn slot_start(at: JulianDate) -> JulianDate {
+    let idx = slot_index(at);
+    JulianDate((idx as f64 * SLOT_PERIOD_SECONDS + SLOT_ANCHOR_SECONDS) / 86_400.0)
+}
+
+/// Start instant of slot `idx`.
+pub fn slot_start_of(idx: i64) -> JulianDate {
+    JulianDate((idx as f64 * SLOT_PERIOD_SECONDS + SLOT_ANCHOR_SECONDS) / 86_400.0)
+}
+
+/// The next reallocation boundary strictly after `at`.
+pub fn next_boundary(at: JulianDate) -> JulianDate {
+    slot_start_of(slot_index(at) + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_fall_on_12_27_42_57() {
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 5, 38, 3.0);
+        let mut b = next_boundary(at);
+        let mut seconds = Vec::new();
+        for _ in 0..4 {
+            seconds.push(b.to_civil().second.round() as u32 % 60);
+            b = next_boundary(b.plus_seconds(0.001));
+        }
+        assert_eq!(seconds, vec![12, 27, 42, 57]);
+    }
+
+    #[test]
+    fn slot_start_is_at_or_before_and_within_period() {
+        for k in 0..100 {
+            let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0).plus_seconds(k as f64 * 7.3);
+            let s = slot_start(at);
+            let dt = at.seconds_since(s);
+            assert!(
+                (0.0..SLOT_PERIOD_SECONDS + 1e-6).contains(&dt),
+                "k={k}: offset {dt}"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_index_is_monotone_and_steps_by_one() {
+        let t0 = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let mut prev = slot_index(t0);
+        for k in 1..200 {
+            let idx = slot_index(t0.plus_seconds(k as f64));
+            assert!(idx == prev || idx == prev + 1, "jumped from {prev} to {idx}");
+            prev = idx;
+        }
+        assert_eq!(prev, slot_index(t0) + 13, "199 s spans 13 boundaries");
+    }
+
+    #[test]
+    fn all_terminals_share_slot_indices() {
+        // Slot indexing has no longitude dependence — it is global.
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 18, 30, 29.0);
+        let idx = slot_index(at);
+        // ...so the same instant gives the same index regardless of any
+        // terminal-local context (trivially true by construction; the test
+        // documents the invariant).
+        assert_eq!(idx, slot_index(JulianDate(at.0)));
+    }
+
+    #[test]
+    fn slot_start_of_round_trips_with_slot_index() {
+        let at = JulianDate::from_ymd_hms(2023, 6, 2, 7, 45, 33.0);
+        let idx = slot_index(at);
+        let start = slot_start_of(idx);
+        assert_eq!(slot_index(start.plus_seconds(0.001)), idx);
+        assert!((slot_start(at).0 - start.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,50 @@
+//! User terminals (dishes).
+
+use starsense_astro::frames::Geodetic;
+use starsense_obstruction::SkyMask;
+
+/// A user terminal: a location, an environmental sky mask, and an identity.
+///
+/// Matches the paper's measurement setup — four dishes in Iowa, Ithaca
+/// (NY), Madrid, and Washington state, one of them (Ithaca) with a
+/// tree-obstructed north-west sky.
+#[derive(Debug, Clone)]
+pub struct Terminal {
+    /// Stable terminal id (index into allocation vectors).
+    pub id: usize,
+    /// Human-readable name, e.g. `"Iowa"`.
+    pub name: String,
+    /// Geodetic location of the dish.
+    pub location: Geodetic,
+    /// Environmental obstructions.
+    pub mask: SkyMask,
+}
+
+impl Terminal {
+    /// Creates a terminal with a clear sky.
+    pub fn new(id: usize, name: impl Into<String>, location: Geodetic) -> Terminal {
+        Terminal { id, name: name.into(), location, mask: SkyMask::clear() }
+    }
+
+    /// Replaces the sky mask.
+    pub fn with_mask(mut self, mask: SkyMask) -> Terminal {
+        self.mask = mask;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_builder() {
+        let t = Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2));
+        assert_eq!(t.id, 0);
+        assert_eq!(t.name, "Iowa");
+        assert!(t.mask.is_clear());
+
+        let t = t.with_mask(SkyMask::ithaca_trees());
+        assert!(!t.mask.is_clear());
+    }
+}

@@ -1,0 +1,80 @@
+//! SGP4 error taxonomy.
+
+use std::fmt;
+
+/// Errors produced while initializing or running the SGP4 propagator.
+///
+/// The numeric codes follow the reference implementation's error codes so
+/// results can be cross-checked against other SGP4 ports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sgp4Error {
+    /// Eccentricity drifted outside `[0, 1)` during propagation (code 1).
+    EccentricityOutOfRange {
+        /// The offending eccentricity value.
+        eccentricity: f64,
+    },
+    /// Mean motion became non-positive (code 2).
+    NonPositiveMeanMotion,
+    /// Semi-latus rectum became negative (code 4).
+    NegativeSemiLatusRectum,
+    /// The satellite has decayed: radius fell below one earth radius (code 6).
+    Decayed {
+        /// Minutes past epoch at which decay was detected.
+        minutes_past_epoch: f64,
+    },
+    /// The elements describe a deep-space object (period ≥ 225 min), which
+    /// this near-earth-only implementation deliberately rejects.
+    DeepSpace {
+        /// Orbital period implied by the elements, in minutes.
+        period_minutes: f64,
+    },
+    /// The elements are unphysical (negative mean motion, eccentricity
+    /// outside `[0, 1)`, …) before propagation even starts.
+    InvalidElements {
+        /// Human-readable description of the defect.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Sgp4Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sgp4Error::EccentricityOutOfRange { eccentricity } => {
+                write!(f, "mean eccentricity {eccentricity} outside [0, 1)")
+            }
+            Sgp4Error::NonPositiveMeanMotion => write!(f, "mean motion is non-positive"),
+            Sgp4Error::NegativeSemiLatusRectum => write!(f, "semi-latus rectum is negative"),
+            Sgp4Error::Decayed { minutes_past_epoch } => {
+                write!(f, "satellite decayed {minutes_past_epoch:.1} minutes past epoch")
+            }
+            Sgp4Error::DeepSpace { period_minutes } => write!(
+                f,
+                "deep-space object (period {period_minutes:.1} min ≥ 225 min) not supported"
+            ),
+            Sgp4Error::InvalidElements { reason } => write!(f, "invalid elements: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Sgp4Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let msgs = [
+            Sgp4Error::EccentricityOutOfRange { eccentricity: 1.2 }.to_string(),
+            Sgp4Error::NonPositiveMeanMotion.to_string(),
+            Sgp4Error::NegativeSemiLatusRectum.to_string(),
+            Sgp4Error::Decayed { minutes_past_epoch: 1440.0 }.to_string(),
+            Sgp4Error::DeepSpace { period_minutes: 1436.0 }.to_string(),
+            Sgp4Error::InvalidElements { reason: "negative mean motion" }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(Sgp4Error::DeepSpace { period_minutes: 1436.0 }.to_string().contains("1436.0"));
+    }
+}

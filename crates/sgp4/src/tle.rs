@@ -1,0 +1,465 @@
+//! Two-line element set parsing and formatting.
+//!
+//! The paper pulls Starlink TLEs from CelesTrak; the reproduction synthesizes
+//! its own (see `starsense-constellation`) but uses the exact same wire
+//! format so the parsing path is fully exercised: fixed-column fields,
+//! "implied decimal point" notation for B* and eccentricity, two-digit epoch
+//! years, and the modulo-10 line checksum.
+
+use crate::elements::Elements;
+use starsense_astro::time::{CivilTime, JulianDate};
+use std::fmt;
+
+/// A parsed two-line element set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tle {
+    /// Optional satellite name (from a "line 0" title line).
+    pub name: Option<String>,
+    /// NORAD catalog number.
+    pub norad_id: u32,
+    /// Security classification character (`U` for unclassified).
+    pub classification: char,
+    /// International designator, e.g. `19074A` (launch 2019-074, object A).
+    pub intl_designator: String,
+    /// Element-set epoch, UTC.
+    pub epoch: JulianDate,
+    /// First derivative of mean motion / 2, rev/day².
+    pub ndot: f64,
+    /// Second derivative of mean motion / 6, rev/day³.
+    pub nddot: f64,
+    /// B* drag term, 1/earth-radii.
+    pub bstar: f64,
+    /// Element-set number.
+    pub element_set_no: u32,
+    /// Inclination, degrees.
+    pub inclination_deg: f64,
+    /// Right ascension of the ascending node, degrees.
+    pub raan_deg: f64,
+    /// Eccentricity, dimensionless.
+    pub eccentricity: f64,
+    /// Argument of perigee, degrees.
+    pub arg_perigee_deg: f64,
+    /// Mean anomaly, degrees.
+    pub mean_anomaly_deg: f64,
+    /// Mean motion, revolutions per day.
+    pub mean_motion_rev_day: f64,
+    /// Revolution number at epoch.
+    pub rev_number: u32,
+}
+
+/// Errors from TLE parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TleError {
+    /// A line is shorter than the mandatory 69 columns.
+    LineTooShort {
+        /// Which line (1 or 2).
+        line: u8,
+        /// Its actual length.
+        len: usize,
+    },
+    /// A line does not start with the expected line number.
+    BadLineNumber {
+        /// Which line was expected.
+        expected: u8,
+    },
+    /// The modulo-10 checksum does not match.
+    BadChecksum {
+        /// Which line (1 or 2).
+        line: u8,
+        /// Checksum computed over the line body.
+        computed: u32,
+        /// Checksum digit present in column 69.
+        found: u32,
+    },
+    /// The catalog numbers on lines 1 and 2 disagree.
+    CatalogMismatch,
+    /// A numeric field failed to parse.
+    BadField {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for TleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TleError::LineTooShort { line, len } => {
+                write!(f, "line {line} is {len} chars, need 69")
+            }
+            TleError::BadLineNumber { expected } => {
+                write!(f, "line does not start with '{expected}'")
+            }
+            TleError::BadChecksum { line, computed, found } => {
+                write!(f, "line {line} checksum mismatch: computed {computed}, found {found}")
+            }
+            TleError::CatalogMismatch => write!(f, "catalog numbers differ between lines"),
+            TleError::BadField { field } => write!(f, "could not parse field `{field}`"),
+        }
+    }
+}
+
+impl std::error::Error for TleError {}
+
+/// Computes the TLE modulo-10 checksum of the first 68 columns of a line:
+/// digits count as their value, `-` counts as 1, everything else as 0.
+pub fn checksum(line: &str) -> u32 {
+    line.chars()
+        .take(68)
+        .map(|c| match c {
+            '0'..='9' => c as u32 - '0' as u32,
+            '-' => 1,
+            _ => 0,
+        })
+        .sum::<u32>()
+        % 10
+}
+
+fn field(line: &str, range: std::ops::Range<usize>) -> &str {
+    line.get(range).unwrap_or("").trim()
+}
+
+fn parse_f64(line: &str, range: std::ops::Range<usize>, name: &'static str) -> Result<f64, TleError> {
+    field(line, range).parse().map_err(|_| TleError::BadField { field: name })
+}
+
+fn parse_u32(line: &str, range: std::ops::Range<usize>, name: &'static str) -> Result<u32, TleError> {
+    let s = field(line, range);
+    if s.is_empty() {
+        return Ok(0);
+    }
+    s.parse().map_err(|_| TleError::BadField { field: name })
+}
+
+/// Parses an "implied decimal point" exponent field such as ` 28098-4`
+/// (meaning `+0.28098e-4`) into an `f64`.
+fn parse_exp_field(s: &str, name: &'static str) -> Result<f64, TleError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(0.0);
+    }
+    let bytes = s.as_bytes();
+    let (sign, rest) = match bytes[0] {
+        b'-' => (-1.0, &s[1..]),
+        b'+' => (1.0, &s[1..]),
+        _ => (1.0, s),
+    };
+    // Split mantissa digits from trailing exponent (sign + digit).
+    let exp_start = rest
+        .char_indices()
+        .skip(1)
+        .find(|&(_, c)| c == '+' || c == '-')
+        .map(|(i, _)| i);
+    let (mantissa_str, exp) = match exp_start {
+        Some(i) => {
+            let e: i32 =
+                rest[i..].parse().map_err(|_| TleError::BadField { field: name })?;
+            (&rest[..i], e)
+        }
+        None => (rest, 0),
+    };
+    let digits: f64 =
+        mantissa_str.trim().parse().map_err(|_| TleError::BadField { field: name })?;
+    let scale = 10f64.powi(mantissa_str.trim().len() as i32);
+    Ok(sign * digits / scale * 10f64.powi(exp))
+}
+
+/// Formats a value into the 8-character implied-decimal exponent form.
+fn format_exp_field(value: f64) -> String {
+    if value == 0.0 {
+        return " 00000+0".to_string();
+    }
+    let sign = if value < 0.0 { '-' } else { ' ' };
+    let mut v = value.abs();
+    // Normalize to 0.ddddd × 10^e.
+    let mut e = 0i32;
+    while v >= 1.0 {
+        v /= 10.0;
+        e += 1;
+    }
+    while v < 0.1 {
+        v *= 10.0;
+        e -= 1;
+    }
+    let mantissa = (v * 100_000.0).round() as u32;
+    // Rounding can push the mantissa to 100000 = 1.0; renormalize.
+    let (mantissa, e) = if mantissa == 100_000 { (10_000, e + 1) } else { (mantissa, e) };
+    let esign = if e < 0 { '-' } else { '+' };
+    format!("{sign}{mantissa:05}{esign}{:1}", e.abs())
+}
+
+impl Tle {
+    /// Parses a TLE from its two mandatory lines.
+    pub fn parse_lines(line1: &str, line2: &str) -> Result<Tle, TleError> {
+        Self::parse_named(None, line1, line2)
+    }
+
+    /// Parses a TLE preceded by an optional title line.
+    pub fn parse_named(
+        name: Option<&str>,
+        line1: &str,
+        line2: &str,
+    ) -> Result<Tle, TleError> {
+        for (idx, line) in [(1u8, line1), (2u8, line2)] {
+            if line.len() < 69 {
+                return Err(TleError::LineTooShort { line: idx, len: line.len() });
+            }
+            let expected = (b'0' + idx) as char;
+            if !line.starts_with(expected) {
+                return Err(TleError::BadLineNumber { expected: idx });
+            }
+            let computed = checksum(line);
+            let found = line
+                .chars()
+                .nth(68)
+                .and_then(|c| c.to_digit(10))
+                .ok_or(TleError::BadField { field: "checksum" })?;
+            if computed != found {
+                return Err(TleError::BadChecksum { line: idx, computed, found });
+            }
+        }
+
+        let norad1 = parse_u32(line1, 2..7, "catalog number")?;
+        let norad2 = parse_u32(line2, 2..7, "catalog number")?;
+        if norad1 != norad2 {
+            return Err(TleError::CatalogMismatch);
+        }
+
+        // Epoch: two-digit year + fractional day of year.
+        let yy = parse_u32(line1, 18..20, "epoch year")?;
+        let year = if yy < 57 { 2000 + yy as i32 } else { 1900 + yy as i32 };
+        let doy = parse_f64(line1, 20..32, "epoch day")?;
+        let epoch = CivilTime::from_year_and_doy(year, doy).to_julian();
+
+        // ndot has a leading sign/space then ".dddddddd".
+        let ndot = parse_f64(line1, 33..43, "ndot")?;
+        let nddot = parse_exp_field(field(line1, 44..52), "nddot")?;
+        let bstar = parse_exp_field(field(line1, 53..61), "bstar")?;
+
+        Ok(Tle {
+            name: name.map(|s| s.trim().to_string()),
+            norad_id: norad1,
+            classification: line1.chars().nth(7).unwrap_or('U'),
+            intl_designator: field(line1, 9..17).to_string(),
+            epoch,
+            ndot,
+            nddot,
+            bstar,
+            element_set_no: parse_u32(line1, 64..68, "element set number")?,
+            inclination_deg: parse_f64(line2, 8..16, "inclination")?,
+            raan_deg: parse_f64(line2, 17..25, "raan")?,
+            eccentricity: {
+                let digits = field(line2, 26..33);
+                let v: f64 = format!("0.{digits}")
+                    .parse()
+                    .map_err(|_| TleError::BadField { field: "eccentricity" })?;
+                v
+            },
+            arg_perigee_deg: parse_f64(line2, 34..42, "argument of perigee")?,
+            mean_anomaly_deg: parse_f64(line2, 43..51, "mean anomaly")?,
+            mean_motion_rev_day: parse_f64(line2, 52..63, "mean motion")?,
+            rev_number: parse_u32(line2, 63..68, "rev number")?,
+        })
+    }
+
+    /// Parses a whole multi-TLE text (2 or 3 lines per object, 3LE when a
+    /// title line precedes each pair). Blank lines are skipped.
+    pub fn parse_catalog(text: &str) -> Result<Vec<Tle>, TleError> {
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < lines.len() {
+            if lines[i].starts_with("1 ") && i + 1 < lines.len() {
+                out.push(Tle::parse_lines(lines[i], lines[i + 1])?);
+                i += 2;
+            } else if i + 2 < lines.len() || (i + 2 == lines.len() && lines.len() >= 3) {
+                out.push(Tle::parse_named(Some(lines[i]), lines[i + 1], lines[i + 2])?);
+                i += 3;
+            } else {
+                return Err(TleError::BadField { field: "dangling lines at end of catalog" });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renders the two element lines, with correct column layout and
+    /// checksums. The result round-trips through [`Tle::parse_lines`].
+    pub fn format_lines(&self) -> (String, String) {
+        let c = self.epoch.to_civil();
+        let yy = c.year % 100;
+        let doy = c.day_of_year();
+
+        let ndot_str = {
+            let sign = if self.ndot < 0.0 { '-' } else { ' ' };
+            let frac = format!("{:.8}", self.ndot.abs());
+            // ".00000023" — strip the leading zero.
+            format!("{sign}{}", &frac[1..])
+        };
+
+        let mut line1 = format!(
+            "1 {:05}{} {:<8} {:02}{:012.8} {} {} {} 0 {:4}",
+            self.norad_id,
+            self.classification,
+            self.intl_designator,
+            yy,
+            doy,
+            ndot_str,
+            format_exp_field(self.nddot),
+            format_exp_field(self.bstar),
+            self.element_set_no % 10_000,
+        );
+        line1.push(char::from_digit(checksum(&line1), 10).unwrap());
+
+        let ecc_digits = format!("{:07}", (self.eccentricity * 1e7).round() as u64 % 10_000_000);
+        let mut line2 = format!(
+            "2 {:05} {:8.4} {:8.4} {} {:8.4} {:8.4} {:11.8}{:5}",
+            self.norad_id,
+            self.inclination_deg,
+            self.raan_deg,
+            ecc_digits,
+            self.arg_perigee_deg,
+            self.mean_anomaly_deg,
+            self.mean_motion_rev_day,
+            self.rev_number % 100_000,
+        );
+        line2.push(char::from_digit(checksum(&line2), 10).unwrap());
+
+        (line1, line2)
+    }
+
+    /// Converts to the element form the propagator consumes.
+    pub fn elements(&self) -> Elements {
+        Elements::from_catalog_units(
+            self.norad_id,
+            self.epoch,
+            self.mean_motion_rev_day,
+            self.eccentricity,
+            self.inclination_deg,
+            self.raan_deg,
+            self.arg_perigee_deg,
+            self.mean_anomaly_deg,
+            self.bstar,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L1: &str = "1 00005U 58002B   00179.78495062  .00000023  00000-0  28098-4 0  4753";
+    const L2: &str = "2 00005  34.2682 348.7242 1859667 331.7664  19.3264 10.82419157413667";
+
+    #[test]
+    fn parses_the_reference_tle() {
+        let t = Tle::parse_lines(L1, L2).unwrap();
+        assert_eq!(t.norad_id, 5);
+        assert_eq!(t.classification, 'U');
+        assert_eq!(t.intl_designator, "58002B");
+        assert!((t.inclination_deg - 34.2682).abs() < 1e-9);
+        assert!((t.raan_deg - 348.7242).abs() < 1e-9);
+        assert!((t.eccentricity - 0.1859667).abs() < 1e-12);
+        assert!((t.arg_perigee_deg - 331.7664).abs() < 1e-9);
+        assert!((t.mean_anomaly_deg - 19.3264).abs() < 1e-9);
+        assert!((t.mean_motion_rev_day - 10.82419157).abs() < 1e-9);
+        assert_eq!(t.rev_number, 41366);
+        assert!((t.bstar - 0.28098e-4).abs() < 1e-12);
+        assert!((t.ndot - 0.00000023).abs() < 1e-12);
+        // Epoch: 2000, day 179.78495062 = 2000-06-27 ~18:50 UTC.
+        let c = t.epoch.to_civil();
+        assert_eq!((c.year, c.month, c.day), (2000, 6, 27));
+    }
+
+    #[test]
+    fn checksum_counts_minus_as_one() {
+        assert_eq!(checksum(L1), 3);
+        assert_eq!(checksum(L2), 7);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let mut bad = L1.to_string();
+        bad.replace_range(68..69, "9");
+        match Tle::parse_lines(&bad, L2) {
+            Err(TleError::BadChecksum { line: 1, computed: 3, found: 9 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_line_is_rejected() {
+        assert!(matches!(
+            Tle::parse_lines("1 00005U", L2),
+            Err(TleError::LineTooShort { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_line_number_is_rejected() {
+        assert!(matches!(
+            Tle::parse_lines(L2, L1),
+            Err(TleError::BadLineNumber { expected: 1 })
+        ));
+    }
+
+    #[test]
+    fn catalog_mismatch_is_rejected() {
+        // A second line with a different catalog number and fixed checksum.
+        let mut l2 = L2.to_string();
+        l2.replace_range(2..7, "00006");
+        l2.replace_range(68..69, "8"); // 5→6 bumps the checksum by 1
+        assert_eq!(Tle::parse_lines(L1, &l2), Err(TleError::CatalogMismatch));
+    }
+
+    #[test]
+    fn exp_field_parsing_examples() {
+        assert!((parse_exp_field(" 28098-4", "t").unwrap() - 0.28098e-4).abs() < 1e-15);
+        assert!((parse_exp_field("-11606-4", "t").unwrap() + 0.11606e-4).abs() < 1e-15);
+        assert_eq!(parse_exp_field(" 00000-0", "t").unwrap(), 0.0);
+        assert_eq!(parse_exp_field(" 00000+0", "t").unwrap(), 0.0);
+        assert!((parse_exp_field(" 12345+2", "t").unwrap() - 12.345).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_field_format_round_trips() {
+        for v in [0.0, 0.28098e-4, -0.11606e-4, 0.5, -0.99999e-1, 1.5e-7, 3.2e-2] {
+            let s = format_exp_field(v);
+            assert_eq!(s.len(), 8, "field {s:?}");
+            let back = parse_exp_field(&s, "t").unwrap();
+            let tol = v.abs().max(1e-9) * 1e-4;
+            assert!((back - v).abs() <= tol, "{v} → {s:?} → {back}");
+        }
+    }
+
+    #[test]
+    fn format_lines_round_trip() {
+        let t = Tle::parse_lines(L1, L2).unwrap();
+        let (l1, l2) = t.format_lines();
+        assert_eq!(l1.len(), 69, "line1 = {l1:?}");
+        assert_eq!(l2.len(), 69, "line2 = {l2:?}");
+        let back = Tle::parse_lines(&l1, &l2).unwrap();
+        assert_eq!(back.norad_id, t.norad_id);
+        assert!((back.eccentricity - t.eccentricity).abs() < 1e-7);
+        assert!((back.mean_motion_rev_day - t.mean_motion_rev_day).abs() < 1e-8);
+        assert!((back.inclination_deg - t.inclination_deg).abs() < 1e-4);
+        assert!((back.bstar - t.bstar).abs() < 1e-9);
+        assert!((back.epoch.0 - t.epoch.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn parse_catalog_handles_2le_and_3le() {
+        let text = format!("STARLINK-TEST\n{L1}\n{L2}\n\n{L1}\n{L2}\n");
+        let cat = Tle::parse_catalog(&text).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat[0].name.as_deref(), Some("STARLINK-TEST"));
+        assert_eq!(cat[1].name, None);
+    }
+
+    #[test]
+    fn elements_conversion_preserves_values() {
+        let t = Tle::parse_lines(L1, L2).unwrap();
+        let e = t.elements();
+        assert_eq!(e.norad_id, 5);
+        assert!((e.mean_motion_rev_per_day() - t.mean_motion_rev_day).abs() < 1e-10);
+        assert!((e.inclo.to_degrees() - t.inclination_deg).abs() < 1e-10);
+    }
+}

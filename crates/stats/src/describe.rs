@@ -1,0 +1,161 @@
+//! Descriptive statistics: mean, variance, quantiles, summaries.
+
+/// Arithmetic mean. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator). Returns `NaN` for fewer than
+/// two values.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Population standard deviation (n denominator). Returns 0 for a single
+/// value and `NaN` for an empty slice.
+///
+/// §6 of the paper z-scores satellite features against the mean/σ of the
+/// satellites *currently in view*; with the population convention a
+/// single-satellite field of view yields a well-defined (zero) deviation.
+pub fn std_dev_population(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / xs.len() as f64).sqrt()
+}
+
+/// Quantile by linear interpolation between order statistics
+/// (the "R-7" definition used by NumPy's default). `q` is clamped to
+/// `[0, 1]`. Returns `NaN` for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample. Returns `None` for empty input.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            n: xs.len(),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            p25: quantile(xs, 0.25),
+            median: median(xs),
+            p75: quantile(xs, 0.75),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_simple_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn std_dev_matches_hand_computation() {
+        // Values 2,4,4,4,5,5,7,9: population σ = 2, sample s = 2.138…
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev_population(&xs) - 2.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn std_dev_degenerate_cases() {
+        assert!(std_dev(&[1.0]).is_nan());
+        assert_eq!(std_dev_population(&[7.5]), 0.0);
+        assert!(std_dev_population(&[]).is_nan());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 40.0);
+        assert!((quantile(&xs, 1.0 / 3.0) - 20.0).abs() < 1e-12);
+        assert_eq!(quantile(&xs, 0.5), 25.0);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range() {
+        let xs = [1.0, 2.0];
+        assert_eq!(quantile(&xs, -0.5), 1.0);
+        assert_eq!(quantile(&xs, 1.5), 2.0);
+    }
+
+    #[test]
+    fn summary_is_internally_consistent() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!(s.p25 <= s.median && s.median <= s.p75);
+        assert!(Summary::of(&[]).is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! Fixed-width histograms.
+//!
+//! Used by Figure 6 (launch-month bins) and by the experiment binaries when
+//! printing distribution tables.
+
+/// A histogram with equal-width bins over `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins == 0` or `hi <= lo` — both are construction bugs,
+    /// not data conditions.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let bin = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[bin] += 1;
+        }
+    }
+
+    /// Adds every observation in a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_edges(i);
+        (a + b) / 2.0
+    }
+
+    /// In-range fraction per bin (empty histogram gives zeros).
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_observations_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend(&[0.0, 1.9, 2.0, 5.5, 9.99]);
+        assert_eq!(h.count(0), 2); // 0.0, 1.9
+        assert_eq!(h.count(1), 1); // 2.0
+        assert_eq!(h.count(2), 1); // 5.5
+        assert_eq!(h.count(4), 1); // 9.99
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend(&[-0.1, 0.5, 1.0, 2.0]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2); // 1.0 is exclusive at the top
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(f64::NAN);
+        assert_eq!(h.total() + h.underflow + h.overflow, 0);
+    }
+
+    #[test]
+    fn edges_and_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+        assert_eq!(h.bin_center(2), 5.0);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.extend(&[0.5, 1.5, 1.6, 3.2]);
+        let n = h.normalized();
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(n[1], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 3);
+    }
+}

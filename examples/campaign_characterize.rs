@@ -1,0 +1,59 @@
+//! Run a four-terminal measurement campaign and re-derive the paper's §5
+//! scheduler characterizations (Figures 4–7) from the recorded
+//! observations.
+//!
+//! ```sh
+//! cargo run --release --example campaign_characterize
+//! ```
+
+use starsense::core::report::pct;
+use starsense::prelude::*;
+
+fn main() {
+    let constellation = ConstellationBuilder::starlink_gen1().seed(17).build();
+    let campaign = Campaign::oracle(
+        &constellation,
+        paper_terminals(),
+        CampaignConfig::default(),
+        17,
+    );
+
+    // Two hours of 15-second slots for all four terminals.
+    let from = JulianDate::from_ymd_hms(2023, 6, 1, 3, 0, 0.0);
+    println!("running 480 slots × 4 terminals...");
+    let observations = campaign.run(from, 480);
+
+    for (tid, terminal) in paper_terminals().iter().enumerate() {
+        let aoe = aoe_analysis(&observations, tid);
+        let az = azimuth_analysis(&observations, tid);
+        let launch = launch_analysis(&observations, tid);
+        let sun = sunlit_analysis(&observations, tid);
+
+        println!("\n=== {} ===", terminal.name);
+        println!(
+            "  §5.1 elevation: chosen median {:.1}° vs available {:.1}° (shift {:+.1}°)",
+            aoe.chosen_median_deg, aoe.available_median_deg, aoe.median_shift_deg
+        );
+        println!(
+            "  §5.1 azimuth:   {} of picks northern vs {} of availability (NW share {})",
+            pct(az.chosen_north),
+            pct(az.available_north),
+            pct(az.chosen_northwest)
+        );
+        println!(
+            "  §5.2 launches:  Pearson(launch date, pick ratio) = {}",
+            launch.pearson.map(|r| format!("{r:.3}")).unwrap_or_else(|| "n/a".into())
+        );
+        if sun.mixed_slots > 0 {
+            println!(
+                "  §5.3 sunlit:    picked sunlit in {} of {} mixed slots",
+                pct(sun.sunlit_pick_share),
+                sun.mixed_slots
+            );
+        } else {
+            println!("  §5.3 sunlit:    no mixed sunlit/dark slots in this window");
+        }
+    }
+
+    println!("\npaper shape targets: shift ≈ +22.9°, north ≈ 82% vs 58%, Pearson ≈ 0.41, sunlit ≈ 72%");
+}

@@ -1,0 +1,54 @@
+//! Obstruction-map walkthrough: paint a few slots of real scheduler
+//! assignments, show the maps as ASCII art, XOR consecutive captures, and
+//! recover the plot geometry by the §4.1 bounding-box calibration.
+//!
+//! ```sh
+//! cargo run --release --example obstruction_maps
+//! ```
+
+use starsense::obstruction::render::to_ascii;
+use starsense::obstruction::{calibrate, isolate};
+use starsense::prelude::*;
+
+fn main() {
+    let constellation = ConstellationBuilder::starlink_gen1().seed(13).build();
+    let location = Geodetic::new(41.66, -91.53, 0.2);
+    let terminals = vec![Terminal::new(0, "Iowa", location)];
+    let mut scheduler = GlobalScheduler::new(SchedulerPolicy::default(), terminals, 13);
+    let mut dish = DishSimulator::new(location);
+
+    // Accumulate a handful of slots.
+    let mut captures = Vec::new();
+    for k in 0..6 {
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 20.0).plus_seconds(15.0 * k as f64);
+        let alloc = scheduler.allocate(&constellation, at).swap_remove(0);
+        captures.push(dish.play_slot(&constellation, alloc.slot, alloc.slot_start, alloc.chosen_id()));
+    }
+
+    let last = captures.last().unwrap();
+    println!("map after {} slots ({} px set):\n{}", captures.len(), last.map.count_set(), to_ascii(&last.map));
+
+    let prev = &captures[captures.len() - 2];
+    let xor = isolate(&prev.map, &last.map);
+    println!("XOR of the final two captures (the new slot's trajectory):\n{}", to_ascii(&xor));
+
+    // Saturate the map (no resets) to run the §4.1 calibration.
+    println!("saturating the map (600 more slots, no resets)...");
+    let mut sat_dish = DishSimulator::new(location).with_reset_every_slots(0);
+    let mut saturated = None;
+    for k in 0..600 {
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 17, 0, 20.0).plus_seconds(15.0 * k as f64);
+        let alloc = scheduler.allocate(&constellation, at).swap_remove(0);
+        saturated = Some(sat_dish.play_slot(&constellation, alloc.slot, alloc.slot_start, alloc.chosen_id()));
+    }
+    let saturated = saturated.unwrap().map;
+    println!("fill fraction: {:.1}%", 100.0 * saturated.fill_fraction());
+
+    match calibrate(&saturated) {
+        Some(c) => println!(
+            "recovered geometry: center ({:.1}, {:.1}) px, radius {:.1} px (truth: 61, 61, 45)",
+            c.center_x, c.center_y, c.radius_px
+        ),
+        None => println!("not yet saturated enough to calibrate — run longer"),
+    }
+}

@@ -1,0 +1,94 @@
+//! Reproducibility: every stochastic component must be a pure function of
+//! its seed, so figures regenerate identically run to run.
+
+use starsense::netemu::groundstation::paper_pops;
+use starsense::prelude::*;
+
+#[test]
+fn constellations_are_identical_across_builds() {
+    let a = ConstellationBuilder::starlink_mini().seed(5).build();
+    let b = ConstellationBuilder::starlink_mini().seed(5).build();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.sats().iter().zip(b.sats()) {
+        assert_eq!(x.norad_id, y.norad_id);
+        assert_eq!(x.elements, y.elements);
+        assert_eq!(x.published.format_lines(), y.published.format_lines());
+        assert_eq!(x.launch.date, y.launch.date);
+    }
+}
+
+#[test]
+fn campaigns_are_identical_across_runs() {
+    let constellation = ConstellationBuilder::starlink_mini().seed(5).build();
+    let run = || {
+        let campaign = Campaign::oracle(
+            &constellation,
+            paper_terminals(),
+            CampaignConfig::default(),
+            5,
+        );
+        campaign.run(JulianDate::from_ymd_hms(2023, 6, 1, 8, 0, 0.0), 40)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.slot, y.slot);
+        assert_eq!(x.truth_id, y.truth_id);
+        assert_eq!(x.available.len(), y.available.len());
+        assert_eq!(x.local_hour, y.local_hour);
+    }
+}
+
+#[test]
+fn probe_traces_are_identical_across_runs() {
+    let constellation = ConstellationBuilder::starlink_mini().seed(5).build();
+    let run = || {
+        let scheduler = GlobalScheduler::new(SchedulerPolicy::default(), paper_terminals(), 5);
+        let mut emulator = Emulator::new(
+            &constellation,
+            scheduler,
+            paper_pops(),
+            EmulatorConfig::default(),
+            5,
+        );
+        emulator.probe_trace(0, JulianDate::from_ymd_hms(2023, 6, 1, 8, 0, 0.0), 8.0)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.rtt_ms, y.rtt_ms);
+        assert_eq!(x.owd_up_ms, y.owd_up_ms);
+        assert_eq!(x.serving_sat, y.serving_sat);
+    }
+}
+
+#[test]
+fn trained_models_are_identical_across_runs() {
+    use starsense::forest::{Dataset, ForestParams, RandomForest};
+
+    let rows: Vec<Vec<f64>> =
+        (0..120).map(|i| vec![(i % 7) as f64, (i % 13) as f64, (i % 3) as f64]).collect();
+    let labels: Vec<usize> = (0..120).map(|i| i % 4).collect();
+    let data = Dataset::unnamed(rows, labels, 4);
+
+    let a = RandomForest::fit(&data, &ForestParams::default(), 9);
+    let b = RandomForest::fit(&data, &ForestParams::default(), 9);
+    for i in 0..data.len() {
+        assert_eq!(a.predict_proba(data.row(i).0), b.predict_proba(data.row(i).0));
+    }
+    assert_eq!(a.feature_importances(), b.feature_importances());
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let a = ConstellationBuilder::starlink_mini().seed(1).build();
+    let b = ConstellationBuilder::starlink_mini().seed(2).build();
+    let identical = a
+        .sats()
+        .iter()
+        .zip(b.sats())
+        .all(|(x, y)| x.published.mean_anomaly_deg == y.published.mean_anomaly_deg);
+    assert!(!identical);
+}
