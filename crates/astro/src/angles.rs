@@ -68,12 +68,14 @@ pub enum Quadrant {
 
 impl Quadrant {
     /// All four quadrants in Figure 5 order (left to right on the x-axis).
-    pub const ALL: [Quadrant; 4] = [
-        Quadrant::NorthEast,
-        Quadrant::SouthEast,
-        Quadrant::SouthWest,
-        Quadrant::NorthWest,
-    ];
+    pub const ALL: [Quadrant; 4] =
+        [Quadrant::NorthEast, Quadrant::SouthEast, Quadrant::SouthWest, Quadrant::NorthWest];
+
+    /// This quadrant's position in [`Quadrant::ALL`] (declaration order
+    /// matches the discriminant, so this is total and never searches).
+    pub fn index(self) -> usize {
+        self as usize
+    }
 
     /// Classifies an azimuth given in degrees.
     pub fn of_azimuth_deg(az: f64) -> Quadrant {

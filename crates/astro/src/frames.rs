@@ -84,11 +84,7 @@ pub fn ecef_to_geodetic(r: Vec3) -> Geodetic {
     for _ in 0..8 {
         let sin_lat = lat.sin();
         let n = EARTH_RADIUS_KM / (1.0 - e2 * sin_lat * sin_lat).sqrt();
-        alt = if lat.abs() < 1.3 {
-            p / lat.cos() - n
-        } else {
-            r.z / sin_lat - n * (1.0 - e2)
-        };
+        alt = if lat.abs() < 1.3 { p / lat.cos() - n } else { r.z / sin_lat - n * (1.0 - e2) };
         lat = (r.z / (p * (1.0 - e2 * n / (n + alt)))).atan();
     }
 

@@ -15,9 +15,7 @@ pub struct Mat3 {
 
 impl Mat3 {
     /// Identity matrix.
-    pub const IDENTITY: Mat3 = Mat3 {
-        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
-    };
+    pub const IDENTITY: Mat3 = Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
 
     /// Builds a matrix from three rows.
     pub const fn from_rows(r0: [f64; 3], r1: [f64; 3], r2: [f64; 3]) -> Self {

@@ -101,11 +101,7 @@ mod tests {
         for month in 1..=12 {
             let at = JulianDate::from_ymd_hms(2023, month, 15, 0, 0, 0.0);
             let d = sun_position_teme(at).norm();
-            assert!(
-                (0.983 * AU_KM..1.017 * AU_KM).contains(&d),
-                "month {month}: {} AU",
-                d / AU_KM
-            );
+            assert!((0.983 * AU_KM..1.017 * AU_KM).contains(&d), "month {month}: {} AU", d / AU_KM);
         }
     }
 

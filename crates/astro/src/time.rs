@@ -121,10 +121,9 @@ impl JulianDate {
     /// to the Earth-fixed ECEF frame.
     pub fn gmst_rad(self) -> f64 {
         let t = self.centuries_since_j2000();
-        let gmst_sec = 67_310.54841
-            + (876_600.0 * 3600.0 + 8_640_184.812866) * t
-            + 0.093104 * t * t
-            - 6.2e-6 * t * t * t;
+        let gmst_sec =
+            67_310.54841 + (876_600.0 * 3600.0 + 8_640_184.812866) * t + 0.093104 * t * t
+                - 6.2e-6 * t * t * t;
         let gmst_deg = (gmst_sec % SECONDS_PER_DAY) / 240.0; // 86400 s / 360°
         wrap_tau(gmst_deg.to_radians())
     }
@@ -276,8 +275,10 @@ mod tests {
     fn doy_round_trip() {
         let c = CivilTime { year: 2023, month: 6, day: 27, hour: 18, minute: 30, second: 12.5 };
         let back = CivilTime::from_year_and_doy(2023, c.day_of_year());
-        assert_eq!((back.year, back.month, back.day, back.hour, back.minute),
-                   (2023, 6, 27, 18, 30));
+        assert_eq!(
+            (back.year, back.month, back.day, back.hour, back.minute),
+            (2023, 6, 27, 18, 30)
+        );
         assert!((back.second - 12.5).abs() < 1e-3);
     }
 

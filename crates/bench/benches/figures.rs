@@ -9,7 +9,9 @@ use starsense_astro::frames::Geodetic;
 use starsense_astro::time::JulianDate;
 use starsense_constellation::{Constellation, ConstellationBuilder};
 use starsense_core::campaign::{Campaign, CampaignConfig, SlotObservation};
-use starsense_core::characterize::{aoe_analysis, azimuth_analysis, launch_analysis, sunlit_analysis};
+use starsense_core::characterize::{
+    aoe_analysis, azimuth_analysis, launch_analysis, sunlit_analysis,
+};
 use starsense_core::model::build_dataset;
 use starsense_core::vantage::paper_terminals;
 use starsense_forest::{ForestParams, MaxFeatures, RandomForest, TreeParams};
@@ -26,12 +28,8 @@ fn mini() -> Constellation {
 
 fn mini_campaign(slots: usize) -> Vec<SlotObservation> {
     let constellation = mini();
-    let campaign = Campaign::oracle(
-        &constellation,
-        paper_terminals(),
-        CampaignConfig::default(),
-        3,
-    );
+    let campaign =
+        Campaign::oracle(&constellation, paper_terminals(), CampaignConfig::default(), 3);
     campaign.run(JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0), slots)
 }
 
@@ -43,10 +41,14 @@ fn fig2_benches(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("rtt_series_10s", |b| {
         b.iter(|| {
-            let scheduler =
-                GlobalScheduler::new(SchedulerPolicy::default(), paper_terminals(), 3);
-            let mut emu =
-                Emulator::new(&constellation, scheduler, paper_pops(), EmulatorConfig::default(), 3);
+            let scheduler = GlobalScheduler::new(SchedulerPolicy::default(), paper_terminals(), 3);
+            let mut emu = Emulator::new(
+                &constellation,
+                scheduler,
+                paper_pops(),
+                EmulatorConfig::default(),
+                3,
+            );
             black_box(emu.probe_trace(0, from, 10.0))
         })
     });
@@ -65,9 +67,8 @@ fn fig3_bench(c: &mut Criterion) {
     use starsense_obstruction::{extract_trajectory, isolate};
     let constellation = mini();
     let iowa = Geodetic::new(41.66, -91.53, 0.2);
-    let start = starsense_scheduler::slots::slot_start(JulianDate::from_ymd_hms(
-        2023, 6, 1, 16, 0, 13.0,
-    ));
+    let start =
+        starsense_scheduler::slots::slot_start(JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 13.0));
     let fov = constellation.field_of_view(iowa, start, 30.0);
     let serving: Vec<u32> = fov.iter().map(|v| v.norad_id).collect();
 

@@ -1,1 +1,2 @@
 //! Criterion benches live in `benches/`; this library is intentionally empty.
+#![warn(missing_docs)]

@@ -198,14 +198,12 @@ impl ConstellationBuilder {
         for (i, (si, slot)) in slots.iter().enumerate() {
             let shell = &self.shells[*si];
             let batch_index = (i / self.batch_size as usize) as u32;
-            let frac = if n_batches > 1 {
-                batch_index as f64 / (n_batches - 1) as f64
-            } else {
-                0.0
-            };
+            let frac =
+                if n_batches > 1 { batch_index as f64 / (n_batches - 1) as f64 } else { 0.0 };
             let date = JulianDate(self.launch_start.0 + frac * span_days);
             let civil = date.to_civil();
-            let launch = LaunchBatch { index: batch_index, date, year: civil.year, month: civil.month };
+            let launch =
+                LaunchBatch { index: batch_index, date, year: civil.year, month: civil.month };
 
             let norad_id = self.first_norad_id + i as u32;
             let ecc = rng.random_range(1.0e-4..1.5e-3);
@@ -227,6 +225,7 @@ impl ConstellationBuilder {
             let published = self.publish(&elements, launch, &mut rng);
             let name = format!("STARSENSE-{norad_id}");
             let sat = Satellite::new(name, launch, elements, published)
+                // starlint: allow(P102, reason = "builder only samples valid LEO bands; an SGP4 init failure is a builder bug and must abort loudly")
                 .expect("generated elements must initialize SGP4");
             sats.push(sat);
         }
@@ -244,8 +243,7 @@ impl ConstellationBuilder {
 
         // Rewind the mean anomaly along the orbit so the published elements
         // describe (approximately) the same physical trajectory.
-        let ma_rewound =
-            (truth.mo - truth.no_kozai * lag_min).rem_euclid(std::f64::consts::TAU);
+        let ma_rewound = (truth.mo - truth.no_kozai * lag_min).rem_euclid(std::f64::consts::TAU);
 
         let k = self.fit_noise;
         let noisy_deg = |v: f64, sigma: f64, rng: &mut StdRng| v + gauss(rng) * sigma * k;

@@ -59,7 +59,15 @@ impl Satellite {
     ) -> Result<Satellite, starsense_sgp4::Sgp4Error> {
         let truth = Sgp4::new(&elements)?;
         let published_sgp4 = Sgp4::new(&published.elements())?;
-        Ok(Satellite { norad_id: elements.norad_id, name, launch, elements, published, truth, published_sgp4 })
+        Ok(Satellite {
+            norad_id: elements.norad_id,
+            name,
+            launch,
+            elements,
+            published,
+            truth,
+            published_sgp4,
+        })
     }
 
     /// True TEME position at `at` (what the operator's scheduler sees).

@@ -108,7 +108,12 @@ impl<'a> Campaign<'a> {
         config: CampaignConfig,
         seed: u64,
     ) -> Campaign<'a> {
-        Campaign { constellation, terminals, config: CampaignConfig { identified: false, ..config }, seed }
+        Campaign {
+            constellation,
+            terminals,
+            config: CampaignConfig { identified: false, ..config },
+            seed,
+        }
     }
 
     /// Identified-mode campaign (through the obstruction-map pipeline).
@@ -118,7 +123,12 @@ impl<'a> Campaign<'a> {
         config: CampaignConfig,
         seed: u64,
     ) -> Campaign<'a> {
-        Campaign { constellation, terminals, config: CampaignConfig { identified: true, ..config }, seed }
+        Campaign {
+            constellation,
+            terminals,
+            config: CampaignConfig { identified: true, ..config },
+            seed,
+        }
     }
 
     /// The terminals under measurement.
@@ -170,11 +180,7 @@ impl<'a> Campaign<'a> {
                         // Report the identified satellite's observed state,
                         // taken from the available list (all satellites in
                         // view, so a correct match is always present).
-                        alloc
-                            .available
-                            .iter()
-                            .find(|v| v.norad_id == id.norad_id)
-                            .map(SatObs::from)
+                        alloc.available.iter().find(|v| v.norad_id == id.norad_id).map(SatObs::from)
                     })
                 } else {
                     alloc.chosen.as_ref().map(SatObs::from)
@@ -204,12 +210,7 @@ pub fn for_terminal(obs: &[SlotObservation], terminal_id: usize) -> Vec<&SlotObs
 
 /// Convenience: the standard four-terminal oracle campaign of the paper.
 pub fn paper_campaign(constellation: &Constellation, seed: u64) -> Campaign<'_> {
-    Campaign::oracle(
-        constellation,
-        vantage::paper_terminals(),
-        CampaignConfig::default(),
-        seed,
-    )
+    Campaign::oracle(constellation, vantage::paper_terminals(), CampaignConfig::default(), seed)
 }
 
 #[cfg(test)]

@@ -103,8 +103,7 @@ pub fn azimuth_analysis(obs: &[SlotObservation], terminal_id: usize) -> AzimuthA
         let mut counts = [0usize; 4];
         for &az in xs {
             let q = Quadrant::of_azimuth_deg(az);
-            let idx = Quadrant::ALL.iter().position(|&x| x == q).expect("quadrant");
-            counts[idx] += 1;
+            counts[q.index()] += 1;
         }
         let total = xs.len().max(1) as f64;
         [
@@ -253,8 +252,7 @@ pub fn sunlit_analysis(obs: &[SlotObservation], terminal_id: usize) -> SunlitAna
             } else {
                 dark_picks += 1;
                 let share = n_dark as f64 / o.available.len() as f64;
-                min_dark_share =
-                    Some(min_dark_share.map_or(share, |m: f64| m.min(share)));
+                min_dark_share = Some(min_dark_share.map_or(share, |m: f64| m.min(share)));
             }
         }
     }
@@ -297,11 +295,8 @@ mod tests {
         use std::sync::OnceLock;
         static OBS: OnceLock<Vec<SlotObservation>> = OnceLock::new();
         OBS.get_or_init(|| {
-            let c = Box::leak(Box::new(
-                ConstellationBuilder::starlink_gen1().seed(41).build(),
-            ));
-            let campaign =
-                Campaign::oracle(c, paper_terminals(), CampaignConfig::default(), 41);
+            let c = Box::leak(Box::new(ConstellationBuilder::starlink_gen1().seed(41).build()));
+            let campaign = Campaign::oracle(c, paper_terminals(), CampaignConfig::default(), 41);
             // 2h of slots covering deep night for the US sites so both
             // sunlit and dark satellites appear in numbers.
             campaign.run(JulianDate::from_ymd_hms(2023, 6, 1, 6, 0, 0.0), 480)
@@ -318,8 +313,12 @@ mod tests {
             a.chosen_median_deg,
             a.available_median_deg
         );
-        assert!(a.chosen_high_band > a.available_high_band + 0.2,
-            "high-band: chosen {:.2} vs available {:.2}", a.chosen_high_band, a.available_high_band);
+        assert!(
+            a.chosen_high_band > a.available_high_band + 0.2,
+            "high-band: chosen {:.2} vs available {:.2}",
+            a.chosen_high_band,
+            a.available_high_band
+        );
         // CDF of chosen sits to the right of available at mid-elevations.
         assert!(a.chosen_ecdf.eval(50.0) < a.available_ecdf.eval(50.0));
     }

@@ -119,11 +119,14 @@ pub fn from_csv(text: &str) -> Result<Vec<SlotObservation>, DatasetError> {
                 truth_id,
             });
         }
-        let obs = out.last_mut().expect("just ensured");
-        if chosen {
-            obs.chosen = Some(sat.clone());
+        // `out` is non-empty here (pushed above when needed); stay total
+        // rather than panicking on the impossible branch.
+        if let Some(obs) = out.last_mut() {
+            if chosen {
+                obs.chosen = Some(sat.clone());
+            }
+            obs.available.push(sat);
         }
-        obs.available.push(sat);
     }
     Ok(out)
 }

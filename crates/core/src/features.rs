@@ -90,9 +90,7 @@ impl ClusterVocabulary {
                 keys.insert(cluster_of(s, &o.available));
             }
         }
-        ClusterVocabulary {
-            index: keys.into_iter().enumerate().map(|(i, k)| (k, i)).collect(),
-        }
+        ClusterVocabulary { index: keys.into_iter().enumerate().map(|(i, k)| (k, i)).collect() }
     }
 
     /// Number of clusters.
@@ -112,8 +110,7 @@ impl ClusterVocabulary {
 
     /// Cluster keys in index order.
     pub fn keys(&self) -> Vec<ClusterKey> {
-        let mut v: Vec<(usize, ClusterKey)> =
-            self.index.iter().map(|(k, &i)| (i, *k)).collect();
+        let mut v: Vec<(usize, ClusterKey)> = self.index.iter().map(|(k, &i)| (i, *k)).collect();
         v.sort_by_key(|(i, _)| *i);
         v.into_iter().map(|(_, k)| k).collect()
     }
@@ -219,7 +216,8 @@ mod tests {
 
     #[test]
     fn clusters_clamp_at_two_sigma() {
-        let mut avail: Vec<SatObs> = (0..20).map(|i| sat(100.0 + i as f64, 50.0, 300.0, true)).collect();
+        let mut avail: Vec<SatObs> =
+            (0..20).map(|i| sat(100.0 + i as f64, 50.0, 300.0, true)).collect();
         avail.push(sat(359.0, 50.0, 300.0, true)); // extreme azimuth outlier
         let k = cluster_of(avail.last().unwrap(), &avail);
         assert_eq!(k.az, 2);
@@ -240,10 +238,8 @@ mod tests {
 
     #[test]
     fn vocabulary_indexes_every_observed_cluster() {
-        let obs = vec![slot(
-            vec![sat(0.0, 30.0, 100.0, true), sat(180.0, 80.0, 900.0, false)],
-            None,
-        )];
+        let obs =
+            vec![slot(vec![sat(0.0, 30.0, 100.0, true), sat(180.0, 80.0, 900.0, false)], None)];
         let vocab = ClusterVocabulary::build(&obs);
         assert!(!vocab.is_empty());
         assert_eq!(vocab.len(), vocab.keys().len());

@@ -101,11 +101,7 @@ pub fn train_and_evaluate(
     seed: u64,
 ) -> ModelEvaluation {
     let (fx, data) = build_dataset(observations, terminal_id);
-    assert!(
-        data.len() >= 50,
-        "need at least 50 labeled slots, got {}",
-        data.len()
-    );
+    assert!(data.len() >= 50, "need at least 50 labeled slots, got {}", data.len());
 
     let (train, holdout) = data.split(0.8, seed);
 
@@ -116,19 +112,15 @@ pub fn train_and_evaluate(
     let k_values: Vec<usize> = (1..=9).collect();
     let truth: Vec<usize> = holdout.labels().to_vec();
 
-    let rf_ranked: Vec<Vec<usize>> = (0..holdout.len())
-        .map(|i| forest.predict_top_k(holdout.row(i).0, 9))
-        .collect();
-    let baseline_ranked: Vec<Vec<usize>> = (0..holdout.len())
-        .map(|i| fx.baseline_ranking(holdout.row(i).0))
-        .collect();
+    let rf_ranked: Vec<Vec<usize>> =
+        (0..holdout.len()).map(|i| forest.predict_top_k(holdout.row(i).0, 9)).collect();
+    let baseline_ranked: Vec<Vec<usize>> =
+        (0..holdout.len()).map(|i| fx.baseline_ranking(holdout.row(i).0)).collect();
 
     let rf_top_k: Vec<f64> =
         k_values.iter().map(|&k| top_k_accuracy(&rf_ranked, &truth, k)).collect();
-    let baseline_top_k: Vec<f64> = k_values
-        .iter()
-        .map(|&k| top_k_accuracy(&baseline_ranked, &truth, k))
-        .collect();
+    let baseline_top_k: Vec<f64> =
+        k_values.iter().map(|&k| top_k_accuracy(&baseline_ranked, &truth, k)).collect();
 
     ModelEvaluation {
         terminal_id,
@@ -157,9 +149,7 @@ mod tests {
         use std::sync::OnceLock;
         static OBS: OnceLock<Vec<SlotObservation>> = OnceLock::new();
         OBS.get_or_init(|| {
-            let c = Box::leak(Box::new(
-                ConstellationBuilder::starlink_gen1().seed(19).build(),
-            ));
+            let c = Box::leak(Box::new(ConstellationBuilder::starlink_gen1().seed(19).build()));
             let terminals = vec![paper_terminals().swap_remove(0)];
             let campaign = Campaign::oracle(c, terminals, CampaignConfig::default(), 19);
             // Five hours of slots: the cluster label space has ~200 classes,

@@ -17,12 +17,7 @@ pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
     };
     let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     out.push_str(&fmt_row(&head, &widths));
@@ -80,10 +75,7 @@ mod tests {
     fn table_is_aligned() {
         let t = text_table(
             &["k", "accuracy"],
-            &[
-                vec!["1".into(), "0.30".into()],
-                vec!["10".into(), "0.95".into()],
-            ],
+            &[vec!["1".into(), "0.30".into()], vec!["10".into(), "0.95".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -27,11 +27,7 @@
 
 /// Euclidean distance between two `N`-dimensional points.
 pub fn euclidean<const N: usize>(a: &[f64; N], b: &[f64; N]) -> f64 {
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
 }
 
 /// Dynamic time warping distance between two sequences of `N`-dimensional
@@ -222,12 +218,8 @@ impl<const N: usize> NearestSequence<N> {
 
     /// Ranks all candidates by ascending DTW distance.
     pub fn ranked(&self, query: &[[f64; N]]) -> Vec<(usize, f64)> {
-        let mut out: Vec<(usize, f64)> = self
-            .candidates
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, dtw_distance(query, c)))
-            .collect();
+        let mut out: Vec<(usize, f64)> =
+            self.candidates.iter().enumerate().map(|(i, c)| (i, dtw_distance(query, c))).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1));
         out
     }

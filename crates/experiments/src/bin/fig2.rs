@@ -20,18 +20,16 @@ fn main() {
     let pops = paper_pops();
 
     let scheduler = GlobalScheduler::new(SchedulerPolicy::default(), terminals, WORLD_SEED);
-    let mut emu = Emulator::new(&constellation, scheduler, pops, EmulatorConfig::default(), WORLD_SEED);
+    let mut emu =
+        Emulator::new(&constellation, scheduler, pops, EmulatorConfig::default(), WORLD_SEED);
 
     // The paper's Figure 2 spans ~3 minutes starting at 05:37:30 UTC.
     let from = starsense_astro::time::JulianDate::from_ymd_hms(2023, 6, 1, 5, 37, 30.0);
     let trace = emu.probe_trace(MADRID, from, 180.0);
 
     // Emit the full series as CSV (seconds, rtt_ms).
-    let rows: Vec<Vec<String>> = trace
-        .series()
-        .iter()
-        .map(|(t, r)| vec![format!("{t:.3}"), format!("{r:.3}")])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        trace.series().iter().map(|(t, r)| vec![format!("{t:.3}"), format!("{r:.3}")]).collect();
     write_artifact(
         "fig2_rtt_series.csv",
         &starsense_core::report::csv(&["seconds", "rtt_ms"], &rows),
@@ -55,10 +53,7 @@ fn main() {
     }
     println!(
         "{}",
-        text_table(
-            &["slot", "starts", "serving sat", "median rtt", "p25", "p75", "loss"],
-            &table
-        )
+        text_table(&["slot", "starts", "serving sat", "median rtt", "p25", "p75", "loss"], &table)
     );
 
     // §3's claim 1: boundaries at :12/:27/:42/:57.

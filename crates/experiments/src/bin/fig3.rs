@@ -26,7 +26,12 @@ fn main() {
         let at = first_mid.plus_seconds(k as f64 * SLOT_PERIOD_SECONDS);
         let allocs = scheduler.allocate(&constellation, at);
         let alloc = &allocs[IOWA];
-        captures.push(dish.play_slot(&constellation, alloc.slot, alloc.slot_start, alloc.chosen_id()));
+        captures.push(dish.play_slot(
+            &constellation,
+            alloc.slot,
+            alloc.slot_start,
+            alloc.chosen_id(),
+        ));
     }
     let prev = &captures[captures.len() - 2];
     let curr = &captures[captures.len() - 1];
@@ -36,7 +41,12 @@ fn main() {
     write_artifact("fig3c_gRPC_t.pgm", &to_pgm(&curr.map));
     write_artifact("fig3d_xor.pgm", &to_pgm(&xor));
 
-    println!("gRPC(t-1): {} px   gRPC(t): {} px   XOR: {} px\n", prev.map.count_set(), curr.map.count_set(), xor.count_set());
+    println!(
+        "gRPC(t-1): {} px   gRPC(t): {} px   XOR: {} px\n",
+        prev.map.count_set(),
+        curr.map.count_set(),
+        xor.count_set()
+    );
     println!("XOR of the two consecutive slot maps (isolated trajectory):\n{}", to_ascii(&xor));
 
     // (e): the 2-day saturation run — no resets, 11520 slots (or fewer via
@@ -48,7 +58,12 @@ fn main() {
         let at = first_mid.plus_seconds(k as f64 * SLOT_PERIOD_SECONDS);
         let allocs = scheduler.allocate(&constellation, at);
         let alloc = &allocs[IOWA];
-        last = Some(sat_dish.play_slot(&constellation, alloc.slot, alloc.slot_start, alloc.chosen_id()));
+        last = Some(sat_dish.play_slot(
+            &constellation,
+            alloc.slot,
+            alloc.slot_start,
+            alloc.chosen_id(),
+        ));
     }
     let saturated = last.expect("at least one slot").map;
     write_artifact("fig3e_saturated.pgm", &to_pgm(&saturated));
@@ -66,8 +81,16 @@ fn main() {
     match calibrate(&saturated) {
         Some(c) => {
             let rows = vec![
-                vec!["center x (px)".into(), format!("{:.1}", c.center_x), "61 (\"62\" 1-based)".into()],
-                vec!["center y (px)".into(), format!("{:.1}", c.center_y), "61 (\"62\" 1-based)".into()],
+                vec![
+                    "center x (px)".into(),
+                    format!("{:.1}", c.center_x),
+                    "61 (\"62\" 1-based)".into(),
+                ],
+                vec![
+                    "center y (px)".into(),
+                    format!("{:.1}", c.center_y),
+                    "61 (\"62\" 1-based)".into(),
+                ],
                 vec!["plot radius (px)".into(), format!("{:.1}", c.radius_px), "45".into()],
                 vec!["support (px)".into(), format!("{}", c.support), "-".into()],
             ];

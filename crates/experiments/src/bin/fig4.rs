@@ -7,7 +7,9 @@
 use starsense_core::characterize::aoe_analysis;
 use starsense_core::report::{csv, num, pct, text_table};
 use starsense_core::vantage::paper_terminals;
-use starsense_experiments::{cdf_rows, slots_from_env, standard_campaign, standard_constellation, write_artifact};
+use starsense_experiments::{
+    cdf_rows, slots_from_env, standard_campaign, standard_constellation, write_artifact,
+};
 
 fn main() {
     println!("== Figure 4: angle-of-elevation preference ==\n");
@@ -30,14 +32,24 @@ fn main() {
             pct(a.chosen_high_band),
         ]);
         shifts.push(a.median_shift_deg);
-        csv_rows.extend(cdf_rows(&format!("{name}/available"), &a.available_ecdf.curve(25.0, 90.0, 66)));
+        csv_rows.extend(cdf_rows(
+            &format!("{name}/available"),
+            &a.available_ecdf.curve(25.0, 90.0, 66),
+        ));
         csv_rows.extend(cdf_rows(&format!("{name}/chosen"), &a.chosen_ecdf.curve(25.0, 90.0, 66)));
     }
 
     println!(
         "{}",
         text_table(
-            &["location", "avail median°", "chosen median°", "shift°", "avail 45-90°", "chosen 45-90°"],
+            &[
+                "location",
+                "avail median°",
+                "chosen median°",
+                "shift°",
+                "avail 45-90°",
+                "chosen 45-90°"
+            ],
             &summary
         )
     );

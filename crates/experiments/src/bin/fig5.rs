@@ -10,7 +10,9 @@
 use starsense_core::characterize::azimuth_analysis;
 use starsense_core::report::{csv, pct, text_table};
 use starsense_core::vantage::{paper_terminals, ITHACA};
-use starsense_experiments::{cdf_rows, slots_from_env, standard_campaign, standard_constellation, write_artifact};
+use starsense_experiments::{
+    cdf_rows, slots_from_env, standard_campaign, standard_constellation, write_artifact,
+};
 
 fn main() {
     println!("== Figure 5: azimuth preference ==\n");
@@ -33,17 +35,17 @@ fn main() {
             pct(a.chosen_quadrants[2]),
             pct(a.chosen_quadrants[3]),
         ]);
-        csv_rows.extend(cdf_rows(&format!("{name}/available"), &a.available_ecdf.curve(0.0, 360.0, 73)));
+        csv_rows.extend(cdf_rows(
+            &format!("{name}/available"),
+            &a.available_ecdf.curve(0.0, 360.0, 73),
+        ));
         csv_rows.extend(cdf_rows(&format!("{name}/chosen"), &a.chosen_ecdf.curve(0.0, 360.0, 73)));
         analyses.push(a);
     }
 
     println!(
         "{}",
-        text_table(
-            &["location", "avail north", "chosen north", "NE", "SE", "SW", "NW"],
-            &rows
-        )
+        text_table(&["location", "avail north", "chosen north", "NE", "SE", "SW", "NW"], &rows)
     );
 
     // The Ithaca diagnostic.

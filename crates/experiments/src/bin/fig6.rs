@@ -8,7 +8,9 @@
 use starsense_core::characterize::launch_analysis;
 use starsense_core::report::{csv, num, text_table};
 use starsense_core::vantage::{paper_terminals, UNOBSTRUCTED};
-use starsense_experiments::{slots_from_env, standard_campaign, standard_constellation, write_artifact};
+use starsense_experiments::{
+    slots_from_env, standard_campaign, standard_constellation, write_artifact,
+};
 
 fn main() {
     println!("== Figure 6: launch-date preference ==\n");
@@ -50,13 +52,24 @@ fn main() {
         .bins
         .iter()
         .map(|b| {
-            vec![b.label.clone(), b.available.to_string(), b.picked.to_string(), format!("{:.4}", b.ratio)]
+            vec![
+                b.label.clone(),
+                b.available.to_string(),
+                b.picked.to_string(),
+                format!("{:.4}", b.ratio),
+            ]
         })
         .collect();
-    println!("\nIowa launch bins:\n{}", text_table(&["launch", "avail", "picked", "picked/avail"], &rows));
+    println!(
+        "\nIowa launch bins:\n{}",
+        text_table(&["launch", "avail", "picked", "picked/avail"], &rows)
+    );
     println!("({slots} slots per location)");
 
-    write_artifact("fig6_launch_bins.csv", &csv(&["location", "launch", "available", "picked", "ratio"], &csv_rows));
+    write_artifact(
+        "fig6_launch_bins.csv",
+        &csv(&["location", "launch", "available", "picked", "ratio"], &csv_rows),
+    );
 
     assert!(mean_r > 0.1, "launch-date preference must correlate positively");
 }

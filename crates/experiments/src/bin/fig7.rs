@@ -9,7 +9,9 @@
 use starsense_core::characterize::sunlit_analysis;
 use starsense_core::report::{csv, num, pct, text_table};
 use starsense_core::vantage::paper_terminals;
-use starsense_experiments::{cdf_rows, slots_from_env, standard_campaign, standard_constellation, write_artifact};
+use starsense_experiments::{
+    cdf_rows, slots_from_env, standard_campaign, standard_constellation, write_artifact,
+};
 
 fn main() {
     println!("== Figure 7 / §5.3: sunlit preference ==\n");
@@ -52,12 +54,23 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["location", "mixed slots", "sunlit picked", "min dark share @ dark pick", "dark>60°", "sunlit>60°", "n dark picks"],
+            &[
+                "location",
+                "mixed slots",
+                "sunlit picked",
+                "min dark share @ dark pick",
+                "dark>60°",
+                "sunlit>60°",
+                "n dark picks"
+            ],
             &rows
         )
     );
     let mean_share = shares.iter().sum::<f64>() / shares.len().max(1) as f64;
-    println!("\nmean sunlit pick share over locations with mixed slots: {} (paper: 72.3%)", pct(mean_share));
+    println!(
+        "\nmean sunlit pick share over locations with mixed slots: {} (paper: 72.3%)",
+        pct(mean_share)
+    );
     println!("({slots} slots per location; set STARSENSE_SLOTS to adjust)");
 
     write_artifact("fig7_sunlit_aoe_cdfs.csv", &csv(&["series", "aoe_deg", "cdf"], &csv_rows));

@@ -8,7 +8,9 @@
 use starsense_core::model::{default_grid, train_and_evaluate};
 use starsense_core::report::{csv, num, pct, text_table};
 use starsense_core::vantage::paper_terminals;
-use starsense_experiments::{slots_from_env, standard_campaign, standard_constellation, write_artifact, WORLD_SEED};
+use starsense_experiments::{
+    slots_from_env, standard_campaign, standard_constellation, write_artifact, WORLD_SEED,
+};
 
 fn main() {
     println!("== Figure 8: scheduler model vs baseline (top-k accuracy) ==\n");

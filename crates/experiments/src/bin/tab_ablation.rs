@@ -11,10 +11,14 @@
 //! * sunlit terms off → the §5.3 sunlit preference collapses.
 
 use starsense_core::campaign::{Campaign, CampaignConfig};
-use starsense_core::characterize::{aoe_analysis, azimuth_analysis, launch_analysis, sunlit_analysis};
+use starsense_core::characterize::{
+    aoe_analysis, azimuth_analysis, launch_analysis, sunlit_analysis,
+};
 use starsense_core::report::{csv, num, text_table};
 use starsense_core::vantage::{paper_terminals, IOWA};
-use starsense_experiments::{campaign_start, slots_from_env, standard_constellation, write_artifact, WORLD_SEED};
+use starsense_experiments::{
+    campaign_start, slots_from_env, standard_constellation, write_artifact, WORLD_SEED,
+};
 use starsense_scheduler::SchedulerPolicy;
 
 struct Metrics {

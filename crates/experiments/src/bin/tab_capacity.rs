@@ -6,13 +6,13 @@
 //! (driven by the new satellite's elevation and MAC share), and the
 //! per-slot loss profile showing the handover burst at slot boundaries.
 
+use starsense_astro::time::JulianDate;
 use starsense_core::report::{csv, num, pct, text_table};
 use starsense_core::vantage::{paper_terminals, IOWA};
 use starsense_experiments::{slots_from_env, standard_constellation, write_artifact, WORLD_SEED};
 use starsense_netemu::groundstation::paper_pops;
 use starsense_netemu::{Emulator, EmulatorConfig, IperfSender};
 use starsense_scheduler::{GlobalScheduler, SchedulerPolicy};
-use starsense_astro::time::JulianDate;
 
 fn main() {
     println!("== §3 companion: per-slot uplink capacity and handover loss ==\n");
@@ -22,7 +22,13 @@ fn main() {
 
     // Capacity trace.
     let scheduler = GlobalScheduler::new(SchedulerPolicy::default(), paper_terminals(), WORLD_SEED);
-    let mut emu = Emulator::new(&constellation, scheduler, paper_pops(), EmulatorConfig::default(), WORLD_SEED);
+    let mut emu = Emulator::new(
+        &constellation,
+        scheduler,
+        paper_pops(),
+        EmulatorConfig::default(),
+        WORLD_SEED,
+    );
     let recs = emu.throughput_trace(IOWA, from, slots);
 
     // The paper's iPerf at 50% of a 40 Mbit/s-class upstream.
@@ -42,7 +48,14 @@ fn main() {
                 num(t.terminal_share_mbps, 1),
                 (if sender.sustainable(&t) { "yes" } else { "no" }).to_string(),
             ]),
-            None => rows.push(vec![r.slot.to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]),
+            None => rows.push(vec![
+                r.slot.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     for r in &recs {
@@ -77,15 +90,19 @@ fn main() {
 
     // Handover loss profile: loss rate by offset within the slot.
     let scheduler = GlobalScheduler::new(SchedulerPolicy::default(), paper_terminals(), WORLD_SEED);
-    let mut emu = Emulator::new(&constellation, scheduler, paper_pops(), EmulatorConfig::default(), WORLD_SEED);
+    let mut emu = Emulator::new(
+        &constellation,
+        scheduler,
+        paper_pops(),
+        EmulatorConfig::default(),
+        WORLD_SEED,
+    );
     let trace = emu.probe_trace(IOWA, from, slots as f64 * 15.0);
 
     let mut bins = vec![(0usize, 0usize); 15]; // (lost, total) per 1 s offset
     for rec in &trace.records {
-        let offset = rec
-            .at
-            .seconds_since(starsense_scheduler::slots::slot_start(rec.at))
-            .clamp(0.0, 14.999);
+        let offset =
+            rec.at.seconds_since(starsense_scheduler::slots::slot_start(rec.at)).clamp(0.0, 14.999);
         let bin = offset as usize;
         bins[bin].1 += 1;
         if rec.rtt_ms.is_none() {
@@ -109,7 +126,8 @@ fn main() {
     );
 
     let first = bins[0].0 as f64 / bins[0].1.max(1) as f64;
-    let rest: f64 = bins[1..].iter().map(|(l, t)| *l as f64 / (*t).max(1) as f64).sum::<f64>() / 14.0;
+    let rest: f64 =
+        bins[1..].iter().map(|(l, t)| *l as f64 / (*t).max(1) as f64).sum::<f64>() / 14.0;
     println!("first-second loss {} vs steady-state {}", pct(first), pct(rest));
     assert!(first > 2.0 * rest, "handover burst must dominate steady-state loss");
 }

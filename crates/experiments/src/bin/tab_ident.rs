@@ -23,13 +23,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for (lo, hi) in [(0.0, 0.5), (0.0, 6.0), (6.0, 12.0), (12.0, 24.0)] {
-        let constellation = ConstellationBuilder::starlink_gen1()
-            .seed(WORLD_SEED)
-            .staleness_hours(lo, hi)
-            .build();
+        let constellation =
+            ConstellationBuilder::starlink_gen1().seed(WORLD_SEED).staleness_hours(lo, hi).build();
         let terminals = vec![Terminal::new(0, "Iowa", location)];
-        let mut scheduler =
-            GlobalScheduler::new(SchedulerPolicy::default(), terminals, WORLD_SEED);
+        let mut scheduler = GlobalScheduler::new(SchedulerPolicy::default(), terminals, WORLD_SEED);
         let report = run_validation(&constellation, &mut scheduler, 0, campaign_start(), slots);
 
         rows.push(vec![
@@ -61,7 +58,16 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["TLE staleness", "slots", "attempted", "correct", "wrong", "skipped", "accuracy", "mean margin"],
+            &[
+                "TLE staleness",
+                "slots",
+                "attempted",
+                "correct",
+                "wrong",
+                "skipped",
+                "accuracy",
+                "mean margin"
+            ],
             &rows
         )
     );

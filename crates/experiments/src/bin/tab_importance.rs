@@ -7,7 +7,9 @@
 use starsense_core::model::{default_grid, train_and_evaluate};
 use starsense_core::report::{csv, num, text_table};
 use starsense_core::vantage::paper_terminals;
-use starsense_experiments::{slots_from_env, standard_campaign, standard_constellation, write_artifact, WORLD_SEED};
+use starsense_experiments::{
+    slots_from_env, standard_campaign, standard_constellation, write_artifact, WORLD_SEED,
+};
 
 fn main() {
     println!("== §6: gini feature importances ==\n");
@@ -20,12 +22,8 @@ fn main() {
     let mut csv_rows = Vec::new();
     for (tid, name) in names.iter().enumerate() {
         let eval = train_and_evaluate(&obs, tid, &grid, WORLD_SEED ^ tid as u64);
-        let top: Vec<Vec<String>> = eval
-            .importances
-            .iter()
-            .take(12)
-            .map(|(n, v)| vec![n.clone(), num(*v, 4)])
-            .collect();
+        let top: Vec<Vec<String>> =
+            eval.importances.iter().take(12).map(|(n, v)| vec![n.clone(), num(*v, 4)]).collect();
         println!("--- {name} ---\n{}", text_table(&["feature", "gini importance"], &top));
 
         let local_hour_rank = eval

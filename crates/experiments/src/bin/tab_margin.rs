@@ -22,10 +22,8 @@ fn main() {
     let location = Geodetic::new(41.66, -91.53, 0.2);
 
     // Run under moderately stale TLEs so errors exist to be filtered.
-    let constellation = ConstellationBuilder::starlink_gen1()
-        .seed(WORLD_SEED)
-        .staleness_hours(4.0, 10.0)
-        .build();
+    let constellation =
+        ConstellationBuilder::starlink_gen1().seed(WORLD_SEED).staleness_hours(4.0, 10.0).build();
     let terminals = vec![Terminal::new(0, "Iowa", location)];
     let mut scheduler = GlobalScheduler::new(SchedulerPolicy::default(), terminals, WORLD_SEED);
 
@@ -37,7 +35,8 @@ fn main() {
     for k in 0..slots {
         let at = first_mid.plus_seconds(k as f64 * SLOT_PERIOD_SECONDS);
         let alloc = scheduler.allocate(&constellation, at).swap_remove(0);
-        let capture = dish.play_slot(&constellation, alloc.slot, alloc.slot_start, alloc.chosen_id());
+        let capture =
+            dish.play_slot(&constellation, alloc.slot, alloc.slot_start, alloc.chosen_id());
         let usable_prev = if capture.after_reset { None } else { prev.as_ref() };
         if let (Some(p), Some(truth)) = (usable_prev, alloc.chosen_id()) {
             if let Some(id) = identify_slot(
@@ -57,12 +56,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for threshold in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7] {
-        let kept: Vec<&(f64, bool)> =
-            attempts.iter().filter(|(m, _)| *m >= threshold).collect();
+        let kept: Vec<&(f64, bool)> = attempts.iter().filter(|(m, _)| *m >= threshold).collect();
         let correct = kept.iter().filter(|(_, ok)| *ok).count();
         let coverage = kept.len() as f64 / total.max(1) as f64;
-        let precision =
-            if kept.is_empty() { f64::NAN } else { correct as f64 / kept.len() as f64 };
+        let precision = if kept.is_empty() { f64::NAN } else { correct as f64 / kept.len() as f64 };
         rows.push(vec![
             format!("{threshold:.1}"),
             kept.len().to_string(),
@@ -76,10 +73,7 @@ fn main() {
         ]);
     }
 
-    println!(
-        "{}",
-        text_table(&["margin ≥", "answered", "coverage", "precision"], &rows)
-    );
+    println!("{}", text_table(&["margin ≥", "answered", "coverage", "precision"], &rows));
     println!("({total} attempted slots under 4-10 h TLE staleness)");
     write_artifact(
         "tab_margin.csv",
@@ -95,10 +89,7 @@ fn main() {
     let high: Vec<&(f64, bool)> = attempts.iter().filter(|(m, _)| *m >= 0.5).collect();
     if high.len() >= 20 {
         let p_high = high.iter().filter(|(_, c)| *c).count() as f64 / high.len() as f64;
-        assert!(
-            p_high >= p0,
-            "high-margin precision {p_high:.3} must not fall below base {p0:.3}"
-        );
+        assert!(p_high >= p0, "high-margin precision {p_high:.3} must not fall below base {p0:.3}");
         println!("\nbase precision {} → {} at margin ≥ 0.5", pct(p0), pct(p_high));
     }
 }

@@ -12,7 +12,9 @@ use starsense_astro::frames::Geodetic;
 use starsense_core::campaign::{Campaign, CampaignConfig};
 use starsense_core::characterize::{aoe_analysis, azimuth_analysis};
 use starsense_core::report::{csv, num, pct, text_table};
-use starsense_experiments::{campaign_start, slots_from_env, standard_constellation, write_artifact, WORLD_SEED};
+use starsense_experiments::{
+    campaign_start, slots_from_env, standard_constellation, write_artifact, WORLD_SEED,
+};
 use starsense_scheduler::Terminal;
 
 fn main() {
@@ -54,10 +56,7 @@ fn main() {
         ]);
     }
 
-    println!(
-        "{}",
-        text_table(&["terminal", "chosen north", "chosen south", "AOE shift°"], &rows)
-    );
+    println!("{}", text_table(&["terminal", "chosen north", "chosen south", "AOE shift°"], &rows));
     println!("({slots} slots per terminal)");
     write_artifact(
         "tab_southern.csv",
@@ -77,5 +76,7 @@ fn main() {
         "elevation preference must survive the hemisphere flip: {:.1}°",
         shifts[1]
     );
-    println!("\nconfirmed: azimuth preference flips with the hemisphere, elevation preference does not");
+    println!(
+        "\nconfirmed: azimuth preference flips with the hemisphere, elevation preference does not"
+    );
 }

@@ -31,16 +31,10 @@ impl Dataset {
         assert_eq!(features.len(), labels.len(), "one label per row");
         assert!(n_classes > 0, "need at least one class");
         if let Some(first) = features.first() {
-            assert!(
-                features.iter().all(|r| r.len() == first.len()),
-                "ragged feature rows"
-            );
+            assert!(features.iter().all(|r| r.len() == first.len()), "ragged feature rows");
             assert_eq!(feature_names.len(), first.len(), "one name per feature");
         }
-        assert!(
-            labels.iter().all(|&l| l < n_classes),
-            "label out of range"
-        );
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
         Dataset { features, labels, n_classes, feature_names }
     }
 
@@ -137,10 +131,8 @@ impl Dataset {
 
         (0..k)
             .map(|f| {
-                let test: Vec<usize> =
-                    (0..self.len()).filter(|&i| fold_of[i] == f).collect();
-                let train: Vec<usize> =
-                    (0..self.len()).filter(|&i| fold_of[i] != f).collect();
+                let test: Vec<usize> = (0..self.len()).filter(|&i| fold_of[i] == f).collect();
+                let train: Vec<usize> = (0..self.len()).filter(|&i| fold_of[i] != f).collect();
                 (train, test)
             })
             .collect()

@@ -150,11 +150,7 @@ impl RandomForest {
     /// Most likely class.
     pub fn predict(&self, row: &[f64]) -> usize {
         let p = self.predict_proba(row);
-        p.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        p.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
     }
 
     /// The `k` most likely classes, most probable first — the prediction
@@ -190,8 +186,7 @@ impl RandomForest {
     /// feature-importance table prints.
     pub fn ranked_importances(&self) -> Vec<(String, f64)> {
         let imp = self.feature_importances();
-        let mut pairs: Vec<(String, f64)> =
-            self.feature_names.iter().cloned().zip(imp).collect();
+        let mut pairs: Vec<(String, f64)> = self.feature_names.iter().cloned().zip(imp).collect();
         pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
         pairs
     }
@@ -221,8 +216,7 @@ mod tests {
     fn forest_classifies_blobs() {
         let d = blobs3();
         let f = RandomForest::fit(&d, &ForestParams { n_trees: 30, ..Default::default() }, 7);
-        let correct =
-            (0..d.len()).filter(|&i| f.predict(d.row(i).0) == d.row(i).1).count();
+        let correct = (0..d.len()).filter(|&i| f.predict(d.row(i).0) == d.row(i).1).count();
         assert!(correct as f64 / d.len() as f64 > 0.95, "train accuracy {correct}/150");
     }
 
@@ -274,10 +268,8 @@ mod tests {
     #[test]
     fn more_trees_do_not_hurt_on_train_data() {
         let d = blobs3();
-        let small =
-            RandomForest::fit(&d, &ForestParams { n_trees: 2, ..Default::default() }, 9);
-        let big =
-            RandomForest::fit(&d, &ForestParams { n_trees: 40, ..Default::default() }, 9);
+        let small = RandomForest::fit(&d, &ForestParams { n_trees: 2, ..Default::default() }, 9);
+        let big = RandomForest::fit(&d, &ForestParams { n_trees: 40, ..Default::default() }, 9);
         let acc = |f: &RandomForest| {
             (0..d.len()).filter(|&i| f.predict(d.row(i).0) == d.row(i).1).count()
         };

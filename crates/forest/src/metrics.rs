@@ -66,10 +66,7 @@ mod tests {
     fn top_1_equals_plain_accuracy() {
         let ranked = vec![vec![0], vec![1], vec![2]];
         let truth = vec![0, 2, 2];
-        assert_eq!(
-            top_k_accuracy(&ranked, &truth, 1),
-            accuracy(&[0, 1, 2], &truth)
-        );
+        assert_eq!(top_k_accuracy(&ranked, &truth, 1), accuracy(&[0, 1, 2], &truth));
     }
 
     #[test]

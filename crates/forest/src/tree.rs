@@ -102,15 +102,7 @@ impl DecisionTree {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut importances = vec![0.0; data.width()];
         let mut idx = indices.to_vec();
-        let root = grow(
-            data,
-            &mut idx,
-            params,
-            0,
-            indices.len(),
-            &mut rng,
-            &mut importances,
-        );
+        let root = grow(data, &mut idx, params, 0, indices.len(), &mut rng, &mut importances);
         DecisionTree { root, n_classes: data.n_classes(), importances }
     }
 
@@ -166,11 +158,7 @@ impl DecisionTree {
 }
 
 fn argmax(xs: &[f64]) -> usize {
-    xs.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    xs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
 }
 
 fn class_counts(data: &Dataset, indices: &[usize]) -> Vec<usize> {
@@ -210,9 +198,9 @@ fn grow(
     let node_impurity = gini(&counts, indices.len());
 
     // Stopping conditions.
-    if depth >= params.max_depth
-        || indices.len() < params.min_samples_split
-        || node_impurity == 0.0
+    // Gini impurity is non-negative in exact arithmetic; `<=` makes the
+    // pure-node stop robust to float rounding without an exact `==`.
+    if depth >= params.max_depth || indices.len() < params.min_samples_split || node_impurity <= 0.0
     {
         return leaf(data, indices);
     }

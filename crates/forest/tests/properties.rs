@@ -7,15 +7,12 @@ use starsense_forest::{
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (2usize..5, 10usize..60).prop_flat_map(|(classes, rows)| {
-        prop::collection::vec(
-            (prop::collection::vec(-10.0f64..10.0, 3), 0usize..classes),
-            rows,
-        )
-        .prop_map(move |data| {
-            let features: Vec<Vec<f64>> = data.iter().map(|(f, _)| f.clone()).collect();
-            let labels: Vec<usize> = data.iter().map(|(_, l)| *l).collect();
-            Dataset::unnamed(features, labels, classes)
-        })
+        prop::collection::vec((prop::collection::vec(-10.0f64..10.0, 3), 0usize..classes), rows)
+            .prop_map(move |data| {
+                let features: Vec<Vec<f64>> = data.iter().map(|(f, _)| f.clone()).collect();
+                let labels: Vec<usize> = data.iter().map(|(_, l)| *l).collect();
+                Dataset::unnamed(features, labels, classes)
+            })
     })
 }
 

@@ -138,10 +138,7 @@ mod tests {
     }
 
     fn a_visible_sat(c: &Constellation, loc: Geodetic, at: JulianDate) -> u32 {
-        c.field_of_view(loc, at, 40.0)
-            .first()
-            .expect("some satellite above 40°")
-            .norad_id
+        c.field_of_view(loc, at, 40.0).first().expect("some satellite above 40°").norad_id
     }
 
     #[test]
@@ -171,12 +168,8 @@ mod tests {
         let fov = c.field_of_view(loc, start, 40.0);
         let cap1 = dish.play_slot(&c, 0, start, Some(fov[0].norad_id));
         let n1 = cap1.map.count_set();
-        let cap2 = dish.play_slot(
-            &c,
-            1,
-            start.plus_seconds(15.0),
-            Some(fov[1 % fov.len()].norad_id),
-        );
+        let cap2 =
+            dish.play_slot(&c, 1, start.plus_seconds(15.0), Some(fov[1 % fov.len()].norad_id));
         assert!(cap2.map.count_set() >= n1, "map must be cumulative");
     }
 

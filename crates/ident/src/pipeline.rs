@@ -27,7 +27,9 @@ impl IdentifiedSat {
     /// A crude confidence signal in `[0, 1]`: how decisively the winner
     /// beat the runner-up.
     pub fn margin(&self) -> f64 {
-        if !self.runner_up.is_finite() || self.runner_up == 0.0 {
+        // DTW distances are non-negative, so `<=` covers the exact-zero
+        // runner-up without an exact float `==`.
+        if !self.runner_up.is_finite() || self.runner_up <= 0.0 {
             return 1.0;
         }
         (1.0 - self.distance / self.runner_up).clamp(0.0, 1.0)

@@ -101,7 +101,6 @@ pub fn run_validation(
         }
 
         prev_capture = Some(capture);
-
     }
 
     report.mean_margin =
@@ -119,8 +118,7 @@ mod tests {
     #[test]
     fn validation_accuracy_is_high() {
         let c = ConstellationBuilder::starlink_gen1().seed(21).build();
-        let terminals =
-            vec![Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2))];
+        let terminals = vec![Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2))];
         let mut sched = GlobalScheduler::new(SchedulerPolicy::default(), terminals, 21);
         let from = JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 0.0);
         let report = run_validation(&c, &mut sched, 0, from, 60);

@@ -1,0 +1,110 @@
+//! `starlint` — static analysis for the starsense workspace.
+//!
+//! Usage:
+//!
+//! ```text
+//! starlint [--root <dir>] [--format text|json] [--explain [CODE]]
+//! ```
+//!
+//! Walks the workspace's `Cargo.toml` members, lints every `.rs` file, and
+//! exits with the finding count (capped at 100) so shells and CI can gate
+//! on it. `--format json` emits one machine-readable object on stdout.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use starsense_lint::rules::RULES;
+use starsense_lint::workspace::lint_workspace;
+
+/// Maximum process exit code; larger finding counts saturate here.
+const MAX_EXIT: u8 = 100;
+
+fn usage() -> &'static str {
+    "usage: starlint [--root <dir>] [--format text|json] [--explain [CODE]]"
+}
+
+/// Ascends from `start` to the nearest directory whose Cargo.toml declares
+/// a `[workspace]`, falling back to `start` itself.
+fn find_workspace_root(start: &Path) -> PathBuf {
+    // A relative start (the default `.`) has no parent chain to ascend, so
+    // resolve it first; keep the original on canonicalization failure and
+    // let lint_workspace surface the IO error.
+    let mut dir = start.canonicalize().unwrap_or_else(|_| start.to_path_buf());
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(body) = std::fs::read_to_string(&manifest) {
+            if body.contains("[workspace]") {
+                return dir;
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent.to_path_buf(),
+            None => return start.to_path_buf(),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => {
+                    eprintln!("{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => {
+                let filter = args.next();
+                let mut matched = false;
+                for (code, desc) in RULES {
+                    if filter.as_deref().map_or(true, |f| f.eq_ignore_ascii_case(code)) {
+                        println!("{code}  {desc}");
+                        matched = true;
+                    }
+                }
+                if !matched {
+                    eprintln!("starlint: unknown rule code `{}`", filter.unwrap_or_default());
+                    return ExitCode::from(2);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("starlint: unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let start = root.unwrap_or_else(|| PathBuf::from("."));
+    let root = find_workspace_root(&start);
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("starlint: cannot lint {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    ExitCode::from(report.findings.len().min(MAX_EXIT as usize) as u8)
+}

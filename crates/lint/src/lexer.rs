@@ -1,0 +1,533 @@
+//! A minimal, self-contained Rust lexer.
+//!
+//! The offline dependency policy forbids `syn` and friends, so `starlint`
+//! carries its own tokenizer. It understands exactly enough of the
+//! language to make token-stream linting sound: string literals (with
+//! escapes), raw strings with arbitrary `#` fences, byte/C strings, char
+//! literals vs. lifetimes, nested block comments, doc comments, numeric
+//! literals (including the `1.` / `1..2` / `1.max(2)` ambiguities), and
+//! maximal-munch multi-character operators.
+//!
+//! Every token carries its byte span into the original source, so
+//! `&src[tok.start..tok.start + tok.text.len()] == tok.text` always holds
+//! — the property suite round-trips this on pathological inputs.
+
+/// Lexical class of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the engine matches on the text).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal, including hex/octal/binary forms and suffixes.
+    Int,
+    /// Float literal, including exponent forms and `f32`/`f64` suffixes.
+    Float,
+    /// String literal `"..."`, byte string `b"..."`, or C string `c"..."`.
+    Str,
+    /// Raw string literal `r"..."` / `r#"..."#` (and `br`/`cr` forms).
+    RawStr,
+    /// Character literal such as `'x'` or `'\n'`.
+    Char,
+    /// Non-doc line comment `// ...`.
+    LineComment,
+    /// Doc line comment `/// ...` or `//! ...`.
+    DocComment,
+    /// Block comment `/* ... */` (nested), doc or not.
+    BlockComment,
+    /// Operator or delimiter, possibly multi-character (`==`, `..=`, …).
+    Punct,
+    /// A byte sequence the lexer does not recognize (kept, never dropped).
+    Unknown,
+}
+
+/// One lexed token with its position in the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: &'a str,
+    /// Byte offset of the token's first byte in the source.
+    pub start: usize,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte within its line.
+    pub col: u32,
+}
+
+/// Multi-character operators, longest first so munching is maximal.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    /// Advances past one char, maintaining line/column bookkeeping.
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src` in full. Never fails: unrecognized bytes become
+/// [`TokenKind::Unknown`] tokens and unterminated literals or comments
+/// extend to end of input.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while !cur.eof() {
+        // Skip whitespace between tokens.
+        while let Some(c) = cur.peek() {
+            if c.is_whitespace() {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        if cur.eof() {
+            break;
+        }
+        let start = cur.pos;
+        let (line, col) = (cur.line, cur.col);
+        let kind = lex_one(&mut cur);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        out.push(Token { kind, text: &src[start..cur.pos], start, line, col });
+    }
+    out
+}
+
+/// Lexes the single token starting at the cursor (not on whitespace/EOF).
+fn lex_one(cur: &mut Cursor<'_>) -> TokenKind {
+    let c = match cur.peek() {
+        Some(c) => c,
+        None => return TokenKind::Unknown,
+    };
+
+    if cur.starts_with("//") {
+        return lex_line_comment(cur);
+    }
+    if cur.starts_with("/*") {
+        return lex_block_comment(cur);
+    }
+    if c == '"' {
+        cur.bump();
+        lex_string_body(cur);
+        return TokenKind::Str;
+    }
+    if c == '\'' {
+        return lex_quote(cur);
+    }
+    if c.is_ascii_digit() {
+        return lex_number(cur);
+    }
+    if is_ident_start(c) {
+        return lex_ident_or_prefixed(cur);
+    }
+    // Maximal-munch operators, then any single char as punctuation.
+    for op in OPERATORS {
+        if cur.starts_with(op) {
+            cur.bump_n(op.chars().count());
+            return TokenKind::Punct;
+        }
+    }
+    cur.bump();
+    if c.is_ascii_punctuation() {
+        TokenKind::Punct
+    } else {
+        TokenKind::Unknown
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    // `///` (but not `////`) and `//!` are doc comments.
+    let doc = (cur.starts_with("///") && !cur.starts_with("////")) || cur.starts_with("//!");
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        cur.bump();
+    }
+    if doc {
+        TokenKind::DocComment
+    } else {
+        TokenKind::LineComment
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump_n(2); // consume `/*`
+    let mut depth = 1u32;
+    while depth > 0 && !cur.eof() {
+        if cur.starts_with("/*") {
+            depth += 1;
+            cur.bump_n(2);
+        } else if cur.starts_with("*/") {
+            depth -= 1;
+            cur.bump_n(2);
+        } else {
+            cur.bump();
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// Consumes a double-quoted string body after the opening quote.
+fn lex_string_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        cur.bump();
+        if c == '\\' {
+            // The escaped character (incl. `\"` and `\\`) is part of the
+            // literal; `\u{..}` needs no special casing because `u` is the
+            // escaped char and braces are ordinary body chars.
+            cur.bump();
+        } else if c == '"' {
+            return;
+        }
+    }
+}
+
+/// Consumes a raw string starting at `r`/`br`/`cr` + fences. Assumes the
+/// caller verified the shape. Terminates at `"` followed by the same
+/// number of `#` fences.
+fn lex_raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    // Opening quote.
+    cur.bump();
+    while !cur.eof() {
+        if cur.peek() == Some('"') {
+            let mut ok = true;
+            for k in 0..hashes {
+                if cur.peek_at(1 + k) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                cur.bump_n(1 + hashes);
+                return;
+            }
+        }
+        cur.bump();
+    }
+}
+
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    // Disambiguate lifetime `'a` from char `'a'`.
+    let next = cur.peek_at(1);
+    let after = cur.peek_at(2);
+    match next {
+        Some(n) if is_ident_start(n) && after != Some('\'') => {
+            // Lifetime: consume `'` then the identifier.
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Lifetime
+        }
+        _ => {
+            // Char literal. Consume opening quote, then body with escapes.
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                cur.bump();
+                if c == '\\' {
+                    cur.bump();
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            TokenKind::Char
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut float = false;
+    if cur.starts_with("0x") || cur.starts_with("0o") || cur.starts_with("0b") {
+        cur.bump_n(2);
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_hexdigit() || c == '_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        consume_suffix(cur);
+        return TokenKind::Int;
+    }
+    consume_digits(cur);
+    // A `.` continues the number only if it is not `..` (range) and not
+    // followed by an identifier (method call like `1.max(2)`).
+    if cur.peek() == Some('.') {
+        match cur.peek_at(1) {
+            Some(c2) if c2 == '.' || is_ident_start(c2) => {}
+            _ => {
+                float = true;
+                cur.bump();
+                consume_digits(cur);
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some('e') | Some('E')) {
+        let (a, b) = (cur.peek_at(1), cur.peek_at(2));
+        let exp_digits = matches!(a, Some(d) if d.is_ascii_digit())
+            || (matches!(a, Some('+') | Some('-')) && matches!(b, Some(d) if d.is_ascii_digit()));
+        if exp_digits {
+            float = true;
+            cur.bump(); // e
+            if matches!(cur.peek(), Some('+') | Some('-')) {
+                cur.bump();
+            }
+            consume_digits(cur);
+        }
+    }
+    // Type suffix (`u32`, `f64`, …).
+    let suffix_start = cur.pos;
+    consume_suffix(cur);
+    let suffix = &cur.src[suffix_start..cur.pos];
+    if suffix.starts_with('f') {
+        float = true;
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+fn consume_digits(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() || c == '_' {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+fn consume_suffix(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Lexes either a plain identifier or a prefixed string literal
+/// (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `cr"…"`, raw identifiers).
+fn lex_ident_or_prefixed(cur: &mut Cursor<'_>) -> TokenKind {
+    let start = cur.pos;
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let ident = &cur.src[start..cur.pos];
+    let raw_capable = matches!(ident, "r" | "br" | "cr");
+    let plain_str_prefix = matches!(ident, "b" | "c");
+
+    if raw_capable {
+        // Count fences, then require a quote.
+        let mut hashes = 0usize;
+        while cur.peek_at(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if cur.peek_at(hashes) == Some('"') {
+            cur.bump_n(hashes);
+            lex_raw_string_body(cur, hashes);
+            return TokenKind::RawStr;
+        }
+        if ident == "r" && hashes == 1 {
+            // Raw identifier `r#foo`: consume the fence and the name.
+            if matches!(cur.peek_at(1), Some(c) if is_ident_start(c)) {
+                cur.bump(); // '#'
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                return TokenKind::Ident;
+            }
+        }
+    } else if plain_str_prefix && cur.peek() == Some('"') {
+        cur.bump();
+        lex_string_body(cur);
+        return TokenKind::Str;
+    }
+    TokenKind::Ident
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn spans_slice_back_to_source() {
+        let src = "let x = 1.5e3; // done\nfn f(a: &str) -> u8 { b\"hi\" }";
+        for t in lex(src) {
+            assert_eq!(&src[t.start..t.start + t.text.len()], t.text);
+        }
+    }
+
+    #[test]
+    fn strings_swallow_escapes_and_quotes() {
+        let toks = kinds(r#"let s = "he said \"unwrap()\" loudly"; x"#);
+        assert!(toks.contains(&(TokenKind::Str, r#""he said \"unwrap()\" loudly""#)));
+        assert!(toks.contains(&(TokenKind::Ident, "x")));
+    }
+
+    #[test]
+    fn raw_strings_respect_fences() {
+        let src = r###"let s = r#"contains "quotes" and \ slashes"# ;"###;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::RawStr && t.contains("quotes")));
+        assert_eq!(toks.last(), Some(&(TokenKind::Punct, ";")));
+    }
+
+    #[test]
+    fn byte_and_c_strings_lex_as_strings() {
+        let toks = kinds(r####"(b"bytes", c"cstr", br##"raw"##)"####);
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| matches!(k, TokenKind::Str | TokenKind::RawStr)).collect();
+        assert_eq!(strs.len(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("before /* outer /* inner */ still outer */ after");
+        assert_eq!(toks.first().map(|(k, t)| (*k, *t)), Some((TokenKind::Ident, "before")));
+        assert_eq!(toks.last().map(|(k, t)| (*k, *t)), Some((TokenKind::Ident, "after")));
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let toks = kinds("/// outer docs\n//! inner docs\n// plain\n//// not doc");
+        let ks: Vec<TokenKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::DocComment,
+                TokenKind::DocComment,
+                TokenKind::LineComment,
+                TokenKind::LineComment
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let toks = kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let q = '\''; let u = '_'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).map(|(_, t)| *t).collect();
+        assert_eq!(chars, vec!["'x'", r"'\''", "'_'"]);
+    }
+
+    #[test]
+    fn numbers_floats_ranges_and_method_calls() {
+        let toks = kinds("1.5 + 2. + 3e4 + 0x1f + 1..2 + 1.max(2) + 7f64 + 1_000");
+        let floats: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Float).map(|(_, t)| *t).collect();
+        assert_eq!(floats, vec!["1.5", "2.", "3e4", "7f64"]);
+        assert!(toks.contains(&(TokenKind::Punct, "..")));
+        assert!(toks.contains(&(TokenKind::Int, "0x1f")));
+        assert!(toks.contains(&(TokenKind::Int, "1_000")));
+    }
+
+    #[test]
+    fn operators_munch_maximally() {
+        let toks = kinds("a == b != c ..= d ; e <= f >= g && h");
+        assert!(toks.contains(&(TokenKind::Punct, "==")));
+        assert!(toks.contains(&(TokenKind::Punct, "!=")));
+        assert!(toks.contains(&(TokenKind::Punct, "..=")));
+        assert!(toks.contains(&(TokenKind::Punct, "<=")));
+        assert!(toks.contains(&(TokenKind::Punct, ">=")));
+        assert!(toks.contains(&(TokenKind::Punct, "&&")));
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof_without_panic() {
+        for src in ["\"never closed", "/* never closed", "r#\"never closed", "'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+        }
+    }
+
+    #[test]
+    fn line_and_col_are_one_based_and_track_newlines() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type")));
+    }
+}

@@ -1,0 +1,28 @@
+//! `starlint`: from-scratch static analysis for the starsense workspace.
+//!
+//! DESIGN.md §5 promises that every figure is exactly reproducible — all
+//! randomness flows from explicit seeds and no wall-clock time leaks into
+//! the simulation — and §7 promises documented, panic-free library code.
+//! The compiler checks none of that, so this crate does. It ships its own
+//! minimal lexer (no `syn`, no `clippy`; the offline dependency policy
+//! forbids both) and a token-stream rule engine with three rule families:
+//!
+//! * **D-series (determinism)** — entropy sources, wall-clock reads, and
+//!   hash-order iteration in simulation crates;
+//! * **P-series (panic-safety)** — `unwrap`/`expect`/`panic!` and friends
+//!   in library code;
+//! * **Q-series (quality)** — float `==`, missing `#![warn(missing_docs)]`
+//!   crate attributes, and leftover debug printing in library code.
+//!
+//! Findings can be suppressed, one site at a time, with
+//! `// starlint: allow(CODE, reason = "...")` on the offending line or the
+//! line above it; the reason string must be non-empty.
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use lexer::{lex, Token, TokenKind};
+pub use rules::{check_file, FileContext, FileKind, Finding, CRATE_ROOT_ATTR};
+pub use workspace::{lint_workspace, CrateRole, LintReport};

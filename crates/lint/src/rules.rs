@@ -1,0 +1,781 @@
+//! Token-stream lint rules and the per-file checking engine.
+//!
+//! Rules are grouped in three families (DESIGN.md §5/§7):
+//!
+//! | Code | Meaning |
+//! |------|---------|
+//! | D101 | `SystemTime::now` in simulation library code |
+//! | D102 | `Instant::now` in simulation library code |
+//! | D103 | entropy-seeded RNG (`thread_rng`, `rand::rng`, `from_entropy`) |
+//! | D201 | iteration over `HashMap`/`HashSet` (nondeterministic order) |
+//! | P101 | `.unwrap()` in library code |
+//! | P102 | `.expect()` in library code |
+//! | P103 | `panic!` in library code |
+//! | P104 | `unimplemented!` / `todo!` in library code |
+//! | Q101 | `==` / `!=` with a float operand |
+//! | Q201 | `println!`/`print!`/`eprintln!`/`eprint!`/`dbg!` in library code |
+//! | Q301 | crate root missing `#![warn(missing_docs)]` |
+//! | A001 | `starlint: allow` directive without a non-empty reason |
+//! | A002 | `starlint: allow` directive naming an unknown rule code |
+//!
+//! A finding is suppressed by `// starlint: allow(CODE, reason = "...")`
+//! placed on the same line or the line directly above. A-series findings
+//! (directive hygiene) are never suppressible.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// What kind of source file is being checked; decides rule applicability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/` (strictest: all families apply).
+    Lib,
+    /// Binary targets (`src/bin/**`, `src/main.rs`): P/Q201 exempt.
+    Bin,
+    /// Integration tests under `tests/`.
+    Test,
+    /// Benches under `benches/`.
+    Bench,
+    /// Examples under `examples/`.
+    Example,
+}
+
+/// Per-file checking context.
+#[derive(Clone, Debug)]
+pub struct FileContext {
+    /// Workspace-relative display path.
+    pub path: String,
+    /// File classification.
+    pub kind: FileKind,
+    /// True for simulation crates: the D-series applies.
+    pub simulation: bool,
+    /// True for the crate root (`lib.rs`): Q301 applies.
+    pub crate_root: bool,
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Machine-readable rule code (`D101`, `P103`, …).
+    pub code: &'static str,
+    /// Human-readable explanation, including the offending text.
+    pub message: String,
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// 1-based column of the finding.
+    pub col: u32,
+}
+
+/// The canonical crate-root attribute Q301 demands.
+pub const CRATE_ROOT_ATTR: &str = "#![warn(missing_docs)]";
+
+/// All known rule codes with one-line descriptions (drives `A002`
+/// validation, `--explain`, and the README table).
+pub const RULES: &[(&str, &str)] = &[
+    ("D101", "wall-clock read (SystemTime::now) in simulation code"),
+    ("D102", "monotonic clock read (Instant::now) in simulation code"),
+    ("D103", "entropy-seeded RNG (thread_rng / rand::rng / from_entropy) in simulation code"),
+    ("D201", "iteration over HashMap/HashSet in simulation code (nondeterministic order)"),
+    ("P101", ".unwrap() in library code"),
+    ("P102", ".expect() in library code"),
+    ("P103", "panic! in library code"),
+    ("P104", "unimplemented!/todo! in library code"),
+    ("Q101", "== or != comparison with a float operand"),
+    ("Q201", "debug printing (println!/print!/eprintln!/eprint!/dbg!) in library code"),
+    ("Q301", "crate root missing #![warn(missing_docs)]"),
+    ("A001", "starlint allow directive without a non-empty reason"),
+    ("A002", "starlint allow directive naming an unknown rule code"),
+];
+
+fn known_code(code: &str) -> Option<&'static str> {
+    RULES.iter().map(|(c, _)| *c).find(|c| *c == code)
+}
+
+/// A parsed `starlint: allow(...)` directive.
+#[derive(Clone, Debug)]
+struct Directive {
+    /// Raw code text as written (may be unknown).
+    code: String,
+    /// Non-empty reason supplied?
+    has_reason: bool,
+    /// First line of the carrying comment.
+    line: u32,
+    /// Last line of the carrying comment (block comments span several).
+    end_line: u32,
+    col: u32,
+}
+
+/// Parses `starlint: allow(CODE, reason = "...")` out of a comment body.
+fn parse_directive(tok: &Token<'_>) -> Option<Directive> {
+    let body = tok.text;
+    let at = body.find("starlint:")?;
+    let rest = body[at + "starlint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    // The code runs to the first `,` or `)`; parsing the reason by its
+    // quotes (rather than scanning for `)`) lets reasons contain parens.
+    let code_end = rest.find([',', ')'])?;
+    let code = rest[..code_end].trim().to_string();
+    let has_reason = rest[code_end..]
+        .strip_prefix(',')
+        .and_then(|p| {
+            let p = p.trim_start();
+            let p = p.strip_prefix("reason")?.trim_start();
+            let p = p.strip_prefix('=')?.trim_start();
+            let p = p.strip_prefix('"')?;
+            let end = p.find('"')?;
+            Some(!p[..end].trim().is_empty())
+        })
+        .unwrap_or(false);
+    let end_line = tok.line + tok.text.matches('\n').count() as u32;
+    Some(Directive { code, has_reason, line: tok.line, end_line, col: tok.col })
+}
+
+/// Byte ranges covered by `#[cfg(test)] mod … { … }` blocks.
+fn test_regions(sig: &[Token<'_>]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 4 < sig.len() {
+        let is_cfg_test = sig[i].text == "#"
+            && sig[i + 1].text == "["
+            && sig[i + 2].text == "cfg"
+            && sig[i + 3].text == "("
+            && sig[i + 4].text == "test";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the closing `]` of the attribute.
+        let mut j = i + 5;
+        while j < sig.len() && sig[j].text != "]" {
+            j += 1;
+        }
+        // Optional visibility, then `mod name {`.
+        let mut k = j + 1;
+        while k < sig.len() && matches!(sig[k].text, "pub" | "(" | "crate" | ")") {
+            k += 1;
+        }
+        if k + 2 < sig.len()
+            && sig[k].text == "mod"
+            && sig[k + 1].kind == TokenKind::Ident
+            && sig[k + 2].text == "{"
+        {
+            let open = k + 2;
+            let mut depth = 0i64;
+            let mut end = sig.len() - 1;
+            for (n, t) in sig.iter().enumerate().skip(open) {
+                match t.text {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = n;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            regions.push((sig[i].start, sig[end].start + sig[end].text.len()));
+            i = end + 1;
+        } else {
+            i = j + 1;
+        }
+    }
+    regions
+}
+
+/// Names bound to `HashMap`/`HashSet` values in this file (heuristic:
+/// `name: HashMap<...>` annotations/fields and `name = HashMap::new()`
+/// style initializers, looking through `&` and `mut`).
+fn hash_bound_names<'a>(sig: &[Token<'a>]) -> Vec<&'a str> {
+    let mut names = Vec::new();
+    for (i, t) in sig.iter().enumerate() {
+        if !(t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet")) {
+            continue;
+        }
+        // Walk back over `&`, `mut`, `std :: collections ::` path prefixes.
+        let mut j = i;
+        while j > 0 && matches!(sig[j - 1].text, "&" | "mut" | "::" | "std" | "collections") {
+            j -= 1;
+        }
+        if j >= 2 && matches!(sig[j - 1].text, ":" | "=") && sig[j - 2].kind == TokenKind::Ident {
+            let name = sig[j - 2].text;
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    names
+}
+
+struct Engine<'a> {
+    ctx: &'a FileContext,
+    sig: Vec<Token<'a>>,
+    regions: Vec<(usize, usize)>,
+    findings: Vec<Finding>,
+}
+
+impl<'a> Engine<'a> {
+    fn in_test_region(&self, tok: &Token<'_>) -> bool {
+        self.regions.iter().any(|&(s, e)| tok.start >= s && tok.start < e)
+    }
+
+    /// True when `tok` sits in library (non-test) code of this file.
+    fn lib_code(&self, tok: &Token<'_>) -> bool {
+        self.ctx.kind == FileKind::Lib && !self.in_test_region(tok)
+    }
+
+    fn sim_code(&self, tok: &Token<'_>) -> bool {
+        self.ctx.simulation && self.lib_code(tok)
+    }
+
+    fn emit(&mut self, code: &'static str, tok: &Token<'_>, message: String) {
+        self.findings.push(Finding {
+            code,
+            message,
+            path: self.ctx.path.clone(),
+            line: tok.line,
+            col: tok.col,
+        });
+    }
+
+    fn text(&self, i: usize) -> &'a str {
+        match self.sig.get(i) {
+            Some(t) => t.text,
+            None => "",
+        }
+    }
+
+    fn run(&mut self) {
+        self.check_determinism();
+        self.check_panics();
+        self.check_quality();
+        self.check_crate_root_attr();
+    }
+
+    fn check_determinism(&mut self) {
+        let hash_names = hash_bound_names(&self.sig);
+        for i in 0..self.sig.len() {
+            let tok = self.sig[i];
+            if !self.sim_code(&tok) {
+                continue;
+            }
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let t2 = self.text(i + 1);
+            let t3 = self.text(i + 2);
+            match tok.text {
+                "SystemTime" if t2 == "::" && t3 == "now" => self.emit(
+                    "D101",
+                    &tok,
+                    "SystemTime::now() reads the wall clock; simulation time must come from \
+                     explicit JulianDate inputs"
+                        .to_string(),
+                ),
+                "Instant" if t2 == "::" && t3 == "now" => self.emit(
+                    "D102",
+                    &tok,
+                    "Instant::now() reads a clock; simulation timing must be modeled, not \
+                     measured"
+                        .to_string(),
+                ),
+                "thread_rng" | "from_entropy" => self.emit(
+                    "D103",
+                    &tok,
+                    format!(
+                        "`{}` draws OS entropy; all randomness must flow from explicit StdRng \
+                         seeds",
+                        tok.text
+                    ),
+                ),
+                "rng" if i >= 2 && self.text(i - 1) == "::" && self.text(i - 2) == "rand" => self
+                    .emit(
+                        "D103",
+                        &tok,
+                        "`rand::rng()` draws OS entropy; all randomness must flow from explicit \
+                         StdRng seeds"
+                            .to_string(),
+                    ),
+                name if hash_names.contains(&name) => {
+                    // Iterator-producing method call on a hash collection.
+                    const ITERS: &[&str] = &[
+                        "iter",
+                        "iter_mut",
+                        "keys",
+                        "values",
+                        "values_mut",
+                        "into_iter",
+                        "into_keys",
+                        "into_values",
+                        "drain",
+                    ];
+                    if t2 == "." && ITERS.contains(&t3) {
+                        self.emit(
+                            "D201",
+                            &tok,
+                            format!(
+                                "`{}.{}()` iterates a hash collection in nondeterministic \
+                                 order; collect and sort, or use BTreeMap/BTreeSet",
+                                tok.text, t3
+                            ),
+                        );
+                    }
+                    // `for x in &name {` / `for x in name {` headers.
+                    if i >= 1
+                        && (self.text(i - 1) == "in"
+                            || (self.text(i - 1) == "&" && self.text(i.wrapping_sub(2)) == "in")
+                            || (self.text(i - 1) == "mut"
+                                && self.text(i.wrapping_sub(2)) == "&"
+                                && self.text(i.wrapping_sub(3)) == "in"))
+                        && t2 == "{"
+                    {
+                        self.emit(
+                            "D201",
+                            &tok,
+                            format!(
+                                "`for … in {}` iterates a hash collection in nondeterministic \
+                                 order; collect and sort, or use BTreeMap/BTreeSet",
+                                tok.text
+                            ),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn check_panics(&mut self) {
+        for i in 0..self.sig.len() {
+            let tok = self.sig[i];
+            if !self.lib_code(&tok) {
+                continue;
+            }
+            let t2 = self.text(i + 1);
+            let t3 = self.text(i + 2);
+            if tok.text == "." && t3 == "(" {
+                if t2 == "unwrap" {
+                    let t = self.sig[i + 1];
+                    self.emit(
+                        "P101",
+                        &t,
+                        ".unwrap() can panic; return an error or match explicitly".to_string(),
+                    );
+                } else if t2 == "expect" {
+                    let t = self.sig[i + 1];
+                    self.emit(
+                        "P102",
+                        &t,
+                        ".expect() can panic; return an error or match explicitly".to_string(),
+                    );
+                }
+            }
+            if tok.kind == TokenKind::Ident && t2 == "!" {
+                match tok.text {
+                    "panic" => self.emit(
+                        "P103",
+                        &tok,
+                        "panic! in library code; return an error instead".to_string(),
+                    ),
+                    "unimplemented" | "todo" => {
+                        self.emit("P104", &tok, format!("{}! left in library code", tok.text))
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn check_quality(&mut self) {
+        for i in 0..self.sig.len() {
+            let tok = self.sig[i];
+            if !self.lib_code(&tok) {
+                continue;
+            }
+            if tok.kind == TokenKind::Punct && (tok.text == "==" || tok.text == "!=") {
+                let prev_float = i >= 1 && self.sig[i - 1].kind == TokenKind::Float;
+                let next_float =
+                    matches!(self.sig.get(i + 1), Some(t) if t.kind == TokenKind::Float);
+                if prev_float || next_float {
+                    self.emit(
+                        "Q101",
+                        &tok,
+                        format!(
+                            "float `{}` comparison is exact; compare with an explicit epsilon",
+                            tok.text
+                        ),
+                    );
+                }
+            }
+            if tok.kind == TokenKind::Ident
+                && self.text(i + 1) == "!"
+                && matches!(tok.text, "println" | "print" | "eprintln" | "eprint" | "dbg")
+            {
+                self.emit(
+                    "Q201",
+                    &tok,
+                    format!("{}! left in library code; route output through the caller", tok.text),
+                );
+            }
+        }
+    }
+
+    fn check_crate_root_attr(&mut self) {
+        if !self.ctx.crate_root {
+            return;
+        }
+        let has = self.sig.windows(8).any(|w| {
+            w[0].text == "#"
+                && w[1].text == "!"
+                && w[2].text == "["
+                && w[3].text == "warn"
+                && w[4].text == "("
+                && w[5].text == "missing_docs"
+                && w[6].text == ")"
+                && w[7].text == "]"
+        });
+        if !has {
+            self.findings.push(Finding {
+                code: "Q301",
+                message: format!("crate root lacks `{CRATE_ROOT_ATTR}`"),
+                path: self.ctx.path.clone(),
+                line: 1,
+                col: 1,
+            });
+        }
+    }
+}
+
+/// Checks one source file, returning unsuppressed findings sorted by
+/// position.
+pub fn check_file(src: &str, ctx: &FileContext) -> Vec<Finding> {
+    let tokens = lex(src);
+    let mut directives = Vec::new();
+    let mut findings = Vec::new();
+    for t in &tokens {
+        // Directives live in plain comments only; doc comments merely
+        // *describe* the syntax (and must not trigger it).
+        if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            if let Some(d) = parse_directive(t) {
+                if known_code(&d.code).is_none() {
+                    findings.push(Finding {
+                        code: "A002",
+                        message: format!("allow directive names unknown rule code `{}`", d.code),
+                        path: ctx.path.clone(),
+                        line: d.line,
+                        col: d.col,
+                    });
+                } else if !d.has_reason {
+                    findings.push(Finding {
+                        code: "A001",
+                        message: format!(
+                            "allow({}) requires a non-empty reason = \"...\" string",
+                            d.code
+                        ),
+                        path: ctx.path.clone(),
+                        line: d.line,
+                        col: d.col,
+                    });
+                } else {
+                    directives.push(d);
+                }
+            }
+        }
+    }
+
+    let sig: Vec<Token<'_>> = tokens
+        .iter()
+        .copied()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+            )
+        })
+        .collect();
+    let regions = test_regions(&sig);
+    let mut engine = Engine { ctx, sig, regions, findings: Vec::new() };
+    engine.run();
+
+    // Apply suppression: a valid directive covers its own lines plus the
+    // one after the comment ends.
+    for f in engine.findings {
+        let suppressed = directives
+            .iter()
+            .any(|d| d.code == f.code && f.line >= d.line && f.line <= d.end_line + 1);
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.code));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx() -> FileContext {
+        FileContext {
+            path: "crates/demo/src/lib.rs".to_string(),
+            kind: FileKind::Lib,
+            simulation: true,
+            crate_root: false,
+        }
+    }
+
+    fn codes(src: &str, ctx: &FileContext) -> Vec<&'static str> {
+        check_file(src, ctx).into_iter().map(|f| f.code).collect()
+    }
+
+    // ---- planted violations (acceptance criteria) -------------------
+
+    #[test]
+    fn planted_thread_rng_is_detected() {
+        let src = "fn f() -> u64 { let mut r = thread_rng(); r.random() }";
+        assert_eq!(codes(src, &lib_ctx()), vec!["D103"]);
+    }
+
+    #[test]
+    fn planted_rand_rng_and_from_entropy_are_detected() {
+        let src = "fn f() { let a = rand::rng(); let b = StdRng::from_entropy(); }";
+        assert_eq!(codes(src, &lib_ctx()), vec!["D103", "D103"]);
+    }
+
+    #[test]
+    fn planted_clock_reads_are_detected() {
+        let src = "fn f() { let t = SystemTime::now(); let i = Instant::now(); }";
+        assert_eq!(codes(src, &lib_ctx()), vec!["D101", "D102"]);
+    }
+
+    #[test]
+    fn planted_unwrap_in_lib_is_detected() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(codes(src, &lib_ctx()), vec!["P101"]);
+    }
+
+    #[test]
+    fn planted_float_equality_is_detected() {
+        let src = "fn f(a: f64) -> bool { a == 0.3 }";
+        assert_eq!(codes(src, &lib_ctx()), vec!["Q101"]);
+        let src2 = "fn f(a: f64) -> bool { 0.3 != a }";
+        assert_eq!(codes(src2, &lib_ctx()), vec!["Q101"]);
+    }
+
+    #[test]
+    fn planted_panics_and_prints_are_detected() {
+        let src = r#"
+            fn f(n: u8) {
+                if n > 3 { panic!("boom"); }
+                if n > 2 { todo!(); }
+                if n > 1 { unimplemented!(); }
+                println!("n = {n}");
+            }
+        "#;
+        let got = codes(src, &lib_ctx());
+        assert_eq!(got, vec!["P103", "P104", "P104", "Q201"]);
+    }
+
+    #[test]
+    fn planted_expect_is_detected() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.expect(\"present\") }";
+        assert_eq!(codes(src, &lib_ctx()), vec!["P102"]);
+    }
+
+    #[test]
+    fn hashmap_iteration_is_detected() {
+        let src = r#"
+            fn f() -> Vec<u32> {
+                let mut m: HashMap<u32, u32> = HashMap::new();
+                m.insert(1, 2);
+                let mut out = Vec::new();
+                for (k, v) in m.iter() { out.push(k + v); }
+                for k in m.keys() { out.push(*k); }
+                out
+            }
+        "#;
+        assert_eq!(codes(src, &lib_ctx()), vec!["D201", "D201"]);
+    }
+
+    #[test]
+    fn hashset_for_loop_is_detected() {
+        let src = r#"
+            fn f(s: &HashSet<u32>) -> u32 {
+                let mut acc = 0;
+                for v in s { acc += v; }
+                acc
+            }
+        "#;
+        assert_eq!(codes(src, &lib_ctx()), vec!["D201"]);
+    }
+
+    // ---- no false positives in strings and comments -----------------
+
+    #[test]
+    fn banned_names_inside_strings_are_ignored() {
+        let src = r#"
+            fn f() -> &'static str {
+                "thread_rng() and .unwrap() and panic! are banned words"
+            }
+        "#;
+        assert!(codes(src, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn banned_names_inside_raw_strings_are_ignored() {
+        let src = r####"
+            fn f() -> &'static str {
+                r#"SystemTime::now() "quoted" .unwrap()"#
+            }
+        "####;
+        assert!(codes(src, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn banned_names_inside_comments_are_ignored() {
+        let src = r#"
+            // thread_rng() would be nondeterministic; .unwrap() would panic.
+            /* nested /* block with panic!("x") inside */ still a comment */
+            /// Doc text mentioning Instant::now() and 1.0 == 2.0.
+            fn f() {}
+        "#;
+        assert!(codes(src, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(3).min(x.unwrap_or_default()) }";
+        assert!(codes(src, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn char_literal_quote_does_not_derail_lexer() {
+        // A `'"'` char literal must not open a string that swallows the
+        // rest of the file and hide the planted unwrap.
+        let src = "fn f(c: char, x: Option<u8>) -> u8 { if c == '\"' { 0 } else { x.unwrap() } }";
+        assert_eq!(codes(src, &lib_ctx()), vec!["P101"]);
+    }
+
+    // ---- exemptions -------------------------------------------------
+
+    #[test]
+    fn cfg_test_modules_inside_lib_are_exempt() {
+        let src = r#"
+            fn lib_fn() -> u8 { 1 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let x: Option<u8> = Some(1);
+                    assert_eq!(x.unwrap(), 1);
+                    println!("fine in tests");
+                }
+            }
+        "#;
+        assert!(codes(src, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_module_is_still_checked() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                fn helper(x: Option<u8>) -> u8 { x.unwrap() }
+            }
+            fn lib_fn(x: Option<u8>) -> u8 { x.unwrap() }
+        "#;
+        assert_eq!(codes(src, &lib_ctx()), vec!["P101"]);
+    }
+
+    #[test]
+    fn tests_benches_and_bins_are_exempt_from_panic_rules() {
+        let src = "fn main() { let x: Option<u8> = None; x.unwrap(); println!(\"hi\"); }";
+        for kind in [FileKind::Bin, FileKind::Test, FileKind::Bench, FileKind::Example] {
+            let ctx = FileContext { kind, ..lib_ctx() };
+            assert!(codes(src, &ctx).is_empty(), "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn non_simulation_crates_skip_d_series_only() {
+        let src = "fn f(x: Option<Instant>) -> Instant { let t = Instant::now(); x.unwrap() }";
+        let ctx = FileContext { simulation: false, ..lib_ctx() };
+        assert_eq!(codes(src, &ctx), vec!["P101"]);
+    }
+
+    // ---- allow directives -------------------------------------------
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let src = r#"
+            fn f(x: Option<u8>) -> u8 {
+                // starlint: allow(P101, reason = "validated two lines up")
+                x.unwrap()
+            }
+            fn g(x: Option<u8>) -> u8 {
+                x.unwrap() // starlint: allow(P101, reason = "validated by caller")
+            }
+        "#;
+        assert!(codes(src, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_its_own_finding_and_does_not_suppress() {
+        let src = r#"
+            fn f(x: Option<u8>) -> u8 {
+                // starlint: allow(P101)
+                x.unwrap()
+            }
+        "#;
+        assert_eq!(codes(src, &lib_ctx()), vec!["A001", "P101"]);
+    }
+
+    #[test]
+    fn allow_with_empty_reason_is_rejected() {
+        let src = r#"
+            fn f(x: Option<u8>) -> u8 {
+                // starlint: allow(P101, reason = "  ")
+                x.unwrap()
+            }
+        "#;
+        assert_eq!(codes(src, &lib_ctx()), vec!["A001", "P101"]);
+    }
+
+    #[test]
+    fn allow_with_unknown_code_is_rejected() {
+        let src = r#"
+            // starlint: allow(Z999, reason = "no such rule")
+            fn f() {}
+        "#;
+        assert_eq!(codes(src, &lib_ctx()), vec!["A002"]);
+    }
+
+    #[test]
+    fn allow_only_suppresses_its_own_code() {
+        let src = r#"
+            fn f(x: Option<u8>) -> u8 {
+                // starlint: allow(P102, reason = "wrong code on purpose")
+                x.unwrap()
+            }
+        "#;
+        assert_eq!(codes(src, &lib_ctx()), vec!["P101"]);
+    }
+
+    // ---- Q301 -------------------------------------------------------
+
+    #[test]
+    fn missing_docs_attr_required_in_crate_roots() {
+        let ctx = FileContext { crate_root: true, ..lib_ctx() };
+        assert_eq!(codes("pub fn f() {}", &ctx), vec!["Q301"]);
+        assert!(codes("#![warn(missing_docs)]\npub fn f() {}", &ctx).is_empty());
+    }
+
+    #[test]
+    fn float_comparison_against_integer_literal_not_flagged() {
+        let src = "fn f(a: u64) -> bool { a == 3 }";
+        assert!(codes(src, &lib_ctx()).is_empty());
+    }
+}

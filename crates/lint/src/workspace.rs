@@ -1,0 +1,338 @@
+//! Workspace discovery and whole-tree linting.
+//!
+//! `starlint` finds crates the same way cargo does — by reading the root
+//! `Cargo.toml`'s `members` globs — but with a deliberately tiny
+//! hand-rolled parser (the offline policy vendors no TOML crate, and the
+//! workspace's own manifests are the only input it must handle).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_file, FileContext, FileKind, Finding};
+
+/// How a crate is classified for rule scoping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrateRole {
+    /// Produces figures/results: determinism (D-series) rules apply.
+    Simulation,
+    /// Developer tooling (the linter itself, benches, vendored shims):
+    /// may read clocks, so the D-series is skipped. P/Q still apply.
+    Tooling,
+}
+
+/// Crates whose *job* is nondeterministic-by-nature tooling. Everything
+/// else — including every future crate — defaults to `Simulation`, so new
+/// code is held to the strict rules unless this list says otherwise.
+const TOOLING_CRATES: &[&str] =
+    &["starsense-lint", "starsense-bench", "rand", "proptest", "criterion"];
+
+/// One crate discovered in the workspace.
+#[derive(Clone, Debug)]
+pub struct CrateInfo {
+    /// Package name from `Cargo.toml`.
+    pub name: String,
+    /// Directory containing the crate's `Cargo.toml`.
+    pub dir: PathBuf,
+    /// Rule-scoping classification.
+    pub role: CrateRole,
+}
+
+/// Result of linting the whole workspace.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All unsuppressed findings, sorted by path then position.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Names of the crates scanned.
+    pub crates: Vec<String>,
+}
+
+impl LintReport {
+    /// Renders findings one per line as `path:line:col CODE message`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{}:{}:{} {} {}\n", f.path, f.line, f.col, f.code, f.message));
+        }
+        out.push_str(&format!(
+            "starlint: {} finding(s) in {} file(s) across {} crate(s)\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.crates.len()
+        ));
+        out
+    }
+
+    /// Renders the report as a single JSON object (machine-readable).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"path\":\"{}\",\"line\":{},\"col\":{},\"code\":\"{}\",\"message\":\"{}\"}}",
+                esc(&f.path),
+                f.line,
+                f.col,
+                f.code,
+                esc(&f.message)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"files_scanned\":{},\"crates\":{}}}",
+            self.files_scanned,
+            self.crates.len()
+        ));
+        out
+    }
+}
+
+/// Extracts `key = "value"` style entries from a (workspace-local) TOML
+/// section without a real TOML parser.
+fn toml_string_value(toml: &str, section: &str, key: &str) -> Option<String> {
+    let mut in_section = false;
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == format!("[{section}]");
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(key) {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let rest = rest.trim();
+                let rest = rest.strip_prefix('"')?;
+                let end = rest.find('"')?;
+                return Some(rest[..end].to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Extracts the `members = [...]` array from the `[workspace]` section.
+fn workspace_members(toml: &str) -> Vec<String> {
+    let Some(at) = toml.find("members") else {
+        return Vec::new();
+    };
+    let rest = &toml[at..];
+    let Some(open) = rest.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open..].find(']') else {
+        return Vec::new();
+    };
+    rest[open + 1..open + close]
+        .split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Expands one member pattern (either a literal path or `dir/*`).
+fn expand_member(root: &Path, pattern: &str) -> Vec<PathBuf> {
+    if let Some(prefix) = pattern.strip_suffix("/*") {
+        let base = root.join(prefix);
+        let Ok(entries) = fs::read_dir(&base) else {
+            return Vec::new();
+        };
+        let mut dirs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        dirs.sort();
+        dirs
+    } else {
+        let dir = root.join(pattern);
+        if dir.join("Cargo.toml").is_file() {
+            vec![dir]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Discovers every crate in the workspace rooted at `root` (the root
+/// package itself included, when present).
+pub fn discover_crates(root: &Path) -> std::io::Result<Vec<CrateInfo>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut crates = Vec::new();
+    // The root manifest may also declare a package (this workspace does).
+    if let Some(name) = toml_string_value(&manifest, "package", "name") {
+        crates.push(CrateInfo { role: role_of(&name), name, dir: root.to_path_buf() });
+    }
+    for pattern in workspace_members(&manifest) {
+        for dir in expand_member(root, &pattern) {
+            let Ok(member_toml) = fs::read_to_string(dir.join("Cargo.toml")) else {
+                continue;
+            };
+            let Some(name) = toml_string_value(&member_toml, "package", "name") else {
+                continue;
+            };
+            crates.push(CrateInfo { role: role_of(&name), name, dir });
+        }
+    }
+    Ok(crates)
+}
+
+fn role_of(name: &str) -> CrateRole {
+    if TOOLING_CRATES.contains(&name) {
+        CrateRole::Tooling
+    } else {
+        CrateRole::Simulation
+    }
+}
+
+/// Collects `.rs` files under `dir` recursively, sorted for stable output.
+fn rs_files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            out.extend(rs_files_under(&p));
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Classifies one file of a crate by its path relative to the crate dir.
+fn classify(rel: &Path) -> (FileKind, bool) {
+    let mut parts = rel.components().map(|c| c.as_os_str().to_string_lossy().to_string());
+    let first = parts.next().unwrap_or_default();
+    let second = parts.next().unwrap_or_default();
+    match first.as_str() {
+        "src" => {
+            if second == "bin" || second == "main.rs" {
+                (FileKind::Bin, false)
+            } else {
+                (FileKind::Lib, second == "lib.rs")
+            }
+        }
+        "tests" => (FileKind::Test, false),
+        "benches" => (FileKind::Bench, false),
+        "examples" => (FileKind::Example, false),
+        _ => (FileKind::Lib, false),
+    }
+}
+
+/// Lints every crate of the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let crates = discover_crates(root)?;
+    let mut report = LintReport::default();
+    for info in &crates {
+        report.crates.push(info.name.clone());
+        let mut files = Vec::new();
+        for sub in ["src", "tests", "benches", "examples"] {
+            files.extend(rs_files_under(&info.dir.join(sub)));
+        }
+        for file in files {
+            let Ok(src) = fs::read_to_string(&file) else {
+                continue;
+            };
+            let rel_to_crate = file.strip_prefix(&info.dir).unwrap_or(&file);
+            let (kind, crate_root) = classify(rel_to_crate);
+            let display = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().to_string();
+            let ctx = FileContext {
+                path: display,
+                kind,
+                simulation: info.role == CrateRole::Simulation,
+                crate_root,
+            };
+            report.files_scanned += 1;
+            report.findings.extend(check_file(&src, &ctx));
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.code).cmp(&(&b.path, b.line, b.col, b.code)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_globs_and_literals_expand() {
+        let toml = r#"
+            [workspace]
+            members = ["crates/*", "tools/one"]
+        "#;
+        assert_eq!(workspace_members(toml), vec!["crates/*", "tools/one"]);
+    }
+
+    #[test]
+    fn toml_string_values_parse() {
+        let toml = "[package]\nname = \"demo\"\nversion = \"1.0\"\n[lib]\nname = \"other\"\n";
+        assert_eq!(toml_string_value(toml, "package", "name").as_deref(), Some("demo"));
+        assert_eq!(toml_string_value(toml, "lib", "name").as_deref(), Some("other"));
+        assert_eq!(toml_string_value(toml, "package", "missing"), None);
+    }
+
+    #[test]
+    fn classification_follows_cargo_layout() {
+        assert_eq!(classify(Path::new("src/lib.rs")), (FileKind::Lib, true));
+        assert_eq!(classify(Path::new("src/slots.rs")), (FileKind::Lib, false));
+        assert_eq!(classify(Path::new("src/bin/fig3.rs")), (FileKind::Bin, false));
+        assert_eq!(classify(Path::new("src/main.rs")), (FileKind::Bin, false));
+        assert_eq!(classify(Path::new("tests/t.rs")), (FileKind::Test, false));
+        assert_eq!(classify(Path::new("benches/b.rs")), (FileKind::Bench, false));
+        assert_eq!(classify(Path::new("examples/e.rs")), (FileKind::Example, false));
+    }
+
+    #[test]
+    fn tooling_roles_cover_the_shims_and_linter() {
+        assert_eq!(role_of("starsense-lint"), CrateRole::Tooling);
+        assert_eq!(role_of("criterion"), CrateRole::Tooling);
+        assert_eq!(role_of("starsense-scheduler"), CrateRole::Simulation);
+        assert_eq!(role_of("a-brand-new-crate"), CrateRole::Simulation);
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let report = LintReport {
+            findings: vec![crate::rules::Finding {
+                code: "P101",
+                message: "msg with \"quotes\"".to_string(),
+                path: "a/b.rs".to_string(),
+                line: 3,
+                col: 7,
+            }],
+            files_scanned: 1,
+            crates: vec!["demo".to_string()],
+        };
+        let text = report.to_text();
+        assert!(text.contains("a/b.rs:3:7 P101"));
+        assert!(text.contains("1 finding(s)"));
+        let json = report.to_json();
+        assert!(json.contains("\"code\":\"P101\""));
+        assert!(json.contains("\\\"quotes\\\""));
+    }
+}

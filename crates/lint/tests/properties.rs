@@ -1,0 +1,275 @@
+//! Property tests for the starlint lexer and rule engine.
+//!
+//! Two families of invariants:
+//!
+//! 1. **No false positives from literal context.** Banned names that appear
+//!    only inside string literals, raw strings, or (nested) comments must
+//!    never produce a finding, no matter how pathological the surrounding
+//!    quoting is.
+//! 2. **Span round-tripping.** Every token's `(start, text)` pair must slice
+//!    back out of the original source exactly, tokens must be in order, and
+//!    concatenating all token texts with the skipped whitespace must rebuild
+//!    the input.
+
+use proptest::prelude::*;
+
+use starsense_lint::lexer::{lex, TokenKind};
+use starsense_lint::rules::{check_file, FileContext, FileKind};
+
+/// A lib-file context in a simulation crate: the strictest configuration,
+/// with every rule family (D, P, Q) active.
+fn strict_ctx() -> FileContext {
+    FileContext {
+        path: "crates/fake/src/gen.rs".to_string(),
+        kind: FileKind::Lib,
+        simulation: true,
+        crate_root: false,
+    }
+}
+
+/// Names that trigger D- or P-series rules when used as real code.
+fn banned_names() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        "thread_rng",
+        "from_entropy",
+        "unwrap",
+        "expect",
+        "panic!",
+        "unimplemented!",
+        "todo!",
+        "dbg!",
+        "println!",
+        "SystemTime",
+        "Instant",
+    ])
+}
+
+/// Benign filler that cannot terminate a string or comment early: no quotes,
+/// no backslashes, no `*`/`/` pairs, no `#`.
+fn filler() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            'a', 'b', 'z', 'X', '0', '9', ' ', '_', '.', ',', ';', ':', '(', ')', '<', '>', '=',
+            '+', '-', '!', '?', '%', '\t',
+        ]),
+        0..=24,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Filler additionally safe inside a plain (non-raw) string literal and a
+/// line comment (no newline).
+fn inline_filler() -> impl Strategy<Value = String> {
+    filler()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// A banned call spelled inside a plain string literal is data, not code.
+    #[test]
+    fn banned_names_in_strings_are_ignored(
+        name in banned_names(),
+        pre in inline_filler(),
+        post in inline_filler(),
+    ) {
+        let src = format!(
+            "fn f() -> String {{\n    let s = \"{pre}{name}(){post}\";\n    s.into()\n}}\n"
+        );
+        let findings = check_file(&src, &strict_ctx());
+        prop_assert!(
+            findings.is_empty(),
+            "string literal leaked findings for `{}` in {:?}: {:?}",
+            name, src, findings
+        );
+    }
+
+    /// Raw strings with arbitrary hash fences are just as inert.
+    #[test]
+    fn banned_names_in_raw_strings_are_ignored(
+        name in banned_names(),
+        hashes in 0usize..=4,
+        pre in inline_filler(),
+    ) {
+        let fence = "#".repeat(hashes);
+        let src = format!(
+            "fn f() {{\n    let _s = r{fence}\"{pre} x.{name}() {pre}\"{fence};\n}}\n"
+        );
+        let findings = check_file(&src, &strict_ctx());
+        prop_assert!(
+            findings.is_empty(),
+            "raw string leaked findings for `{}` in {:?}: {:?}",
+            name, src, findings
+        );
+    }
+
+    /// Line comments never produce findings (and plain `//` text never parses
+    /// as an allow-directive unless it uses the directive syntax).
+    #[test]
+    fn banned_names_in_line_comments_are_ignored(
+        name in banned_names(),
+        pre in inline_filler(),
+    ) {
+        let src = format!("// {pre} uses {name}() internally\nfn f() {{}}\n");
+        let findings = check_file(&src, &strict_ctx());
+        prop_assert!(
+            findings.is_empty(),
+            "line comment leaked findings for `{}`: {:?}",
+            name, findings
+        );
+    }
+
+    /// Block comments nest in Rust; banned names stay inert at any depth.
+    #[test]
+    fn banned_names_in_nested_block_comments_are_ignored(
+        name in banned_names(),
+        depth in 1usize..=5,
+        pre in inline_filler(),
+    ) {
+        let open = "/* ".repeat(depth);
+        let close = " */".repeat(depth);
+        let src = format!("{open}{pre} {name}() {pre}{close}\nfn f() {{}}\n");
+        let findings = check_file(&src, &strict_ctx());
+        prop_assert!(
+            findings.is_empty(),
+            "nested comment (depth {}) leaked findings for `{}`: {:?}",
+            depth, name, findings
+        );
+    }
+
+    /// The same banned call as *real code* right next to the quoted copies
+    /// is still caught — literal immunity must not bleed into code.
+    #[test]
+    fn real_violation_next_to_quoted_copy_is_still_caught(
+        pre in inline_filler(),
+    ) {
+        let src = format!(
+            "// {pre} thread_rng
+fn f() -> u64 {{
+    let _doc = \"{pre}thread_rng(){pre}\";
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}}
+"
+        );
+        let findings = check_file(&src, &strict_ctx());
+        prop_assert_eq!(
+            findings.len(), 1,
+            "expected exactly the one real call to be flagged: {:?}", &findings
+        );
+        prop_assert_eq!(findings[0].code, "D103");
+    }
+}
+
+/// Source fragments that are individually valid token sequences; random
+/// concatenations (whitespace-separated) exercise the lexer's maximal-munch
+/// and literal handling together.
+fn fragments() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        "fn",
+        "let",
+        "ident_0",
+        "x",
+        "'a",
+        "'a'",
+        "'\\n'",
+        "0",
+        "1.5",
+        "1.",
+        "0x_ff",
+        "1e10",
+        "1..2",
+        "\"str\"",
+        "\"\\\"esc\\\"\"",
+        "r\"raw\"",
+        "r#\"fen\"ce\"#",
+        "b\"bytes\"",
+        "// line\n",
+        "/* blk */",
+        "/* a /* b */ c */",
+        "/// doc\n",
+        "::",
+        "->",
+        "=>",
+        "..=",
+        "<<=",
+        ">>",
+        "&&",
+        "||",
+        "==",
+        "!=",
+        "+",
+        "{",
+        "}",
+        "(",
+        ")",
+        "[",
+        "]",
+        ";",
+        ",",
+        "#",
+        "!",
+        "?",
+        "@",
+        "0b01",
+        "0o7",
+        "12_345u64",
+        "3.14f32",
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Every token's span slices back out of the source verbatim, spans are
+    /// strictly ordered, and the gaps between them are pure whitespace — so
+    /// tokens plus whitespace reconstruct the input byte-for-byte.
+    #[test]
+    fn token_spans_round_trip(parts in prop::collection::vec(fragments(), 0..40)) {
+        let src: String = parts.join(" ");
+        let tokens = lex(&src);
+        let mut cursor = 0usize;
+        for t in &tokens {
+            prop_assert!(
+                t.start >= cursor,
+                "token {:?} starts at {} before cursor {}", t.text, t.start, cursor
+            );
+            prop_assert!(
+                src[cursor..t.start].chars().all(char::is_whitespace),
+                "non-whitespace gap {:?} before token {:?}",
+                &src[cursor..t.start], t.text
+            );
+            let end = t.start + t.text.len();
+            prop_assert!(end <= src.len());
+            prop_assert_eq!(
+                &src[t.start..end], t.text,
+                "span [{}, {}) does not slice back to the token text", t.start, end
+            );
+            cursor = end;
+        }
+        prop_assert!(
+            src[cursor..].chars().all(char::is_whitespace),
+            "trailing non-whitespace {:?} left untokenized", &src[cursor..]
+        );
+        prop_assert!(
+            tokens.iter().all(|t| !matches!(t.kind, TokenKind::Unknown)),
+            "valid fragments must not lex to Unknown: {:?}",
+            tokens.iter().filter(|t| matches!(t.kind, TokenKind::Unknown)).collect::<Vec<_>>()
+        );
+    }
+
+    /// Line/column bookkeeping agrees with an independent count of newlines
+    /// up to each token's byte offset.
+    #[test]
+    fn line_numbers_match_newline_count(parts in prop::collection::vec(fragments(), 0..30)) {
+        let src: String = parts.join("\n");
+        for t in lex(&src) {
+            let expected_line = 1 + src[..t.start].matches('\n').count() as u32;
+            prop_assert_eq!(
+                t.line, expected_line,
+                "token {:?} at byte {} reports line {} but source has {} newlines before it",
+                t.text, t.start, t.line, expected_line - 1
+            );
+        }
+    }
+}

@@ -92,11 +92,7 @@ impl<'a> Emulator<'a> {
         config: EmulatorConfig,
         seed: u64,
     ) -> Emulator<'a> {
-        assert_eq!(
-            terminal_pops.len(),
-            scheduler.terminals().len(),
-            "one PoP per terminal"
-        );
+        assert_eq!(terminal_pops.len(), scheduler.terminals().len(), "one PoP per terminal");
         let n = scheduler.terminals().len();
         let clocks = (0..n).map(|i| ClockModel::ntp_nominal(seed ^ i as u64)).collect();
         let loss_chains = (0..n).map(|_| config.loss).collect();
@@ -167,8 +163,8 @@ impl<'a> Emulator<'a> {
         let first_mid = starsense_scheduler::slots::slot_start(from)
             .plus_seconds(starsense_scheduler::slots::SLOT_PERIOD_SECONDS / 2.0);
         for k in 0..slots {
-            let at = first_mid
-                .plus_seconds(k as f64 * starsense_scheduler::slots::SLOT_PERIOD_SECONDS);
+            let at =
+                first_mid.plus_seconds(k as f64 * starsense_scheduler::slots::SLOT_PERIOD_SECONDS);
             let allocs = self.scheduler.allocate(self.constellation, at);
             let alloc = &allocs[terminal_id];
             let throughput = alloc.chosen.as_ref().map(|chosen| {
@@ -234,14 +230,7 @@ impl<'a> Emulator<'a> {
     ) -> ProbeRecord {
         let slot = alloc.slot;
         let serving_sat = alloc.chosen_id();
-        let lost = ProbeRecord {
-            at,
-            seq,
-            rtt_ms: None,
-            owd_up_ms: None,
-            slot,
-            serving_sat,
-        };
+        let lost = ProbeRecord { at, seq, rtt_ms: None, owd_up_ms: None, slot, serving_sat };
 
         // Outage: no satellite assigned.
         let (Some(chosen), Some((mac, marker))) = (alloc.chosen.as_ref(), mac.as_ref()) else {
@@ -252,8 +241,8 @@ impl<'a> Emulator<'a> {
         let in_handover =
             at.seconds_since(alloc.slot_start) * 1_000.0 < self.config.handover_window_ms;
         let chain_lost = self.loss_chains[terminal_id].step(&mut self.rng);
-        let handover_lost = in_handover
-            && self.rng.random_range(0.0..1.0) < self.config.handover_loss_prob;
+        let handover_lost =
+            in_handover && self.rng.random_range(0.0..1.0) < self.config.handover_loss_prob;
         if chain_lost || handover_lost {
             return lost;
         }
@@ -283,14 +272,7 @@ impl<'a> Emulator<'a> {
         // One-way delay as iRTT reports it: uplink share plus clock offset.
         let owd = rtt * 0.55 + self.clocks[terminal_id].offset_ms(at);
 
-        ProbeRecord {
-            at,
-            seq,
-            rtt_ms: Some(rtt),
-            owd_up_ms: Some(owd),
-            slot,
-            serving_sat,
-        }
+        ProbeRecord { at, seq, rtt_ms: Some(rtt), owd_up_ms: Some(owd), slot, serving_sat }
     }
 }
 

@@ -36,7 +36,12 @@ impl PopSite {
     /// `spread_deg` degrees of latitude/longitude around it — the pattern
     /// of real deployments, where several gateway sites within a few
     /// hundred kilometres feed one PoP.
-    pub fn with_gs_ring(name: impl Into<String>, location: Geodetic, n: usize, spread_deg: f64) -> PopSite {
+    pub fn with_gs_ring(
+        name: impl Into<String>,
+        location: Geodetic,
+        n: usize,
+        spread_deg: f64,
+    ) -> PopSite {
         let name = name.into();
         let ground_stations = (0..n)
             .map(|i| {
@@ -97,10 +102,8 @@ mod tests {
     fn gs_ring_is_centred_on_the_pop() {
         let p = PopSite::with_gs_ring("X", Geodetic::new(40.0, -90.0, 0.1), 4, 1.5);
         assert_eq!(p.ground_stations.len(), 4);
-        let mean_lat: f64 =
-            p.ground_stations.iter().map(|g| g.location.lat_deg).sum::<f64>() / 4.0;
-        let mean_lon: f64 =
-            p.ground_stations.iter().map(|g| g.location.lon_deg).sum::<f64>() / 4.0;
+        let mean_lat: f64 = p.ground_stations.iter().map(|g| g.location.lat_deg).sum::<f64>() / 4.0;
+        let mean_lon: f64 = p.ground_stations.iter().map(|g| g.location.lon_deg).sum::<f64>() / 4.0;
         assert!((mean_lat - 40.0).abs() < 1e-9);
         assert!((mean_lon + 90.0).abs() < 1e-9);
     }

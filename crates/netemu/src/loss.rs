@@ -57,8 +57,10 @@ impl GilbertElliott {
 
     /// Steady-state expected loss rate.
     pub fn expected_loss(&self) -> f64 {
+        // Transition probabilities are non-negative, so their sum is zero
+        // exactly when both are; `<=` avoids an exact float `==`.
         let denom = self.p_good_to_bad + self.p_bad_to_good;
-        if denom == 0.0 {
+        if denom <= 0.0 {
             return self.loss_good;
         }
         let p_bad = self.p_good_to_bad / denom;
@@ -84,10 +86,7 @@ mod tests {
         let lost = (0..n).filter(|_| ge.step(&mut rng)).count();
         let rate = lost as f64 / n as f64;
         let expect = ge.expected_loss();
-        assert!(
-            (rate - expect).abs() < 0.01,
-            "empirical {rate:.4} vs expected {expect:.4}"
-        );
+        assert!((rate - expect).abs() < 0.01, "empirical {rate:.4} vs expected {expect:.4}");
     }
 
     #[test]

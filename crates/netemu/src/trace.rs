@@ -85,10 +85,13 @@ impl RttTrace {
                     lost: 0,
                 });
             }
-            let w = out.last_mut().expect("just pushed");
-            match r.rtt_ms {
-                Some(v) => w.rtts.push(v),
-                None => w.lost += 1,
+            // `out` is non-empty here (pushed above when needed); stay
+            // total rather than panicking on the impossible branch.
+            if let Some(w) = out.last_mut() {
+                match r.rtt_ms {
+                    Some(v) => w.rtts.push(v),
+                    None => w.lost += 1,
+                }
             }
         }
         out

@@ -97,8 +97,10 @@ mod tests {
                 .map(|i| {
                     let t = i as f64 / 39.0;
                     // chord across the dome, dipping through various heights
-                    let el = 25.0 + 60.0 * (std::f64::consts::PI * t).sin()
-                        * (0.3 + 0.7 * ((k % 7) as f64 / 7.0));
+                    let el = 25.0
+                        + 60.0
+                            * (std::f64::consts::PI * t).sin()
+                            * (0.3 + 0.7 * ((k % 7) as f64 / 7.0));
                     (el, az0 + (az1 - az0) * t)
                 })
                 .collect();
@@ -135,8 +137,7 @@ mod tests {
         let mut m = ObstructionMap::new();
         for rep in 0..60 {
             let el = 29.0 + (rep % 3) as f64;
-            let samples: Vec<(f64, f64)> =
-                (0..90).map(|i| (el, 45.0 + i as f64)).collect();
+            let samples: Vec<(f64, f64)> = (0..90).map(|i| (el, 45.0 + i as f64)).collect();
             paint(&mut m, &samples);
         }
         // Either too sparse or too elongated; both must return None.

@@ -105,11 +105,10 @@ pub fn extract_trajectory(isolated: &ObstructionMap) -> Vec<PolarSample> {
     order_along_principal_axis(&mut pts);
 
     pts.into_iter()
-        .map(|(x, y)| {
-            let (el, az) = ObstructionMap::pixel_to_polar(x, y)
-                .expect("filtered to in-plot pixels above");
-            PolarSample { elevation_deg: el, azimuth_deg: az }
-        })
+        // Points were filtered to in-plot pixels above, so the conversion
+        // succeeds for all of them; filter_map keeps this total anyway.
+        .filter_map(|(x, y)| ObstructionMap::pixel_to_polar(x, y))
+        .map(|(el, az)| PolarSample { elevation_deg: el, azimuth_deg: az })
         .collect()
 }
 
@@ -227,8 +226,11 @@ mod tests {
                 decreasing += 1;
             }
         }
-        let (dominant, contrary) =
-            if increasing > decreasing { (increasing, decreasing) } else { (decreasing, increasing) };
+        let (dominant, contrary) = if increasing > decreasing {
+            (increasing, decreasing)
+        } else {
+            (decreasing, increasing)
+        };
         assert!(
             contrary * 10 <= dominant,
             "ordering is not monotone: {increasing} up vs {decreasing} down"

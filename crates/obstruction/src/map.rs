@@ -66,33 +66,19 @@ impl ObstructionMap {
 
     /// Iterates over the coordinates of all set pixels, row-major.
     pub fn set_pixels(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.bits
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| (i % MAP_SIZE, i / MAP_SIZE))
+        self.bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| (i % MAP_SIZE, i / MAP_SIZE))
     }
 
     /// Pixel-wise XOR: the §4.1 isolation primitive. Trajectories present
     /// in both maps cancel, leaving only what changed between the slots.
     pub fn xor(&self, other: &ObstructionMap) -> ObstructionMap {
-        let bits = self
-            .bits
-            .iter()
-            .zip(other.bits.iter())
-            .map(|(&a, &b)| a ^ b)
-            .collect();
+        let bits = self.bits.iter().zip(other.bits.iter()).map(|(&a, &b)| a ^ b).collect();
         ObstructionMap { bits }
     }
 
     /// Pixel-wise OR, used to accumulate multi-day saturated maps.
     pub fn or(&self, other: &ObstructionMap) -> ObstructionMap {
-        let bits = self
-            .bits
-            .iter()
-            .zip(other.bits.iter())
-            .map(|(&a, &b)| a | b)
-            .collect();
+        let bits = self.bits.iter().zip(other.bits.iter()).map(|(&a, &b)| a | b).collect();
         ObstructionMap { bits }
     }
 
@@ -125,8 +111,7 @@ impl ObstructionMap {
         if elevation_deg < RIM_ELEVATION_DEG || elevation_deg > CENTER_ELEVATION_DEG {
             return None;
         }
-        let r = (CENTER_ELEVATION_DEG - elevation_deg)
-            / (CENTER_ELEVATION_DEG - RIM_ELEVATION_DEG)
+        let r = (CENTER_ELEVATION_DEG - elevation_deg) / (CENTER_ELEVATION_DEG - RIM_ELEVATION_DEG)
             * PLOT_RADIUS_PX;
         let az = azimuth_deg.to_radians();
         // North (az 0) is up, i.e. −y in image coordinates; east is +x.
@@ -153,8 +138,8 @@ impl ObstructionMap {
         if r > PLOT_RADIUS_PX + 0.5 {
             return None;
         }
-        let elevation = CENTER_ELEVATION_DEG
-            - r / PLOT_RADIUS_PX * (CENTER_ELEVATION_DEG - RIM_ELEVATION_DEG);
+        let elevation =
+            CENTER_ELEVATION_DEG - r / PLOT_RADIUS_PX * (CENTER_ELEVATION_DEG - RIM_ELEVATION_DEG);
         // atan2(east, north) with image y pointing down.
         let azimuth = dx.atan2(-dy).to_degrees().rem_euclid(360.0);
         Some((elevation.clamp(RIM_ELEVATION_DEG, CENTER_ELEVATION_DEG), azimuth))

@@ -64,9 +64,9 @@ impl SkyMask {
 
     /// True when the direction is obstructed.
     pub fn blocks(&self, elevation_deg: f64, azimuth_deg: f64) -> bool {
-        self.sectors.iter().any(|s| {
-            s.contains_azimuth(azimuth_deg) && elevation_deg < s.max_blocked_elevation_deg
-        })
+        self.sectors
+            .iter()
+            .any(|s| s.contains_azimuth(azimuth_deg) && elevation_deg < s.max_blocked_elevation_deg)
     }
 
     /// True when no sector is defined.

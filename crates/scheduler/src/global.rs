@@ -192,10 +192,8 @@ impl GlobalScheduler {
                 .collect();
 
             let eligible_ids: Vec<u32> = eligible.iter().map(|v| v.norad_id).collect();
-            let scores: Vec<f64> = eligible
-                .iter()
-                .map(|s| self.score(ti, slot, s, &self.gso[ti]))
-                .collect();
+            let scores: Vec<f64> =
+                eligible.iter().map(|s| self.score(ti, slot, s, &self.gso[ti])).collect();
             let chosen = self.sample(&scores).map(|i| eligible[i].clone());
 
             match chosen.as_ref() {
@@ -244,8 +242,7 @@ impl GlobalScheduler {
         let el_norm = ((sat.look.elevation_deg - p.min_elevation_deg)
             / (90.0 - p.min_elevation_deg))
             .clamp(0.0, 1.0);
-        let dark_penalty =
-            if sat.sunlit { 0.0 } else { p.w_dark_low_elevation * (1.0 - el_norm) };
+        let dark_penalty = if sat.sunlit { 0.0 } else { p.w_dark_low_elevation * (1.0 - el_norm) };
         let age_norm = 1.0 - (sat.age_days / p.max_age_days).clamp(0.0, 1.0);
         let load = self.load.utilization(sat.norad_id, slot);
         let gso_margin = (gso.separation_deg(&sat.look) / 90.0).clamp(0.0, 1.0);
@@ -340,8 +337,7 @@ mod tests {
             if a.terminal_id == 1 {
                 if let Some(ch) = &a.chosen {
                     assert!(
-                        !SkyMask::ithaca_trees()
-                            .blocks(ch.look.elevation_deg, ch.look.azimuth_deg),
+                        !SkyMask::ithaca_trees().blocks(ch.look.elevation_deg, ch.look.azimuth_deg),
                         "picked a tree-blocked satellite: {:?}",
                         ch.look
                     );
@@ -369,10 +365,7 @@ mod tests {
         let c = constellation();
         let run = |seed| {
             let mut g = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), seed);
-            g.allocate_range(&c, at(), 8)
-                .iter()
-                .map(|a| a.chosen_id())
-                .collect::<Vec<_>>()
+            g.allocate_range(&c, at(), 8).iter().map(|a| a.chosen_id()).collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6), "different seeds should eventually differ");
@@ -383,11 +376,8 @@ mod tests {
         let c = constellation();
         let mut g = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), 3);
         let allocs = g.allocate_range(&c, at(), 12);
-        let iowa: Vec<Option<u32>> = allocs
-            .iter()
-            .filter(|a| a.terminal_id == 0)
-            .map(|a| a.chosen_id())
-            .collect();
+        let iowa: Vec<Option<u32>> =
+            allocs.iter().filter(|a| a.terminal_id == 0).map(|a| a.chosen_id()).collect();
         let distinct: std::collections::HashSet<_> = iowa.iter().collect();
         assert!(distinct.len() > 3, "reallocation every 15 s should churn: {iowa:?}");
     }
@@ -455,11 +445,8 @@ mod tests {
             let policy = SchedulerPolicy { w_hysteresis, ..SchedulerPolicy::default() };
             let mut g = GlobalScheduler::new(policy, terminals(), 3);
             let allocs = g.allocate_range(&c, at(), 80);
-            let iowa: Vec<Option<u32>> = allocs
-                .iter()
-                .filter(|a| a.terminal_id == 0)
-                .map(|a| a.chosen_id())
-                .collect();
+            let iowa: Vec<Option<u32>> =
+                allocs.iter().filter(|a| a.terminal_id == 0).map(|a| a.chosen_id()).collect();
             iowa.windows(2).filter(|w| w[0] != w[1]).count()
         };
         let sticky = churn(3.0);

@@ -79,10 +79,7 @@ impl GsoExclusion {
     /// GSO arc; `f64::INFINITY` when the arc is below the horizon entirely.
     pub fn separation_deg(&self, look: &LookAngles) -> f64 {
         let dir = look_to_unit(look);
-        self.arc_dirs
-            .iter()
-            .map(|a| a.angle_to(dir).to_degrees())
-            .fold(f64::INFINITY, f64::min)
+        self.arc_dirs.iter().map(|a| a.angle_to(dir).to_degrees()).fold(f64::INFINITY, f64::min)
     }
 
     /// Whether any part of the belt is visible from the site at all.

@@ -33,7 +33,8 @@ impl LoadModel {
     /// Background utilization of a satellite in a slot, in `[0, 1)`.
     pub fn utilization(&self, norad_id: u32, slot: i64) -> f64 {
         let h = splitmix64(
-            self.seed ^ (norad_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            self.seed
+                ^ (norad_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ (slot as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
         );
         // Map to [0,1), then squash toward the configured mean: a weighted

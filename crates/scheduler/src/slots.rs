@@ -58,10 +58,7 @@ mod tests {
             let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0).plus_seconds(k as f64 * 7.3);
             let s = slot_start(at);
             let dt = at.seconds_since(s);
-            assert!(
-                (0.0..SLOT_PERIOD_SECONDS + 1e-6).contains(&dt),
-                "k={k}: offset {dt}"
-            );
+            assert!((0.0..SLOT_PERIOD_SECONDS + 1e-6).contains(&dt), "k={k}: offset {dt}");
         }
     }
 

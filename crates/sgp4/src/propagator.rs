@@ -152,15 +152,10 @@ impl Sgp4 {
         let cc2 = coef1
             * no_unkozai
             * (ao * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq))
-                + 0.375 * J2 * tsi / psisq
-                    * con41
-                    * (8.0 + 3.0 * etasq * (8.0 + etasq)));
+                + 0.375 * J2 * tsi / psisq * con41 * (8.0 + 3.0 * etasq * (8.0 + etasq)));
         let cc1 = elements.bstar * cc2;
-        let cc3 = if ecco > 1.0e-4 {
-            -2.0 * coef * tsi * J3OJ2 * no_unkozai * sinio / ecco
-        } else {
-            0.0
-        };
+        let cc3 =
+            if ecco > 1.0e-4 { -2.0 * coef * tsi * J3OJ2 * no_unkozai * sinio / ecco } else { 0.0 };
         let x1mth2 = 1.0 - cosio2;
         let cc4 = 2.0
             * no_unkozai
@@ -174,8 +169,7 @@ impl Sgp4 {
                             * x1mth2
                             * (2.0 * etasq - eeta * (1.0 + etasq))
                             * (2.0 * elements.argpo).cos()));
-        let cc5 =
-            2.0 * coef1 * ao * omeosq * (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+        let cc5 = 2.0 * coef1 * ao * omeosq * (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
 
         let cosio4 = cosio2 * cosio2;
         let temp1 = 1.5 * J2 * pinvsq * no_unkozai;
@@ -189,12 +183,10 @@ impl Sgp4 {
             + temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
         let xhdot1 = -temp1 * cosio;
         let nodedot = xhdot1
-            + (0.5 * temp2 * (4.0 - 19.0 * cosio2) + 2.0 * temp3 * (3.0 - 7.0 * cosio2))
-                * cosio;
+            + (0.5 * temp2 * (4.0 - 19.0 * cosio2) + 2.0 * temp3 * (3.0 - 7.0 * cosio2)) * cosio;
 
         let omgcof = elements.bstar * cc3 * elements.argpo.cos();
-        let xmcof =
-            if ecco > 1.0e-4 { -2.0 / 3.0 * coef * elements.bstar / eeta } else { 0.0 };
+        let xmcof = if ecco > 1.0e-4 { -2.0 / 3.0 * coef * elements.bstar / eeta } else { 0.0 };
         let nodecf = 3.5 * omeosq * xhdot1 * cc1;
         let t2cof = 1.5 * cc1;
 
@@ -219,10 +211,7 @@ impl Sgp4 {
             let t3cof = d2 + 2.0 * cc1sq;
             let t4cof = 0.25 * (3.0 * d3 + cc1 * (12.0 * d2 + 10.0 * cc1sq));
             let t5cof = 0.2
-                * (3.0 * d4
-                    + 12.0 * ao * d3
-                    + 6.0 * d2 * d2
-                    + 15.0 * cc1sq * (2.0 * d2 + cc1sq));
+                * (3.0 * d4 + 12.0 * ao * d3 + 6.0 * d2 * d2 + 15.0 * cc1sq * (2.0 * d2 + cc1sq));
             (d2, d3, d4, t3cof, t4cof, t5cof)
         } else {
             (0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
@@ -374,8 +363,7 @@ impl Sgp4 {
         let temp2 = temp1 * temp;
 
         // ---- Short-period periodics. ----
-        let mrt = rl * (1.0 - 1.5 * temp2 * betal * self.con41)
-            + 0.5 * temp1 * self.x1mth2 * cos2u;
+        let mrt = rl * (1.0 - 1.5 * temp2 * betal * self.con41) + 0.5 * temp1 * self.x1mth2 * cos2u;
         let su = su - 0.25 * temp2 * self.x7thm1 * sin2u;
         let xnode = nodep + 1.5 * temp2 * cosip * sin2u;
         let xinc = xincp + 1.5 * temp2 * cosip * sinip * cos2u;

@@ -118,11 +118,19 @@ fn field(line: &str, range: std::ops::Range<usize>) -> &str {
     line.get(range).unwrap_or("").trim()
 }
 
-fn parse_f64(line: &str, range: std::ops::Range<usize>, name: &'static str) -> Result<f64, TleError> {
+fn parse_f64(
+    line: &str,
+    range: std::ops::Range<usize>,
+    name: &'static str,
+) -> Result<f64, TleError> {
     field(line, range).parse().map_err(|_| TleError::BadField { field: name })
 }
 
-fn parse_u32(line: &str, range: std::ops::Range<usize>, name: &'static str) -> Result<u32, TleError> {
+fn parse_u32(
+    line: &str,
+    range: std::ops::Range<usize>,
+    name: &'static str,
+) -> Result<u32, TleError> {
     let s = field(line, range);
     if s.is_empty() {
         return Ok(0);
@@ -144,15 +152,11 @@ fn parse_exp_field(s: &str, name: &'static str) -> Result<f64, TleError> {
         _ => (1.0, s),
     };
     // Split mantissa digits from trailing exponent (sign + digit).
-    let exp_start = rest
-        .char_indices()
-        .skip(1)
-        .find(|&(_, c)| c == '+' || c == '-')
-        .map(|(i, _)| i);
+    let exp_start =
+        rest.char_indices().skip(1).find(|&(_, c)| c == '+' || c == '-').map(|(i, _)| i);
     let (mantissa_str, exp) = match exp_start {
         Some(i) => {
-            let e: i32 =
-                rest[i..].parse().map_err(|_| TleError::BadField { field: name })?;
+            let e: i32 = rest[i..].parse().map_err(|_| TleError::BadField { field: name })?;
             (&rest[..i], e)
         }
         None => (rest, 0),
@@ -165,7 +169,10 @@ fn parse_exp_field(s: &str, name: &'static str) -> Result<f64, TleError> {
 
 /// Formats a value into the 8-character implied-decimal exponent form.
 fn format_exp_field(value: f64) -> String {
-    if value == 0.0 {
+    // Values this small cannot be represented in the 5-digit implied-decimal
+    // exponent form anyway; treat them as the wire-format zero sentinel
+    // (also avoids an exact float `==`).
+    if value.abs() < 1e-12 {
         return " 00000+0".to_string();
     }
     let sign = if value < 0.0 { '-' } else { ' ' };
@@ -194,11 +201,7 @@ impl Tle {
     }
 
     /// Parses a TLE preceded by an optional title line.
-    pub fn parse_named(
-        name: Option<&str>,
-        line1: &str,
-        line2: &str,
-    ) -> Result<Tle, TleError> {
+    pub fn parse_named(name: Option<&str>, line1: &str, line2: &str) -> Result<Tle, TleError> {
         for (idx, line) in [(1u8, line1), (2u8, line2)] {
             if line.len() < 69 {
                 return Err(TleError::LineTooShort { line: idx, len: line.len() });
@@ -307,7 +310,8 @@ impl Tle {
             format_exp_field(self.bstar),
             self.element_set_no % 10_000,
         );
-        line1.push(char::from_digit(checksum(&line1), 10).unwrap());
+        // `checksum` is mod 10, so from_digit is always Some; stay total.
+        line1.push(char::from_digit(checksum(&line1), 10).unwrap_or('0'));
 
         let ecc_digits = format!("{:07}", (self.eccentricity * 1e7).round() as u64 % 10_000_000);
         let mut line2 = format!(
@@ -321,7 +325,7 @@ impl Tle {
             self.mean_motion_rev_day,
             self.rev_number % 100_000,
         );
-        line2.push(char::from_digit(checksum(&line2), 10).unwrap());
+        line2.push(char::from_digit(checksum(&line2), 10).unwrap_or('0'));
 
         (line1, line2)
     }
@@ -395,10 +399,7 @@ mod tests {
 
     #[test]
     fn wrong_line_number_is_rejected() {
-        assert!(matches!(
-            Tle::parse_lines(L2, L1),
-            Err(TleError::BadLineNumber { expected: 1 })
-        ));
+        assert!(matches!(Tle::parse_lines(L2, L1), Err(TleError::BadLineNumber { expected: 1 })));
     }
 
     #[test]

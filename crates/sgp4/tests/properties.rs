@@ -7,14 +7,14 @@ use starsense_sgp4::{checksum, Elements, Sgp4, Tle};
 
 fn leo_elements() -> impl Strategy<Value = Elements> {
     (
-        14.0f64..15.8,      // rev/day: LEO band
-        1.0e-4f64..2.0e-3,  // eccentricity: near-circular
-        30.0f64..98.0,      // inclination
-        0.0f64..360.0,      // raan
-        0.0f64..360.0,      // argp
-        0.0f64..360.0,      // mean anomaly
-        1.0e-5f64..3.0e-4,  // bstar
-        1u32..99_999,       // catalog number
+        14.0f64..15.8,     // rev/day: LEO band
+        1.0e-4f64..2.0e-3, // eccentricity: near-circular
+        30.0f64..98.0,     // inclination
+        0.0f64..360.0,     // raan
+        0.0f64..360.0,     // argp
+        0.0f64..360.0,     // mean anomaly
+        1.0e-5f64..3.0e-4, // bstar
+        1u32..99_999,      // catalog number
     )
         .prop_map(|(n, e, i, raan, argp, ma, bstar, id)| {
             Elements::from_catalog_units(

@@ -39,11 +39,8 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitney> {
     }
 
     // Rank the pooled sample, averaging ranks across ties.
-    let mut pooled: Vec<(f64, usize)> = a
-        .iter()
-        .map(|&x| (x, 0usize))
-        .chain(b.iter().map(|&x| (x, 1usize)))
-        .collect();
+    let mut pooled: Vec<(f64, usize)> =
+        a.iter().map(|&x| (x, 0usize)).chain(b.iter().map(|&x| (x, 1usize))).collect();
     pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
 
     let n = pooled.len();

@@ -26,7 +26,9 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
         sxx += dx * dx;
         syy += dy * dy;
     }
-    if sxx == 0.0 || syy == 0.0 {
+    // Sums of squares are non-negative; `<=` rejects degenerate (constant)
+    // samples without an exact float `==`.
+    if sxx <= 0.0 || syy <= 0.0 {
         return None;
     }
     Some(sxy / (sxx * syy).sqrt())
@@ -47,7 +49,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<(f64, f64)> {
         sxy += (x - mx) * (y - my);
         sxx += (x - mx) * (x - mx);
     }
-    if sxx == 0.0 {
+    if sxx <= 0.0 {
         return None;
     }
     let slope = sxy / sxx;

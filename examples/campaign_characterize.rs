@@ -11,12 +11,8 @@ use starsense::prelude::*;
 
 fn main() {
     let constellation = ConstellationBuilder::starlink_gen1().seed(17).build();
-    let campaign = Campaign::oracle(
-        &constellation,
-        paper_terminals(),
-        CampaignConfig::default(),
-        17,
-    );
+    let campaign =
+        Campaign::oracle(&constellation, paper_terminals(), CampaignConfig::default(), 17);
 
     // Two hours of 15-second slots for all four terminals.
     let from = JulianDate::from_ymd_hms(2023, 6, 1, 3, 0, 0.0);
@@ -55,5 +51,7 @@ fn main() {
         }
     }
 
-    println!("\npaper shape targets: shift ≈ +22.9°, north ≈ 82% vs 58%, Pearson ≈ 0.41, sunlit ≈ 72%");
+    println!(
+        "\npaper shape targets: shift ≈ +22.9°, north ≈ 82% vs 58%, Pearson ≈ 0.41, sunlit ≈ 72%"
+    );
 }

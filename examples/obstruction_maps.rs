@@ -22,11 +22,21 @@ fn main() {
     for k in 0..6 {
         let at = JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 20.0).plus_seconds(15.0 * k as f64);
         let alloc = scheduler.allocate(&constellation, at).swap_remove(0);
-        captures.push(dish.play_slot(&constellation, alloc.slot, alloc.slot_start, alloc.chosen_id()));
+        captures.push(dish.play_slot(
+            &constellation,
+            alloc.slot,
+            alloc.slot_start,
+            alloc.chosen_id(),
+        ));
     }
 
     let last = captures.last().unwrap();
-    println!("map after {} slots ({} px set):\n{}", captures.len(), last.map.count_set(), to_ascii(&last.map));
+    println!(
+        "map after {} slots ({} px set):\n{}",
+        captures.len(),
+        last.map.count_set(),
+        to_ascii(&last.map)
+    );
 
     let prev = &captures[captures.len() - 2];
     let xor = isolate(&prev.map, &last.map);
@@ -39,7 +49,12 @@ fn main() {
     for k in 0..600 {
         let at = JulianDate::from_ymd_hms(2023, 6, 1, 17, 0, 20.0).plus_seconds(15.0 * k as f64);
         let alloc = scheduler.allocate(&constellation, at).swap_remove(0);
-        saturated = Some(sat_dish.play_slot(&constellation, alloc.slot, alloc.slot_start, alloc.chosen_id()));
+        saturated = Some(sat_dish.play_slot(
+            &constellation,
+            alloc.slot,
+            alloc.slot_start,
+            alloc.chosen_id(),
+        ));
     }
     let saturated = saturated.unwrap().map;
     println!("fill fraction: {:.1}%", 100.0 * saturated.fill_fraction());

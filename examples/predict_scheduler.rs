@@ -35,11 +35,7 @@ fn main() {
 
     println!("\n k   RF model   baseline");
     for (i, k) in eval.k_values.iter().enumerate() {
-        println!(
-            "{k:>2}   {:>8}   {:>8}",
-            pct(eval.rf_top_k[i]),
-            pct(eval.baseline_top_k[i])
-        );
+        println!("{k:>2}   {:>8}   {:>8}", pct(eval.rf_top_k[i]), pct(eval.baseline_top_k[i]));
     }
     println!("\npaper @ k=5: RF ≈ 65%, baseline ≈ 22%");
 

@@ -36,13 +36,8 @@ fn main() {
     let next = at.plus_seconds(15.0);
     let allocs = scheduler.allocate(&constellation, next);
     let second = &allocs[0];
-    println!(
-        "slot {}: scheduler chose {:?}",
-        second.slot,
-        second.chosen_id()
-    );
-    let cap2 =
-        dish.play_slot(&constellation, second.slot, second.slot_start, second.chosen_id());
+    println!("slot {}: scheduler chose {:?}", second.slot, second.chosen_id());
+    let cap2 = dish.play_slot(&constellation, second.slot, second.slot_start, second.chosen_id());
 
     // Now pretend we never saw the scheduler: identify the serving
     // satellite from the two map snapshots and the published (stale) TLEs,

@@ -13,27 +13,19 @@ use starsense::stats::{mann_whitney_u, Summary};
 fn main() {
     let constellation = ConstellationBuilder::starlink_gen1().seed(11).build();
     let scheduler = GlobalScheduler::new(SchedulerPolicy::default(), paper_terminals(), 11);
-    let mut emulator = Emulator::new(
-        &constellation,
-        scheduler,
-        paper_pops(),
-        EmulatorConfig::default(),
-        11,
-    );
+    let mut emulator =
+        Emulator::new(&constellation, scheduler, paper_pops(), EmulatorConfig::default(), 11);
 
     // One minute of probing from the Madrid terminal (the paper's Figure 2
     // is its EU dish).
     let from = JulianDate::from_ymd_hms(2023, 6, 1, 5, 37, 30.0);
     let trace = emulator.probe_trace(2, from, 75.0);
-    println!(
-        "{} probes sent, {:.2}% lost",
-        trace.records.len(),
-        100.0 * trace.loss_rate()
-    );
+    println!("{} probes sent, {:.2}% lost", trace.records.len(), 100.0 * trace.loss_rate());
 
     // A terminal-friendly sparkline of the series (one char per ~0.6 s).
     let series = trace.series();
-    let glyphs = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}'];
+    let glyphs =
+        ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}'];
     let lo = series.iter().map(|x| x.1).fold(f64::INFINITY, f64::min);
     let hi = series.iter().map(|x| x.1).fold(f64::NEG_INFINITY, f64::max);
     let spark: String = series

@@ -21,12 +21,8 @@ fn constellations_are_identical_across_builds() {
 fn campaigns_are_identical_across_runs() {
     let constellation = ConstellationBuilder::starlink_mini().seed(5).build();
     let run = || {
-        let campaign = Campaign::oracle(
-            &constellation,
-            paper_terminals(),
-            CampaignConfig::default(),
-            5,
-        );
+        let campaign =
+            Campaign::oracle(&constellation, paper_terminals(), CampaignConfig::default(), 5);
         campaign.run(JulianDate::from_ymd_hms(2023, 6, 1, 8, 0, 0.0), 40)
     };
     let a = run();
@@ -45,13 +41,8 @@ fn probe_traces_are_identical_across_runs() {
     let constellation = ConstellationBuilder::starlink_mini().seed(5).build();
     let run = || {
         let scheduler = GlobalScheduler::new(SchedulerPolicy::default(), paper_terminals(), 5);
-        let mut emulator = Emulator::new(
-            &constellation,
-            scheduler,
-            paper_pops(),
-            EmulatorConfig::default(),
-            5,
-        );
+        let mut emulator =
+            Emulator::new(&constellation, scheduler, paper_pops(), EmulatorConfig::default(), 5);
         emulator.probe_trace(0, JulianDate::from_ymd_hms(2023, 6, 1, 8, 0, 0.0), 8.0)
     };
     let a = run();

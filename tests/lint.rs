@@ -1,0 +1,22 @@
+//! Workspace lint gate: `cargo test -q` fails if `starlint` finds anything.
+//!
+//! This keeps the determinism (D-series), panic-safety (P-series) and
+//! quality (Q-series) invariants documented in `DESIGN.md` §5 enforced on
+//! every test run, not just when someone remembers to run the binary.
+
+use std::path::Path;
+
+use starsense_lint::lint_workspace;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("starlint must be able to walk the workspace");
+    assert!(
+        report.findings.is_empty(),
+        "starlint found {} violation(s); fix them or add a \
+         `// starlint: allow(CODE, reason = \"...\")` directive:\n{}",
+        report.findings.len(),
+        report.to_text()
+    );
+}

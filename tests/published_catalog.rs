@@ -36,11 +36,10 @@ fn every_published_tle_initializes_sgp4_and_propagates() {
     let parsed = Tle::parse_catalog(&text).unwrap();
 
     for tle in parsed {
-        let sgp4 = Sgp4::new(&tle.elements())
-            .unwrap_or_else(|e| panic!("sat {}: {e}", tle.norad_id));
-        let state = sgp4
-            .propagate_minutes(360.0)
-            .unwrap_or_else(|e| panic!("sat {}: {e}", tle.norad_id));
+        let sgp4 =
+            Sgp4::new(&tle.elements()).unwrap_or_else(|e| panic!("sat {}: {e}", tle.norad_id));
+        let state =
+            sgp4.propagate_minutes(360.0).unwrap_or_else(|e| panic!("sat {}: {e}", tle.norad_id));
         let alt = state.position_km.norm() - 6378.135;
         assert!((400.0..700.0).contains(&alt), "sat {}: altitude {alt}", tle.norad_id);
     }
