@@ -1,0 +1,215 @@
+//! Campaign-engine throughput and DTW-pruning effectiveness.
+//!
+//! Unlike the criterion-style benches, this harness measures whole
+//! campaigns (the §5 data-collection loop) and emits a machine-readable
+//! `BENCH_campaign.json` at the repository root:
+//!
+//! * **oracle / identified throughput** — slots per second for the serial
+//!   engine (`threads = 1`) versus the parallel engine (auto threads),
+//!   with the host's thread count recorded so single-core results are not
+//!   mistaken for a parallelism regression;
+//! * **DTW pruning** — matrix cells evaluated by the pruned matcher versus
+//!   the exhaustive scan over a sweep of real identification slots, plus
+//!   an agreement check (the pruned winner must always equal the
+//!   exhaustive winner).
+//!
+//! `--test` (as in `cargo bench -- --test`) runs a smoke pass: tiny
+//! workload, no JSON written.
+
+use starsense_astro::frames::Geodetic;
+use starsense_astro::time::JulianDate;
+use starsense_constellation::{Constellation, ConstellationBuilder};
+use starsense_core::campaign::{Campaign, CampaignConfig};
+use starsense_dtw::dtw_distance;
+use starsense_ident::{candidate_tracks, identify_from_trajectory_counted, DishSimulator};
+use starsense_obstruction::{extract_trajectory, isolate};
+use starsense_scheduler::slots::slot_start;
+use starsense_scheduler::Terminal;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+fn terminals() -> Vec<Terminal> {
+    vec![
+        Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2)),
+        Terminal::new(1, "Seattle", Geodetic::new(47.61, -122.33, 0.1)),
+        Terminal::new(2, "Austin", Geodetic::new(30.27, -97.74, 0.15)),
+        Terminal::new(3, "Berlin", Geodetic::new(52.52, 13.40, 0.03)),
+    ]
+}
+
+fn campaign_start() -> JulianDate {
+    JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 0.0)
+}
+
+/// Runs one campaign and returns slots/second (terminal-slots are not
+/// multiplied in: "slot" here is a scheduler tick across all terminals).
+fn time_campaign(c: &Constellation, identified: bool, threads: usize, slots: usize) -> f64 {
+    let config = CampaignConfig { threads, ..CampaignConfig::default() };
+    let campaign = if identified {
+        Campaign::identified(c, terminals(), config, SEED)
+    } else {
+        Campaign::oracle(c, terminals(), config, SEED)
+    };
+    let start = Instant::now();
+    let obs = campaign.run(campaign_start(), slots);
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(obs.len(), slots * terminals().len());
+    slots as f64 / elapsed
+}
+
+struct DtwSweep {
+    cells_full: usize,
+    cells_pruned: usize,
+    queries: usize,
+    agreements: usize,
+}
+
+/// Replays an identification sweep and tallies pruned-vs-full DTW work,
+/// checking the pruned winner against an exhaustive scan every slot.
+fn dtw_sweep(c: &Constellation, slots: usize) -> DtwSweep {
+    let loc = Geodetic::new(41.66, -91.53, 0.2);
+    let mut dish = DishSimulator::new(loc);
+    let mut prev = None;
+    let mut sweep = DtwSweep { cells_full: 0, cells_pruned: 0, queries: 0, agreements: 0 };
+    let t0 = slot_start(campaign_start());
+    for k in 0..slots {
+        let at = t0.plus_seconds(15.0 * k as f64);
+        let serving = c.field_of_view(loc, at, 30.0).first().map(|v| v.norad_id);
+        let cap = dish.play_slot(c, k as i64, at, serving);
+        let usable_prev = if cap.after_reset { None } else { prev.take() };
+        if let Some(prev_cap) = usable_prev {
+            let iso = isolate(&prev_cap, &cap.map);
+            let trajectory = extract_trajectory(&iso);
+            if let Some((id, stats)) = identify_from_trajectory_counted(&trajectory, c, loc, at) {
+                sweep.cells_full += stats.cells_full;
+                sweep.cells_pruned += stats.cells_evaluated;
+                sweep.queries += 1;
+                if exhaustive_winner(c, loc, at, &trajectory) == Some(id.norad_id) {
+                    sweep.agreements += 1;
+                }
+            }
+        }
+        prev = Some(cap.map.clone());
+    }
+    sweep
+}
+
+/// The pre-pruning matcher: full DTW in both orientations, strict `<`
+/// update in index order.
+fn exhaustive_winner(
+    c: &Constellation,
+    loc: Geodetic,
+    at: JulianDate,
+    trajectory: &[starsense_obstruction::PolarSample],
+) -> Option<u32> {
+    let isolated: Vec<[f64; 2]> = trajectory.iter().map(|s| s.to_cartesian()).collect();
+    let mut best: Option<(u32, f64)> = None;
+    for cand in candidate_tracks(c, loc, at, 25.0, 16) {
+        let fwd = cand.cartesian();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let d = dtw_distance(&isolated, &fwd).min(dtw_distance(&isolated, &rev));
+        if best.map_or(true, |(_, bd)| d < bd) {
+            best = Some((cand.norad_id, d));
+        }
+    }
+    best.map(|(id, _)| id)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    criterion::configure_from_args(std::env::args().skip(1));
+    let smoke = criterion::is_smoke();
+
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (oracle_slots, ident_slots, sweep_slots) = if smoke { (6, 4, 6) } else { (1600, 120, 200) };
+
+    let constellation = ConstellationBuilder::starlink_mini().seed(SEED).build();
+
+    println!("campaign bench: host_threads={host_threads} smoke={smoke}");
+
+    let oracle_serial = time_campaign(&constellation, false, 1, oracle_slots);
+    let oracle_parallel = time_campaign(&constellation, false, 0, oracle_slots);
+    println!(
+        "campaign/oracle_{oracle_slots}slots_4terms      serial {oracle_serial:9.1} slots/s   parallel {oracle_parallel:9.1} slots/s   speedup {:.2}x",
+        oracle_parallel / oracle_serial
+    );
+
+    let ident_serial = time_campaign(&constellation, true, 1, ident_slots);
+    let ident_parallel = time_campaign(&constellation, true, 0, ident_slots);
+    println!(
+        "campaign/identified_{ident_slots}slots_4terms   serial {ident_serial:9.1} slots/s   parallel {ident_parallel:9.1} slots/s   speedup {:.2}x",
+        ident_parallel / ident_serial
+    );
+
+    let sweep = dtw_sweep(&constellation, sweep_slots);
+    let ratio = sweep.cells_pruned as f64 / sweep.cells_full.max(1) as f64;
+    println!(
+        "dtw/pruned_sweep_{sweep_slots}slots             {} of {} cells ({:.1}%)   agreement {}/{}",
+        sweep.cells_pruned,
+        sweep.cells_full,
+        100.0 * ratio,
+        sweep.agreements,
+        sweep.queries
+    );
+    assert_eq!(sweep.agreements, sweep.queries, "pruned matcher must agree with exhaustive scan");
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_campaign.json");
+        return;
+    }
+
+    let json = format!(
+        r#"{{
+  "workload": {{
+    "constellation": "starlink_mini_384sats",
+    "terminals": 4,
+    "oracle_slots": {oracle_slots},
+    "identified_slots": {ident_slots},
+    "dtw_sweep_slots": {sweep_slots},
+    "seed": {SEED}
+  }},
+  "host_threads": {host_threads},
+  "oracle": {{
+    "serial_slots_per_sec": {},
+    "parallel_slots_per_sec": {},
+    "speedup": {}
+  }},
+  "identified": {{
+    "serial_slots_per_sec": {},
+    "parallel_slots_per_sec": {},
+    "speedup": {}
+  }},
+  "dtw": {{
+    "cells_full": {},
+    "cells_pruned": {},
+    "ratio": {},
+    "queries": {},
+    "agreement": {}
+  }}
+}}
+"#,
+        json_f(oracle_serial),
+        json_f(oracle_parallel),
+        json_f(oracle_parallel / oracle_serial),
+        json_f(ident_serial),
+        json_f(ident_parallel),
+        json_f(ident_parallel / ident_serial),
+        sweep.cells_full,
+        sweep.cells_pruned,
+        json_f(ratio),
+        sweep.queries,
+        json_f(sweep.agreements as f64 / sweep.queries.max(1) as f64),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(path, json).expect("write BENCH_campaign.json");
+    println!("wrote {path}");
+}

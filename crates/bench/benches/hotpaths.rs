@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use starsense_astro::frames::Geodetic;
 use starsense_astro::sun::sun_position_teme;
 use starsense_astro::time::JulianDate;
-use starsense_constellation::ConstellationBuilder;
+use starsense_constellation::{ConstellationBuilder, PropagationCache};
 use starsense_sgp4::{Sgp4, Tle};
 use std::hint::black_box;
 
@@ -63,6 +63,14 @@ fn bench_constellation(c: &mut Criterion) {
 
     c.bench_function("constellation/build_mini", |b| {
         b.iter(|| black_box(ConstellationBuilder::starlink_mini().seed(1).build()))
+    });
+
+    // The campaign engine's shared cache: a warm hit versus re-propagating
+    // the same epoch — the per-terminal saving of the per-slot snapshot.
+    let cache = PropagationCache::new(&mini);
+    let _ = cache.snapshot(at);
+    c.bench_function("constellation/snapshot_cached_hit", |b| {
+        b.iter(|| black_box(cache.snapshot(black_box(at))))
     });
 }
 

@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use starsense_astro::frames::Geodetic;
 use starsense_astro::time::JulianDate;
 use starsense_constellation::ConstellationBuilder;
-use starsense_dtw::{dtw_distance, dtw_distance_banded};
+use starsense_dtw::{
+    dtw_distance, dtw_distance_banded, dtw_distance_early_abandon, NearestSequence,
+};
 use starsense_ident::{candidate_tracks, identify_slot, DishSimulator};
 use starsense_obstruction::{extract_trajectory, isolate, paint, ObstructionMap};
 use starsense_scheduler::slots::slot_start;
@@ -33,6 +35,26 @@ fn bench_dtw(c: &mut Criterion) {
     });
     c.bench_function("dtw/64x64_banded_10pct", |bch| {
         bch.iter(|| black_box(dtw_distance_banded(black_box(&a64), black_box(&b64), 0.1)))
+    });
+    // Early abandoning with a cutoff a 1-NN search would actually carry:
+    // the distance of a nearby competitor.
+    let cutoff = dtw_distance(&a64, &track(64, 0.05));
+    c.bench_function("dtw/64x64_early_abandon", |bch| {
+        bch.iter(|| black_box(dtw_distance_early_abandon(black_box(&a64), black_box(&b64), cutoff)))
+    });
+
+    // Full-vs-pruned 1-NN over a candidate pool shaped like a slot's
+    // candidate set (a couple dozen tracks, one close, the rest spread).
+    let mut ns = NearestSequence::<2>::new();
+    for i in 0..24 {
+        ns.add(track(16, 0.05 + 0.3 * i as f64));
+    }
+    let query = track(16, 0.1);
+    c.bench_function("dtw/1nn_24cands_exhaustive", |bch| {
+        bch.iter(|| black_box(ns.ranked(black_box(&query)).first().copied()))
+    });
+    c.bench_function("dtw/1nn_24cands_pruned", |bch| {
+        bch.iter(|| black_box(ns.best_match(black_box(&query))))
     });
 }
 

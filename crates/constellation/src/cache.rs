@@ -1,0 +1,265 @@
+//! Shared per-epoch propagation cache.
+//!
+//! A measurement campaign asks for the same instants over and over: every
+//! terminal's field-of-view query hits the slot's epoch, and every
+//! terminal's candidate generator hits the same 16 sample epochs inside the
+//! slot. [`PropagationCache`] memoizes both the **true** catalog snapshot
+//! (scheduler side) and the **published**-TLE positions (identification
+//! side) per exact epoch, so the constellation is SGP4-propagated once per
+//! instant no matter how many terminals — or worker threads — observe it.
+//!
+//! The cache is read-through and thread-safe (`RwLock` around plain maps),
+//! which makes it the natural rendezvous point for the parallel campaign
+//! engine: phase-A workers pre-warm slot epochs concurrently, and the
+//! serial scheduler pass plus the per-terminal observation workers all hit
+//! warm entries. Values are returned as `Arc`s so readers never hold a
+//! lock while using a snapshot.
+//!
+//! Determinism: an epoch is keyed by the exact bit pattern of its Julian
+//! date, and the cached value is a pure function of (catalog, epoch), so a
+//! cache hit is bit-identical to recomputation and results cannot depend
+//! on which thread populated an entry first.
+
+use crate::catalog::{Constellation, Snapshot};
+use starsense_astro::time::JulianDate;
+use starsense_astro::vec3::Vec3;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Hit/miss counters, for benches and capacity planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a warm entry.
+    pub hits: usize,
+    /// Lookups that had to propagate.
+    pub misses: usize,
+    /// True-snapshot entries currently cached.
+    pub truth_entries: usize,
+    /// Published-position entries currently cached.
+    pub published_entries: usize,
+}
+
+/// A thread-safe, read-through memo of per-epoch propagation results for
+/// one [`Constellation`].
+#[derive(Debug)]
+pub struct PropagationCache<'a> {
+    constellation: &'a Constellation,
+    truth: RwLock<HashMap<u64, Arc<Snapshot>>>,
+    published: RwLock<HashMap<u64, Arc<Vec<Option<Vec3>>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// Locks can only be poisoned by a panicking writer; the cached values are
+/// write-once and valid even then, so recover the guard instead of
+/// propagating the poison.
+fn read_unpoisoned<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn write_unpoisoned<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl<'a> PropagationCache<'a> {
+    /// Creates an empty cache over `constellation`.
+    pub fn new(constellation: &'a Constellation) -> PropagationCache<'a> {
+        PropagationCache {
+            constellation,
+            truth: RwLock::new(HashMap::new()),
+            published: RwLock::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The catalog this cache propagates.
+    pub fn constellation(&self) -> &'a Constellation {
+        self.constellation
+    }
+
+    /// True-position snapshot at `at`, computed at most once per distinct
+    /// epoch (bit-exact key).
+    pub fn snapshot(&self, at: JulianDate) -> Arc<Snapshot> {
+        let key = at.0.to_bits();
+        if let Some(hit) = read_unpoisoned(&self.truth).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Propagate outside the lock: epochs are pure functions of the
+        // catalog, so a racing duplicate computation is wasted work at
+        // worst, never a wrong answer.
+        let snap = Arc::new(self.constellation.snapshot(at));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = write_unpoisoned(&self.truth);
+        Arc::clone(map.entry(key).or_insert(snap))
+    }
+
+    /// Published-TLE TEME positions of every catalog satellite at `at`
+    /// (`None` where propagation fails), computed at most once per epoch.
+    /// Indexed like [`Constellation::sats`].
+    pub fn published_positions(&self, at: JulianDate) -> Arc<Vec<Option<Vec3>>> {
+        let key = at.0.to_bits();
+        if let Some(hit) = read_unpoisoned(&self.published).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let positions: Vec<Option<Vec3>> =
+            self.constellation.sats().iter().map(|s| s.published_position(at)).collect();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = write_unpoisoned(&self.published);
+        Arc::clone(map.entry(key).or_insert(Arc::new(positions)))
+    }
+
+    /// Pre-propagates true snapshots for every epoch in `epochs`, fanning
+    /// the work across up to `threads` scoped workers (values ≤ 1 warm the
+    /// cache serially). Epochs are interleaved across workers so chunks
+    /// cost the same regardless of ordering.
+    pub fn prewarm(&self, epochs: &[JulianDate], threads: usize) {
+        let threads = threads.max(1).min(epochs.len().max(1));
+        if threads <= 1 {
+            for &at in epochs {
+                let _ = self.snapshot(at);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                scope.spawn(move || {
+                    for &at in epochs.iter().skip(worker).step_by(threads) {
+                        let _ = self.snapshot(at);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&self) {
+        write_unpoisoned(&self.truth).clear();
+        write_unpoisoned(&self.published).clear();
+    }
+
+    /// Current hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            truth_entries: read_unpoisoned(&self.truth).len(),
+            published_entries: read_unpoisoned(&self.published).len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ConstellationBuilder;
+    use starsense_astro::frames::Geodetic;
+
+    fn mini() -> Constellation {
+        ConstellationBuilder::starlink_mini().seed(42).build()
+    }
+
+    #[test]
+    fn snapshot_through_cache_matches_direct() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 9, 30, 0.0);
+        let iowa = Geodetic::new(41.66, -91.53, 0.2);
+
+        let direct = c.field_of_view(iowa, at, 25.0);
+        let cached = c.field_of_view_from(&cache.snapshot(at), iowa, 25.0);
+        assert_eq!(direct.len(), cached.len());
+        for (a, b) in direct.iter().zip(&cached) {
+            assert_eq!(a.norad_id, b.norad_id);
+            assert_eq!(a.look, b.look);
+            assert_eq!(a.sunlit, b.sunlit);
+        }
+    }
+
+    #[test]
+    fn repeat_lookups_hit() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 9, 30, 0.0);
+        let first = cache.snapshot(at);
+        let second = cache.snapshot(at);
+        assert!(Arc::ptr_eq(&first, &second), "same epoch must share one snapshot");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.truth_entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn published_positions_match_satellite_calls() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let cached = cache.published_positions(at);
+        assert_eq!(cached.len(), c.len());
+        for (sat, pos) in c.sats().iter().zip(cached.iter()) {
+            assert_eq!(*pos, sat.published_position(at));
+        }
+        // Second lookup is a hit.
+        let again = cache.published_positions(at);
+        assert!(Arc::ptr_eq(&cached, &again));
+    }
+
+    #[test]
+    fn distinct_epochs_get_distinct_entries() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let t0 = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let t1 = t0.plus_seconds(15.0);
+        let _ = cache.snapshot(t0);
+        let _ = cache.snapshot(t1);
+        assert_eq!(cache.stats().truth_entries, 2);
+    }
+
+    #[test]
+    fn prewarm_fills_every_epoch_in_parallel() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let t0 = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let epochs: Vec<JulianDate> = (0..12).map(|k| t0.plus_seconds(15.0 * k as f64)).collect();
+        cache.prewarm(&epochs, 4);
+        assert_eq!(cache.stats().truth_entries, 12);
+        // Everything is now warm: lookups do not miss again.
+        let misses_before = cache.stats().misses;
+        for &at in &epochs {
+            let _ = cache.snapshot(at);
+        }
+        assert_eq!(cache.stats().misses, misses_before);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let _ = cache.snapshot(at);
+        let _ = cache.published_positions(at);
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.truth_entries, s.published_entries), (0, 0));
+    }
+
+    #[test]
+    fn parallel_readers_share_one_propagation_per_epoch() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let warm = cache.snapshot(at);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let snap = cache.snapshot(at);
+                    assert_eq!(snap.len(), cache.constellation().len());
+                });
+            }
+        });
+        assert_eq!(cache.stats().truth_entries, 1);
+        assert!(Arc::ptr_eq(&warm, &cache.snapshot(at)));
+    }
+}

@@ -108,13 +108,26 @@ pub struct VisibleSat {
     pub launch: LaunchBatch,
 }
 
+/// One satellite's propagated state within a [`Snapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotEntry {
+    /// True TEME position, km.
+    pub teme: Vec3,
+    /// The same position rotated to ECEF — cached here so that per-terminal
+    /// look-angle queries share one rotation per satellite per instant
+    /// instead of redoing it for every terminal.
+    pub ecef: Vec3,
+    /// Whether the satellite is in sunlight.
+    pub sunlit: bool,
+}
+
 /// True positions (and sunlit flags) of every catalog satellite at one
 /// instant — the shared input for several same-instant field-of-view
 /// queries. Entries are `None` for unlaunched or decayed satellites.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     at: JulianDate,
-    positions: Vec<Option<(Vec3, bool)>>,
+    positions: Vec<Option<SnapshotEntry>>,
 }
 
 impl Snapshot {
@@ -131,6 +144,11 @@ impl Snapshot {
     /// True when the snapshot covers no satellites.
     pub fn is_empty(&self) -> bool {
         self.positions.is_empty()
+    }
+
+    /// Per-satellite entries, indexed like [`Constellation::sats`].
+    pub fn entries(&self) -> &[Option<SnapshotEntry>] {
+        &self.positions
     }
 }
 
@@ -204,7 +222,11 @@ impl Constellation {
                     return None; // not yet in orbit
                 }
                 let teme = sat.true_position(at)?;
-                Some((teme, is_sunlit_given_sun(teme, sun)))
+                Some(SnapshotEntry {
+                    teme,
+                    ecef: teme_to_ecef(teme, at),
+                    sunlit: is_sunlit_given_sun(teme, sun),
+                })
             })
             .collect();
         Snapshot { at, positions }
@@ -223,18 +245,16 @@ impl Constellation {
         min_elevation_deg: f64,
     ) -> Vec<VisibleSat> {
         assert_eq!(snap.positions.len(), self.sats.len(), "snapshot/catalog mismatch");
-        let observer_rotated = observer; // geodetic is frame-free; rotation happens per-sat
         let mut out = Vec::new();
         for (sat, entry) in self.sats.iter().zip(&snap.positions) {
-            let Some((teme, sunlit)) = entry else { continue };
-            let ecef = teme_to_ecef(*teme, snap.at);
-            let look = look_angles(observer_rotated, ecef);
+            let Some(entry) = entry else { continue };
+            let look = look_angles(observer, entry.ecef);
             if look.elevation_deg >= min_elevation_deg {
                 out.push(VisibleSat {
                     norad_id: sat.norad_id,
                     look,
-                    teme: *teme,
-                    sunlit: *sunlit,
+                    teme: entry.teme,
+                    sunlit: entry.sunlit,
                     age_days: sat.age_days(snap.at),
                     launch: sat.launch,
                 });

@@ -19,14 +19,21 @@
 //! angle of elevation for a terminal, with look angles and sunlit status —
 //! the "available satellites" set that every analysis in §5 compares
 //! against.
+//!
+//! [`PropagationCache`] memoizes per-epoch propagation (true snapshots and
+//! published-TLE positions) behind a thread-safe read-through interface, so
+//! campaign engines propagate the constellation once per slot regardless of
+//! terminal count or worker-thread count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod builder;
+mod cache;
 mod catalog;
 mod shell;
 
 pub use builder::ConstellationBuilder;
-pub use catalog::{Constellation, LaunchBatch, Satellite, Snapshot, VisibleSat};
+pub use cache::{CacheStats, PropagationCache};
+pub use catalog::{Constellation, LaunchBatch, Satellite, Snapshot, SnapshotEntry, VisibleSat};
 pub use shell::{Shell, WalkerSlot};

@@ -15,13 +15,35 @@
 //!   misidentifications and skipped slots. This is what the authors
 //!   actually had, so experiments that quote the paper's numbers run in
 //!   this mode.
+//!
+//! # Execution model
+//!
+//! A campaign runs in three phases around a shared
+//! [`PropagationCache`]:
+//!
+//! 1. **Propagate + visibility** (parallel) — every slot epoch is
+//!    SGP4-propagated once into the cache and each terminal's
+//!    field-of-view list is derived from the cached snapshot;
+//! 2. **Schedule** (serial) — the hidden scheduler consumes the
+//!    precomputed visibility slot by slot. This phase is stateful
+//!    (hysteresis and the allocation RNG depend on slot order) and stays
+//!    serial by design;
+//! 3. **Observe** (parallel) — each terminal independently replays its
+//!    allocations: dish painting, XOR isolation, and DTW identification,
+//!    with published-TLE propagation read through the same cache.
+//!
+//! The phase split is bit-transparent: every phase consumes exactly the
+//! inputs the old slot-by-slot loop produced, so observations are
+//! byte-identical for any worker-thread count (see
+//! [`CampaignConfig::threads`]), and the determinism tests hold a
+//! multi-threaded run to the single-threaded stream field by field.
 
 use crate::vantage;
 use starsense_astro::time::JulianDate;
-use starsense_constellation::{Constellation, VisibleSat};
-use starsense_ident::{identify_slot, DishSimulator, SlotCapture};
+use starsense_constellation::{Constellation, PropagationCache, VisibleSat};
+use starsense_ident::{identify_slot_through, DishSimulator, SlotCapture};
 use starsense_scheduler::slots::{slot_start, SLOT_PERIOD_SECONDS};
-use starsense_scheduler::{GlobalScheduler, SchedulerPolicy, Terminal};
+use starsense_scheduler::{Allocation, GlobalScheduler, SchedulerPolicy, Terminal};
 
 /// A satellite as observed during one slot from one terminal.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,11 +106,16 @@ pub struct CampaignConfig {
     /// Observe through the §4 identification pipeline instead of reading
     /// the scheduler directly.
     pub identified: bool,
+    /// Worker threads for the parallel phases (propagation/visibility and
+    /// per-terminal observation). `0` means auto-detect from the host;
+    /// `1` runs everything inline with no threads spawned. Results are
+    /// byte-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { policy: SchedulerPolicy::default(), identified: false }
+        CampaignConfig { policy: SchedulerPolicy::default(), identified: false, threads: 0 }
     }
 }
 
@@ -136,71 +163,215 @@ impl<'a> Campaign<'a> {
         &self.terminals
     }
 
+    /// Worker count for the parallel phases, resolved from the config.
+    fn worker_threads(&self) -> usize {
+        match self.config.threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+    }
+
     /// Runs `slots` consecutive slots starting at the slot containing
     /// `from`. Returns observations slot-major, terminal-minor.
+    ///
+    /// Observations are byte-identical for any [`CampaignConfig::threads`]
+    /// value: the stateful scheduler pass is serial either way, and the
+    /// parallel phases compute pure per-slot / per-terminal functions whose
+    /// results are merged back in slot-major, terminal-minor order.
     pub fn run(&self, from: JulianDate, slots: usize) -> Vec<SlotObservation> {
         let mut scheduler =
             GlobalScheduler::new(self.config.policy.clone(), self.terminals.clone(), self.seed);
-        let mut dishes: Vec<DishSimulator> =
-            self.terminals.iter().map(|t| DishSimulator::new(t.location)).collect();
-        let mut prev_caps: Vec<Option<SlotCapture>> = vec![None; self.terminals.len()];
+        let threads = self.worker_threads();
+        let cache = PropagationCache::new(self.constellation);
 
-        let mut out = Vec::with_capacity(slots * self.terminals.len());
         // Query each slot at its midpoint: slot boundaries are derived from
         // the instant, and a midpoint query can never fall on the wrong
         // side of a boundary through float rounding.
         let first_mid = slot_start(from).plus_seconds(SLOT_PERIOD_SECONDS / 2.0);
-        for k in 0..slots {
-            let at = first_mid.plus_seconds(k as f64 * SLOT_PERIOD_SECONDS);
-            let allocs = scheduler.allocate(self.constellation, at);
-            for alloc in &allocs {
-                let tid = alloc.terminal_id;
-                let truth_id = alloc.chosen_id();
+        let mids: Vec<JulianDate> =
+            (0..slots).map(|k| first_mid.plus_seconds(k as f64 * SLOT_PERIOD_SECONDS)).collect();
 
-                let chosen: Option<SatObs> = if self.config.identified {
-                    let capture = dishes[tid].play_slot(
-                        self.constellation,
-                        alloc.slot,
-                        alloc.slot_start,
-                        truth_id,
-                    );
-                    let usable_prev =
-                        if capture.after_reset { None } else { prev_caps[tid].as_ref() };
-                    let identified = usable_prev.and_then(|prev| {
-                        identify_slot(
-                            &prev.map,
-                            &capture.map,
-                            self.constellation,
-                            self.terminals[tid].location,
-                            alloc.slot_start,
-                        )
-                    });
-                    prev_caps[tid] = Some(capture);
-                    identified.and_then(|id| {
-                        // Report the identified satellite's observed state,
-                        // taken from the available list (all satellites in
-                        // view, so a correct match is always present).
-                        alloc.available.iter().find(|v| v.norad_id == id.norad_id).map(SatObs::from)
-                    })
-                } else {
-                    alloc.chosen.as_ref().map(SatObs::from)
-                };
+        // Phase 1 (parallel): propagate each slot epoch once into the
+        // shared cache and derive every terminal's visibility list from the
+        // cached snapshot.
+        let availability = self.visibility_phase(&scheduler, &cache, &mids, threads);
 
-                out.push(SlotObservation {
-                    terminal_id: tid,
-                    slot: alloc.slot,
-                    slot_start: alloc.slot_start,
-                    local_hour: alloc
-                        .slot_start
-                        .local_solar_hour(self.terminals[tid].location.lon_deg),
-                    available: alloc.available.iter().map(SatObs::from).collect(),
-                    chosen,
-                    truth_id,
-                });
+        // Phase 2 (serial): the hidden scheduler walks the slots in order —
+        // hysteresis and its allocation RNG make this pass order-dependent,
+        // so it is the one part that must not be parallelized.
+        let mut per_terminal: Vec<Vec<Allocation>> =
+            (0..self.terminals.len()).map(|_| Vec::with_capacity(slots)).collect();
+        for (&at, available) in mids.iter().zip(availability) {
+            for alloc in scheduler.allocate_from_available(at, available) {
+                per_terminal[alloc.terminal_id].push(alloc);
+            }
+        }
+
+        // Phase 3 (parallel): each terminal replays its own allocation
+        // stream — dish painting and DTW identification are per-terminal
+        // state machines with no cross-terminal coupling.
+        let per_terminal_obs = self.observation_phase(&cache, per_terminal, threads);
+
+        // Merge back to the slot-major, terminal-minor order the serial
+        // loop used to produce.
+        let mut columns: Vec<std::vec::IntoIter<SlotObservation>> =
+            per_terminal_obs.into_iter().map(Vec::into_iter).collect();
+        let mut out = Vec::with_capacity(slots * self.terminals.len());
+        for _ in 0..slots {
+            for column in &mut columns {
+                if let Some(obs) = column.next() {
+                    out.push(obs);
+                }
             }
         }
         out
     }
+
+    /// Phase 1: per-slot snapshots and per-terminal visibility, fanned over
+    /// `threads` scoped workers (inline when `threads <= 1`). Slot indices
+    /// are interleaved across workers; results are reassembled in slot
+    /// order, so the output is independent of scheduling.
+    fn visibility_phase(
+        &self,
+        scheduler: &GlobalScheduler,
+        cache: &PropagationCache<'_>,
+        mids: &[JulianDate],
+        threads: usize,
+    ) -> Vec<Vec<Vec<VisibleSat>>> {
+        let per_slot = |&at: &JulianDate| {
+            let snapshot = cache.snapshot(slot_start(at));
+            scheduler.fields_of_view(self.constellation, &snapshot)
+        };
+        let threads = threads.min(mids.len().max(1));
+        if threads <= 1 {
+            return mids.iter().map(per_slot).collect();
+        }
+        let mut indexed: Vec<(usize, Vec<Vec<VisibleSat>>)> = Vec::with_capacity(mids.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for worker in 0..threads {
+                let per_slot = &per_slot;
+                handles.push(scope.spawn(move || {
+                    mids.iter()
+                        .enumerate()
+                        .skip(worker)
+                        .step_by(threads)
+                        .map(|(k, at)| (k, per_slot(at)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                let part = handle.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+                indexed.extend(part);
+            }
+        });
+        indexed.sort_by_key(|(k, _)| *k);
+        indexed.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Phase 3: per-terminal observation streams, fanned over `threads`
+    /// scoped workers (inline when `threads <= 1`). Terminals are
+    /// interleaved across workers and reassembled in terminal order.
+    fn observation_phase(
+        &self,
+        cache: &PropagationCache<'_>,
+        per_terminal: Vec<Vec<Allocation>>,
+        threads: usize,
+    ) -> Vec<Vec<SlotObservation>> {
+        let threads = threads.min(per_terminal.len().max(1));
+        if threads <= 1 {
+            return per_terminal
+                .into_iter()
+                .enumerate()
+                .map(|(tid, allocs)| self.observe_terminal(cache, tid, allocs))
+                .collect();
+        }
+        let mut work: Vec<Option<Vec<Allocation>>> = per_terminal.into_iter().map(Some).collect();
+        let mut indexed: Vec<(usize, Vec<SlotObservation>)> = Vec::with_capacity(work.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for chunk in chunk_interleaved(&mut work, threads) {
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|(tid, allocs)| (tid, self.observe_terminal(cache, tid, allocs)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                let part = handle.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+                indexed.extend(part);
+            }
+        });
+        indexed.sort_by_key(|(tid, _)| *tid);
+        indexed.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// One terminal's full observation stream, in slot order. Pure given
+    /// (cache catalog, terminal, allocations) — the worker owns the dish
+    /// state machine, so runs are identical no matter which thread or how
+    /// many siblings execute this.
+    fn observe_terminal(
+        &self,
+        cache: &PropagationCache<'_>,
+        tid: usize,
+        allocs: Vec<Allocation>,
+    ) -> Vec<SlotObservation> {
+        let location = self.terminals[tid].location;
+        let mut dish = DishSimulator::new(location);
+        let mut prev_cap: Option<SlotCapture> = None;
+        let mut out = Vec::with_capacity(allocs.len());
+        for alloc in allocs {
+            let truth_id = alloc.chosen_id();
+            let chosen: Option<SatObs> = if self.config.identified {
+                let capture =
+                    dish.play_slot(self.constellation, alloc.slot, alloc.slot_start, truth_id);
+                let usable_prev = if capture.after_reset { None } else { prev_cap.as_ref() };
+                let identified = usable_prev.and_then(|prev| {
+                    identify_slot_through(
+                        cache,
+                        &prev.map,
+                        &capture.map,
+                        location,
+                        alloc.slot_start,
+                    )
+                });
+                prev_cap = Some(capture);
+                identified.and_then(|id| {
+                    // Report the identified satellite's observed state,
+                    // taken from the available list (all satellites in
+                    // view, so a correct match is always present).
+                    alloc.available.iter().find(|v| v.norad_id == id.norad_id).map(SatObs::from)
+                })
+            } else {
+                alloc.chosen.as_ref().map(SatObs::from)
+            };
+
+            out.push(SlotObservation {
+                terminal_id: tid,
+                slot: alloc.slot,
+                slot_start: alloc.slot_start,
+                local_hour: alloc.slot_start.local_solar_hour(location.lon_deg),
+                available: alloc.available.iter().map(SatObs::from).collect(),
+                chosen,
+                truth_id,
+            });
+        }
+        out
+    }
+}
+
+/// Splits `work` into `threads` interleaved (index, item) chunks, taking
+/// the items out of their slots. Interleaving balances load when cost
+/// varies smoothly across indices.
+fn chunk_interleaved<T>(work: &mut [Option<T>], threads: usize) -> Vec<Vec<(usize, T)>> {
+    let mut chunks: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, slot) in work.iter_mut().enumerate() {
+        if let Some(item) = slot.take() {
+            chunks[i % threads].push((i, item));
+        }
+    }
+    chunks
 }
 
 /// Convenience: observations of one terminal only.
@@ -271,6 +442,66 @@ mod tests {
             "identified accuracy {correct}/{}",
             attempted.len()
         );
+    }
+
+    /// Field-by-field equality of two observation streams, with float
+    /// fields compared by bit pattern: "byte-identical" is the contract,
+    /// not "approximately equal".
+    fn assert_streams_identical(a: &[SlotObservation], b: &[SlotObservation]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.terminal_id, y.terminal_id);
+            assert_eq!(x.slot, y.slot);
+            assert_eq!(x.slot_start.0.to_bits(), y.slot_start.0.to_bits());
+            assert_eq!(x.local_hour.to_bits(), y.local_hour.to_bits());
+            assert_eq!(x.truth_id, y.truth_id);
+            assert_eq!(x.chosen.as_ref().map(sat_bits), y.chosen.as_ref().map(sat_bits));
+            assert_eq!(x.available.len(), y.available.len());
+            for (sa, sb) in x.available.iter().zip(&y.available) {
+                assert_eq!(sat_bits(sa), sat_bits(sb));
+            }
+        }
+    }
+
+    fn sat_bits(s: &SatObs) -> (u32, u64, u64, u64, bool, i32, u32) {
+        (
+            s.norad_id,
+            s.elevation_deg.to_bits(),
+            s.azimuth_deg.to_bits(),
+            s.age_days.to_bits(),
+            s.sunlit,
+            s.launch_year,
+            s.launch_month,
+        )
+    }
+
+    fn threaded_run(identified: bool, threads: usize) -> Vec<SlotObservation> {
+        let c = ConstellationBuilder::starlink_gen1().seed(33).build();
+        let terminals = vec![
+            Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2)),
+            Terminal::new(1, "Seattle", Geodetic::new(47.61, -122.33, 0.1)),
+        ];
+        let config = CampaignConfig { threads, ..CampaignConfig::default() };
+        let campaign = if identified {
+            Campaign::identified(&c, terminals, config, 33)
+        } else {
+            Campaign::oracle(&c, terminals, config, 33)
+        };
+        campaign.run(JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 0.0), 20)
+    }
+
+    #[test]
+    fn oracle_campaign_is_thread_count_invariant() {
+        let serial = threaded_run(false, 1);
+        let parallel = threaded_run(false, 4);
+        assert_streams_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn identified_campaign_is_thread_count_invariant() {
+        let serial = threaded_run(true, 1);
+        let parallel = threaded_run(true, 4);
+        assert_streams_identical(&serial, &parallel);
     }
 
     #[test]

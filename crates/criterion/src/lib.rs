@@ -13,12 +13,35 @@
 //! simulation crates. The lint policy classifies this crate as tooling.
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Passes a value through while defeating constant-folding, forwarding to
 /// [`std::hint::black_box`].
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// True when the harness runs in smoke mode (`--test` on the command line,
+/// matching `cargo bench -- --test` with real criterion): every benchmark
+/// executes once to prove it still runs, with no timing loops. CI uses
+/// this to keep benches compiling and running without paying for a full
+/// measurement session.
+pub fn is_smoke() -> bool {
+    SMOKE.load(Ordering::Relaxed)
+}
+
+/// Parses harness arguments; called by [`criterion_main!`]. Currently the
+/// only recognized flag is `--test` (smoke mode); everything else is
+/// ignored, like criterion ignores filters it cannot match.
+pub fn configure_from_args<I: IntoIterator<Item = String>>(args: I) {
+    for arg in args {
+        if arg == "--test" {
+            SMOKE.store(true, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Runs the timed closure for one sample.
@@ -30,12 +53,17 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `f`, auto-scaling the iteration count so a sample takes a few
-    /// milliseconds, and records the mean time per iteration.
+    /// milliseconds, and records the mean time per iteration. In smoke mode
+    /// the closure runs exactly once and only that single time is recorded.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm up and estimate the cost of one call.
         let warmup_start = Instant::now();
         black_box(f());
         let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        if is_smoke() {
+            self.last_ns_per_iter = once.as_nanos() as f64;
+            return;
+        }
 
         let target = Duration::from_millis(5);
         let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
@@ -62,6 +90,7 @@ fn format_ns(ns: f64) -> String {
 }
 
 fn run_samples<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let samples = if is_smoke() { 1 } else { samples };
     let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut b = Bencher::default();
@@ -142,10 +171,13 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench binary's `main`, running each group in order.
+/// Command-line flags are parsed first, so `cargo bench -- --test` runs
+/// every registered benchmark once in smoke mode.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::configure_from_args(std::env::args().skip(1));
             $( $group(); )+
         }
     };
@@ -169,6 +201,23 @@ mod tests {
         g.sample_size(2);
         g.bench_function("fast", |b| b.iter(|| black_box(1 + 1)));
         g.finish();
+    }
+
+    #[test]
+    fn smoke_flag_is_parsed_from_args() {
+        // Note: SMOKE is process-global, so this test sets and unsets it;
+        // the other tests here don't depend on timing-loop iteration
+        // counts, so ordering doesn't matter.
+        configure_from_args(["--bench".to_string(), "--test".to_string()]);
+        assert!(is_smoke());
+        let mut b = Bencher::default();
+        let mut calls = 0u32;
+        b.iter(|| {
+            calls += 1;
+            black_box(calls)
+        });
+        assert_eq!(calls, 1, "smoke mode must run the closure exactly once");
+        SMOKE.store(false, Ordering::Relaxed);
     }
 
     #[test]

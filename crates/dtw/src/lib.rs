@@ -15,9 +15,16 @@
 //!
 //! * [`dtw_distance`] — classic O(n·m) DTW with an O(min(n,m)) rolling row,
 //! * [`dtw_distance_banded`] — the Sakoe-Chiba band variant,
+//! * [`dtw_distance_early_abandon`] — DTW that gives up as soon as every
+//!   alignment provably exceeds a cutoff (the 1-NN pruning workhorse),
+//! * [`dtw_lower_bound`] — an O(1) endpoint lower bound used to order and
+//!   prune candidates before any matrix work,
 //! * [`dtw_path`] — full-matrix DTW that also returns the warping path,
 //! * [`NearestSequence`] — a tiny 1-nearest-neighbour classifier over DTW,
-//!   which is exactly the matching rule of §4.1.
+//!   which is exactly the matching rule of §4.1. Its [`NearestSequence::best_match`]
+//!   orders candidates by lower bound and early-abandons against the
+//!   running runner-up, evaluating a fraction of the matrix cells while
+//!   returning **bit-identical** results to the exhaustive scan.
 //!
 //! Distances are Euclidean over fixed-size points (`[f64; N]`), covering the
 //! 2-D Cartesian sky tracks the paper uses as well as 3-D variants.
@@ -58,6 +65,82 @@ pub fn dtw_distance<const N: usize>(a: &[[f64; N]], b: &[[f64; N]]) -> f64 {
     prev[n]
 }
 
+/// Outcome of an early-abandoning DTW evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbandonableDtw {
+    /// The exact DTW distance, or `f64::INFINITY` when the evaluation was
+    /// abandoned (the true distance is then provably `> cutoff`).
+    pub distance: f64,
+    /// Matrix cells actually evaluated (the full matrix would be n·m).
+    pub cells: usize,
+    /// True when the evaluation stopped early.
+    pub abandoned: bool,
+}
+
+/// A cheap O(1) lower bound on [`dtw_distance`]: every warping path aligns
+/// the two first points and the two last points, so their distances bound
+/// the total from below. Returns `f64::INFINITY` for empty input (matching
+/// [`dtw_distance`]'s convention).
+pub fn dtw_lower_bound<const N: usize>(a: &[[f64; N]], b: &[[f64; N]]) -> f64 {
+    let (Some(a_first), Some(b_first)) = (a.first(), b.first()) else {
+        return f64::INFINITY;
+    };
+    let first = euclidean(a_first, b_first);
+    if a.len() == 1 && b.len() == 1 {
+        // First and last are the same single cell; count it once.
+        return first;
+    }
+    first + euclidean(&a[a.len() - 1], &b[b.len() - 1])
+}
+
+/// DTW distance with early abandoning: as soon as *every* alignment is
+/// provably more expensive than `cutoff`, the evaluation stops.
+///
+/// The abandon test is exact, not heuristic: each warping path visits at
+/// least one cell in every column of the cost matrix (paths are monotone
+/// and single-step), so once a whole column's minimum cumulative cost
+/// exceeds `cutoff`, no path can finish below it. Consequently, when
+/// `abandoned` is false the returned distance equals [`dtw_distance`]
+/// bit-for-bit, and when it is true the true distance is strictly greater
+/// than `cutoff` — which is all a best-so-far 1-NN search needs.
+///
+/// A `cutoff` of `f64::INFINITY` never abandons.
+pub fn dtw_distance_early_abandon<const N: usize>(
+    a: &[[f64; N]],
+    b: &[[f64; N]],
+    cutoff: f64,
+) -> AbandonableDtw {
+    // Keep the shorter sequence as the row to minimize memory, exactly as
+    // dtw_distance does (DTW is symmetric, so results are unaffected).
+    let (rows, cols) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if rows.is_empty() || cols.is_empty() {
+        return AbandonableDtw { distance: f64::INFINITY, cells: 0, abandoned: false };
+    }
+
+    let n = rows.len();
+    let mut prev = vec![f64::INFINITY; n + 1];
+    let mut curr = vec![f64::INFINITY; n + 1];
+    prev[0] = 0.0;
+
+    let mut cells = 0usize;
+    for col in cols {
+        curr[0] = f64::INFINITY;
+        let mut col_min = f64::INFINITY;
+        for (i, row) in rows.iter().enumerate() {
+            let cost = euclidean(row, col);
+            let value = cost + prev[i + 1].min(curr[i]).min(prev[i]);
+            curr[i + 1] = value;
+            col_min = col_min.min(value);
+        }
+        cells += n;
+        if col_min > cutoff {
+            return AbandonableDtw { distance: f64::INFINITY, cells, abandoned: true };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    AbandonableDtw { distance: prev[n], cells, abandoned: false }
+}
+
 /// DTW distance constrained to a Sakoe-Chiba band of half-width `band`
 /// (expressed in *fraction of the longer sequence*, so `0.1` allows indices
 /// to deviate by 10%).
@@ -72,9 +155,13 @@ pub fn dtw_distance_banded<const N: usize>(a: &[[f64; N]], b: &[[f64; N]], band:
     }
     let n = a.len();
     let m = b.len();
-    // Minimum feasible half-width: the diagonal slope requires |i·m/n − j|
-    // to reach |m − n|; anything smaller can never reach the far corner.
-    let w = ((band * n.max(m) as f64).ceil() as i64).max((n as i64 - m as i64).abs());
+    // A band narrower than |n − m| cannot connect (0,0) to (n,m): the
+    // diagonal slope requires |i·m/n − j| to reach |m − n|. The request is
+    // infeasible as stated, so report that rather than silently widening.
+    let w = (band * n.max(m) as f64).ceil() as i64;
+    if w < (n as i64 - m as i64).abs() {
+        return f64::INFINITY;
+    }
 
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut curr = vec![f64::INFINITY; m + 1];
@@ -161,6 +248,20 @@ pub struct Match {
     pub runner_up: f64,
 }
 
+/// Work counters for a pruned [`NearestSequence::best_match_with_stats`]
+/// query, for benches and regression tests of pruning effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// DTW matrix cells actually evaluated across all candidates.
+    pub cells_evaluated: usize,
+    /// Cells an exhaustive scan would have evaluated (Σ n·mᵢ).
+    pub cells_full: usize,
+    /// Candidates whose DTW evaluation was started.
+    pub evaluated: usize,
+    /// Candidates skipped outright by the lower bound (no matrix work).
+    pub pruned: usize,
+}
+
 /// 1-nearest-neighbour search over candidate sequences by DTW distance —
 /// the matching rule of §4.1 ("the available satellite with the lowest DTW
 /// distance is chosen as the current serving satellite").
@@ -193,27 +294,77 @@ impl<const N: usize> NearestSequence<N> {
 
     /// Finds the candidate with the lowest DTW distance to `query`.
     /// Returns `None` when there are no candidates or the query is empty.
+    ///
+    /// The search is pruned — candidates are visited in lower-bound order
+    /// and early-abandoned against the running runner-up — but the result
+    /// is bit-identical to an exhaustive scan: same winning index (ties
+    /// broken by lowest index, as a forward scan would), same `distance`,
+    /// same exact `runner_up`.
     pub fn best_match(&self, query: &[[f64; N]]) -> Option<Match> {
-        if query.is_empty() {
+        self.best_match_with_stats(query).map(|(m, _)| m)
+    }
+
+    /// [`NearestSequence::best_match`] plus counters describing how much
+    /// work the pruning saved.
+    ///
+    /// Exactness argument: the runner-up only ever decreases, every
+    /// candidate's true distance is at least its lower bound, and the
+    /// abandon test in [`dtw_distance_early_abandon`] is strict. A
+    /// candidate skipped at the lower-bound break therefore has distance
+    /// `> runner_up ≥ best`, and an abandoned one has distance
+    /// `> runner_up`; neither can change the winner *or* the runner-up.
+    /// Minimal-distance candidates can never be skipped (their lower bound
+    /// never exceeds the runner-up), so ties resolve on the full set of
+    /// minima, by lowest index.
+    pub fn best_match_with_stats(&self, query: &[[f64; N]]) -> Option<(Match, PruneStats)> {
+        if query.is_empty() || self.candidates.is_empty() {
             return None;
         }
-        let mut best: Option<Match> = None;
-        for (index, cand) in self.candidates.iter().enumerate() {
-            let distance = dtw_distance(query, cand);
-            best = Some(match best {
-                None => Match { index, distance, runner_up: f64::INFINITY },
-                Some(b) if distance < b.distance => {
-                    Match { index, distance, runner_up: b.distance }
-                }
-                Some(mut b) => {
-                    if distance < b.runner_up {
-                        b.runner_up = distance;
-                    }
-                    b
-                }
-            });
+
+        let mut stats = PruneStats::default();
+        // Visit candidates cheapest-lower-bound first so the runner-up
+        // cutoff tightens as early as possible; ties on the bound fall back
+        // to index order to keep the visit order deterministic.
+        let mut order: Vec<(usize, f64)> = self
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                stats.cells_full += query.len() * c.len();
+                (i, dtw_lower_bound(query, c))
+            })
+            .collect();
+        order.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+
+        let mut best_index = usize::MAX;
+        let mut best = f64::INFINITY;
+        let mut runner = f64::INFINITY;
+        for (visited, &(index, lb)) in order.iter().enumerate() {
+            if lb > runner {
+                // Bounds are sorted: every remaining candidate is also
+                // strictly worse than the runner-up. Nothing left to learn.
+                stats.pruned += order.len() - visited;
+                break;
+            }
+            // Cut against the runner-up, not the best: distances in
+            // (best, runner_up] still have to be measured exactly so the
+            // reported runner-up matches the exhaustive scan.
+            let result = dtw_distance_early_abandon(query, &self.candidates[index], runner);
+            stats.evaluated += 1;
+            stats.cells_evaluated += result.cells;
+            if result.abandoned {
+                continue;
+            }
+            let distance = result.distance;
+            if distance < best || (distance == best && index < best_index) {
+                runner = best;
+                best = distance;
+                best_index = index;
+            } else if distance < runner {
+                runner = distance;
+            }
         }
-        best
+        Some((Match { index: best_index, distance: best, runner_up: runner }, stats))
     }
 
     /// Ranks all candidates by ascending DTW distance.
@@ -272,6 +423,67 @@ mod tests {
         assert_eq!(dtw_distance(&a, &empty), f64::INFINITY);
         assert_eq!(dtw_distance(&empty, &a), f64::INFINITY);
         assert_eq!(dtw_distance_banded(&a, &empty, 0.1), f64::INFINITY);
+        assert_eq!(dtw_distance_banded(&empty, &a, 0.1), f64::INFINITY);
+        assert_eq!(dtw_distance_banded(&empty, &empty, 1.0), f64::INFINITY);
+        assert_eq!(dtw_lower_bound(&a, &empty), f64::INFINITY);
+        let ea = dtw_distance_early_abandon(&a, &empty, f64::INFINITY);
+        assert_eq!((ea.distance, ea.cells, ea.abandoned), (f64::INFINITY, 0, false));
+    }
+
+    #[test]
+    fn band_narrower_than_length_gap_is_infeasible() {
+        // |n − m| = 5 but the band only allows deviation 1: no monotone
+        // path can connect the corners, so the answer is INFINITY — not a
+        // silently widened band producing a bogus finite distance.
+        let a = seq1d(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let b = seq1d(&[0.0, 1.0, 2.0]);
+        assert_eq!(dtw_distance_banded(&a, &b, 0.125), f64::INFINITY);
+        assert_eq!(dtw_distance_banded(&b, &a, 0.125), f64::INFINITY);
+        // Widening the band past the gap makes it feasible again.
+        assert!(dtw_distance_banded(&a, &b, 1.0).is_finite());
+    }
+
+    #[test]
+    fn banded_full_band_matches_unbanded_on_unequal_lengths() {
+        let a = seq1d(&[0.0, 2.0, 1.0, 4.0, 3.0, 6.0, 5.0, 8.0]);
+        let b = seq1d(&[0.5, 1.5, 3.5, 5.5]);
+        let full = dtw_distance(&a, &b);
+        let banded = dtw_distance_banded(&a, &b, 1.0);
+        assert!((full - banded).abs() < 1e-12, "{full} vs {banded}");
+    }
+
+    #[test]
+    fn early_abandon_without_cutoff_matches_plain_dtw() {
+        let a = seq1d(&[0.0, 2.0, 4.0, 3.0]);
+        let b = seq1d(&[1.0, 2.0, 2.5, 5.0, 3.0]);
+        let ea = dtw_distance_early_abandon(&a, &b, f64::INFINITY);
+        assert!(!ea.abandoned);
+        assert_eq!(ea.distance, dtw_distance(&a, &b));
+        assert_eq!(ea.cells, a.len() * b.len());
+    }
+
+    #[test]
+    fn early_abandon_stops_under_tight_cutoff() {
+        let a = seq1d(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let b = seq1d(&[100.0, 100.0, 100.0, 100.0, 100.0, 100.0]);
+        let ea = dtw_distance_early_abandon(&a, &b, 1.0);
+        assert!(ea.abandoned);
+        assert_eq!(ea.distance, f64::INFINITY);
+        assert!(ea.cells < a.len() * b.len(), "should abandon before the full matrix");
+        // The true distance really is above the cutoff.
+        assert!(dtw_distance(&a, &b) > 1.0);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_distance() {
+        let a = seq1d(&[1.0, 5.0, 2.0]);
+        let b = seq1d(&[2.0, 4.0, 4.0, 1.0]);
+        assert!(dtw_lower_bound(&a, &b) <= dtw_distance(&a, &b));
+        // Single-point sequences: first and last are one cell, counted once.
+        let p = seq1d(&[3.0]);
+        let q = seq1d(&[7.0]);
+        assert_eq!(dtw_lower_bound(&p, &q), 4.0);
+        assert_eq!(dtw_lower_bound(&p, &q), dtw_distance(&p, &q));
     }
 
     #[test]
@@ -339,6 +551,87 @@ mod tests {
         assert_eq!(m.runner_up, f64::INFINITY);
     }
 
+    /// The pre-pruning exhaustive scan, kept as the test oracle.
+    fn exhaustive_best_match<const N: usize>(
+        ns: &NearestSequence<N>,
+        query: &[[f64; N]],
+    ) -> Option<Match> {
+        if query.is_empty() {
+            return None;
+        }
+        let mut best: Option<Match> = None;
+        for (index, cand) in ns.candidates.iter().enumerate() {
+            let distance = dtw_distance(query, cand);
+            best = Some(match best {
+                None => Match { index, distance, runner_up: f64::INFINITY },
+                Some(b) if distance < b.distance => {
+                    Match { index, distance, runner_up: b.distance }
+                }
+                Some(mut b) => {
+                    if distance < b.runner_up {
+                        b.runner_up = distance;
+                    }
+                    b
+                }
+            });
+        }
+        best
+    }
+
+    #[test]
+    fn pruned_best_match_is_bit_identical_on_ties() {
+        // Two candidates at the exact same distance: the winner must be the
+        // lower index, and the runner-up must equal the winning distance —
+        // exactly what a forward exhaustive scan reports.
+        let mut ns = NearestSequence::<1>::new();
+        ns.add(seq1d(&[10.0, 11.0, 12.0]));
+        ns.add(seq1d(&[0.0, 1.0, 2.0]));
+        ns.add(seq1d(&[0.0, 1.0, 2.0]));
+        let query = seq1d(&[0.5, 1.5, 2.5]);
+        let pruned = ns.best_match(&query).unwrap();
+        let full = exhaustive_best_match(&ns, &query).unwrap();
+        assert_eq!(pruned, full);
+        assert_eq!(pruned.index, 1);
+        assert_eq!(pruned.distance, pruned.runner_up);
+    }
+
+    #[test]
+    fn pruned_best_match_evaluates_fewer_cells() {
+        // One near candidate and many far ones: the far ones should be
+        // abandoned early or skipped outright by the lower bound.
+        let mut ns = NearestSequence::<1>::new();
+        ns.add(seq1d(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]));
+        for k in 1..=12 {
+            let off = 1000.0 * k as f64;
+            ns.add(seq1d(&[off, off + 1.0, off + 2.0, off + 3.0, off + 4.0, off + 5.0]));
+        }
+        let query = seq1d(&[0.1, 1.1, 2.1, 3.1, 4.1, 5.1, 6.1, 7.1]);
+        let (m, stats) = ns.best_match_with_stats(&query).unwrap();
+        assert_eq!(m.index, 0);
+        assert!(
+            stats.cells_evaluated < stats.cells_full / 2,
+            "pruning saved too little: {} of {} cells",
+            stats.cells_evaluated,
+            stats.cells_full
+        );
+        assert!(stats.pruned > 0, "lower bound should skip distant candidates outright");
+        assert_eq!(m, exhaustive_best_match(&ns, &query).unwrap());
+    }
+
+    #[test]
+    fn pruned_best_match_handles_empty_candidates() {
+        // Empty candidate sequences have infinite distance; the scan must
+        // still agree with the exhaustive oracle (first index wins).
+        let mut ns = NearestSequence::<1>::new();
+        ns.add(Vec::new());
+        ns.add(Vec::new());
+        let query = seq1d(&[1.0]);
+        let pruned = ns.best_match(&query).unwrap();
+        assert_eq!(pruned, exhaustive_best_match(&ns, &query).unwrap());
+        assert_eq!(pruned.index, 0);
+        assert_eq!(pruned.distance, f64::INFINITY);
+    }
+
     #[test]
     fn ranked_is_sorted_ascending() {
         let mut ns = NearestSequence::<1>::new();
@@ -391,6 +684,57 @@ mod tests {
                 let b: Vec<[f64;1]> = pairs.iter().map(|&(_, y)| [y]).collect();
                 let lockstep: f64 = pairs.iter().map(|&(x, y)| (x - y).abs()).sum();
                 prop_assert!(dtw_distance(&a, &b) <= lockstep + 1e-9);
+            }
+
+            #[test]
+            fn early_abandon_agrees_with_plain_dtw(
+                a in prop::collection::vec(-50.0f64..50.0, 1..15),
+                b in prop::collection::vec(-50.0f64..50.0, 1..15),
+                cutoff in 0.0f64..200.0,
+            ) {
+                let a = seq1d(&a);
+                let b = seq1d(&b);
+                let full = dtw_distance(&a, &b);
+                let ea = dtw_distance_early_abandon(&a, &b, cutoff);
+                if ea.abandoned {
+                    // Abandoning is only legal when the true distance
+                    // strictly exceeds the cutoff.
+                    prop_assert!(full > cutoff);
+                } else {
+                    prop_assert_eq!(ea.distance, full);
+                }
+                prop_assert!(ea.cells <= a.len() * b.len());
+            }
+
+            #[test]
+            fn lower_bound_is_a_lower_bound(
+                a in prop::collection::vec(-50.0f64..50.0, 1..15),
+                b in prop::collection::vec(-50.0f64..50.0, 1..15),
+            ) {
+                let a = seq1d(&a);
+                let b = seq1d(&b);
+                prop_assert!(dtw_lower_bound(&a, &b) <= dtw_distance(&a, &b) + 1e-12);
+            }
+
+            #[test]
+            fn pruned_best_match_equals_exhaustive_scan(
+                cands in prop::collection::vec(
+                    prop::collection::vec(-50.0f64..50.0, 1..10), 1..8),
+                query in prop::collection::vec(-50.0f64..50.0, 1..10),
+            ) {
+                let mut ns = NearestSequence::<1>::new();
+                for c in &cands {
+                    ns.add(seq1d(c));
+                }
+                let query = seq1d(&query);
+                let (pruned, stats) = ns.best_match_with_stats(&query)
+                    .expect("non-empty query and candidates");
+                let full = exhaustive_best_match(&ns, &query)
+                    .expect("non-empty query and candidates");
+                // Bit-identical, not approximately equal: same index, same
+                // distance bits, same runner-up bits.
+                prop_assert_eq!(pruned, full);
+                prop_assert!(stats.cells_evaluated <= stats.cells_full);
             }
 
             #[test]

@@ -33,7 +33,7 @@ fn measure(policy: SchedulerPolicy, slots: usize) -> Metrics {
     let campaign = Campaign::oracle(
         &constellation,
         paper_terminals(),
-        CampaignConfig { policy, identified: false },
+        CampaignConfig { policy, ..CampaignConfig::default() },
         WORLD_SEED,
     );
     let obs = campaign.run(campaign_start(), slots);

@@ -49,40 +49,96 @@ impl RandomForest {
     ///
     /// Panics on an empty dataset or zero trees.
     pub fn fit(data: &Dataset, params: &ForestParams, seed: u64) -> RandomForest {
+        RandomForest::fit_with_threads(data, params, seed, 0)
+    }
+
+    /// [`RandomForest::fit`] with an explicit worker-thread count for tree
+    /// growing: `0` auto-detects from the host, `1` trains inline. Trees
+    /// are independent given their bootstrap draws, so the fitted forest —
+    /// including its OOB estimate — is bit-identical for every thread
+    /// count: all randomness is drawn serially up front in the exact order
+    /// the serial implementation consumed it, and OOB votes are summed
+    /// serially in tree order to keep float accumulation order fixed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or zero trees.
+    pub fn fit_with_threads(
+        data: &Dataset,
+        params: &ForestParams,
+        seed: u64,
+        threads: usize,
+    ) -> RandomForest {
         assert!(!data.is_empty(), "cannot fit a forest on zero rows");
         assert!(params.n_trees > 0, "need at least one tree");
         let mut rng = StdRng::seed_from_u64(seed);
 
-        let mut trees = Vec::with_capacity(params.n_trees);
-        // Per-row OOB vote accumulators.
+        // Every tree's randomness, pre-drawn in serial stream order.
+        let draws: Vec<(u64, Option<Vec<usize>>)> = (0..params.n_trees)
+            .map(|k| {
+                let tree_seed = rng.random::<u64>() ^ k as u64;
+                let indices = params
+                    .bootstrap
+                    .then(|| (0..data.len()).map(|_| rng.random_range(0..data.len())).collect());
+                (tree_seed, indices)
+            })
+            .collect();
+
+        let fit_one = |&(tree_seed, ref indices): &(u64, Option<Vec<usize>>)| match indices {
+            Some(idx) => DecisionTree::fit_on(data, idx, &params.tree, tree_seed),
+            None => DecisionTree::fit(data, &params.tree, tree_seed),
+        };
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+        .min(params.n_trees);
+        let trees: Vec<DecisionTree> = if threads <= 1 {
+            draws.iter().map(fit_one).collect()
+        } else {
+            let mut indexed: Vec<(usize, DecisionTree)> = Vec::with_capacity(draws.len());
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for worker in 0..threads {
+                    let draws = &draws;
+                    let fit_one = &fit_one;
+                    handles.push(scope.spawn(move || {
+                        draws
+                            .iter()
+                            .enumerate()
+                            .skip(worker)
+                            .step_by(threads)
+                            .map(|(k, d)| (k, fit_one(d)))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for handle in handles {
+                    let part = handle.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+                    indexed.extend(part);
+                }
+            });
+            indexed.sort_by_key(|(k, _)| *k);
+            indexed.into_iter().map(|(_, t)| t).collect()
+        };
+
+        // Per-row OOB vote accumulators, summed serially in tree order so
+        // the floating-point accumulation order matches a serial fit.
         let mut oob_votes: Vec<Vec<f64>> = vec![vec![0.0; data.n_classes()]; data.len()];
         let mut any_oob = false;
-
-        for k in 0..params.n_trees {
-            let tree_seed = rng.random::<u64>() ^ k as u64;
-            let tree = if params.bootstrap {
-                let indices: Vec<usize> =
-                    (0..data.len()).map(|_| rng.random_range(0..data.len())).collect();
-                let tree = DecisionTree::fit_on(data, &indices, &params.tree, tree_seed);
-                let mut in_bag = vec![false; data.len()];
-                for &i in &indices {
-                    in_bag[i] = true;
-                }
-                for (i, bagged) in in_bag.iter().enumerate() {
-                    if !bagged {
-                        any_oob = true;
-                        for (acc, p) in
-                            oob_votes[i].iter_mut().zip(tree.predict_proba(data.row(i).0))
-                        {
-                            *acc += p;
-                        }
+        for (tree, (_, indices)) in trees.iter().zip(&draws) {
+            let Some(indices) = indices else { continue };
+            let mut in_bag = vec![false; data.len()];
+            for &i in indices {
+                in_bag[i] = true;
+            }
+            for (i, bagged) in in_bag.iter().enumerate() {
+                if !bagged {
+                    any_oob = true;
+                    for (acc, p) in oob_votes[i].iter_mut().zip(tree.predict_proba(data.row(i).0)) {
+                        *acc += p;
                     }
                 }
-                tree
-            } else {
-                DecisionTree::fit(data, &params.tree, tree_seed)
-            };
-            trees.push(tree);
+            }
         }
 
         let oob_accuracy = if params.bootstrap && any_oob {
@@ -228,6 +284,31 @@ mod tests {
         let b = RandomForest::fit(&d, &p, 3);
         for i in 0..d.len() {
             assert_eq!(a.predict_proba(d.row(i).0), b.predict_proba(d.row(i).0));
+        }
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        let d = blobs3();
+        for bootstrap in [true, false] {
+            let p = ForestParams { n_trees: 9, bootstrap, ..Default::default() };
+            let serial = RandomForest::fit_with_threads(&d, &p, 11, 1);
+            let parallel = RandomForest::fit_with_threads(&d, &p, 11, 4);
+            assert_eq!(
+                serial.oob_accuracy().map(f64::to_bits),
+                parallel.oob_accuracy().map(f64::to_bits)
+            );
+            for i in 0..d.len() {
+                let a = serial.predict_proba(d.row(i).0);
+                let b = parallel.predict_proba(d.row(i).0);
+                let a: Vec<u64> = a.into_iter().map(f64::to_bits).collect();
+                let b: Vec<u64> = b.into_iter().map(f64::to_bits).collect();
+                assert_eq!(a, b, "row {i} bootstrap {bootstrap}");
+            }
+            let a: Vec<u64> = serial.feature_importances().into_iter().map(f64::to_bits).collect();
+            let b: Vec<u64> =
+                parallel.feature_importances().into_iter().map(f64::to_bits).collect();
+            assert_eq!(a, b);
         }
     }
 

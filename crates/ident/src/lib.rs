@@ -29,7 +29,10 @@ pub mod dish;
 pub mod pipeline;
 pub mod validate;
 
-pub use candidates::{candidate_tracks, CandidateTrack};
+pub use candidates::{candidate_tracks, candidate_tracks_through, CandidateTrack};
 pub use dish::{DishSimulator, SlotCapture};
-pub use pipeline::{identify_slot, IdentifiedSat};
+pub use pipeline::{
+    identify_from_trajectory, identify_from_trajectory_counted, identify_slot,
+    identify_slot_through, IdentifiedSat,
+};
 pub use validate::{run_validation, ValidationReport};

@@ -1,10 +1,18 @@
 //! The identification pipeline: XOR → extract → DTW match.
+//!
+//! The DTW matching stage is pruned: candidates are visited in lower-bound
+//! order and early-abandoned against the running runner-up, in both track
+//! orientations. The pruning is exact — the winner, its distance, and the
+//! runner-up are bit-identical to the exhaustive scan (see
+//! [`starsense_dtw::dtw_distance_early_abandon`] for the argument) — so
+//! identification accuracy is untouched while most matrix cells are never
+//! evaluated.
 
-use crate::candidates::{candidate_tracks, CandidateTrack};
+use crate::candidates::{candidate_tracks, candidate_tracks_through, CandidateTrack};
 use starsense_astro::frames::Geodetic;
 use starsense_astro::time::JulianDate;
-use starsense_constellation::Constellation;
-use starsense_dtw::dtw_distance;
+use starsense_constellation::{Constellation, PropagationCache};
+use starsense_dtw::{dtw_distance_early_abandon, dtw_lower_bound, PruneStats};
 use starsense_obstruction::{extract_trajectory, isolate, ObstructionMap, PolarSample};
 
 /// A successful identification for one slot.
@@ -36,16 +44,81 @@ impl IdentifiedSat {
     }
 }
 
-/// DTW distance between an isolated trajectory and a candidate track,
-/// tried in both directions (a bitmap has no arrow of time) — the smaller
-/// of the two alignments.
-fn track_distance(isolated: &[[f64; 2]], candidate: &CandidateTrack) -> f64 {
-    let cand = candidate.cartesian();
-    let forward = dtw_distance(isolated, &cand);
-    let mut rev = cand;
-    rev.reverse();
-    let backward = dtw_distance(isolated, &rev);
-    forward.min(backward)
+/// Pruned 1-NN over both orientations of every candidate — a track is
+/// tried in both directions because a bitmap has no arrow of time, and the
+/// smaller of the two alignments counts. Bit-identical to the exhaustive
+/// scan (full DTW in both orientations per candidate, strict `<` update
+/// in index order; the tests keep that scan as the oracle): minimal-
+/// distance candidates can never be skipped — the
+/// lower bound never exceeds the runner-up for them — and every candidate
+/// that *is* skipped or abandoned has a true distance strictly above the
+/// final runner-up, so neither winner nor runner-up can differ.
+fn match_candidates(
+    trajectory: &[PolarSample],
+    candidates: &[CandidateTrack],
+) -> Option<(IdentifiedSat, PruneStats)> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let isolated: Vec<[f64; 2]> = trajectory.iter().map(|s| s.to_cartesian()).collect();
+
+    let mut stats = PruneStats::default();
+    // Both orientations per candidate, plus an O(1) lower bound on the
+    // cheaper of the two; visit cheapest-bound first (ties by index).
+    let mut tracks: Vec<(Vec<[f64; 2]>, Vec<[f64; 2]>)> = Vec::with_capacity(candidates.len());
+    let mut order: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
+    for (i, cand) in candidates.iter().enumerate() {
+        let fwd = cand.cartesian();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        stats.cells_full += 2 * isolated.len() * fwd.len();
+        let lb = dtw_lower_bound(&isolated, &fwd).min(dtw_lower_bound(&isolated, &rev));
+        order.push((i, lb));
+        tracks.push((fwd, rev));
+    }
+    order.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+
+    let mut best_index = usize::MAX;
+    let mut best = f64::INFINITY;
+    let mut runner = f64::INFINITY;
+    for (visited, &(i, lb)) in order.iter().enumerate() {
+        if lb > runner {
+            // Bounds are sorted ascending: everything left is worse still.
+            stats.pruned += order.len() - visited;
+            break;
+        }
+        let (fwd, rev) = &tracks[i];
+        // Cut against the runner-up (not the best) so the reported
+        // runner-up stays exact; the forward result tightens the backward
+        // cutoff further.
+        let f = dtw_distance_early_abandon(&isolated, fwd, runner);
+        let b = dtw_distance_early_abandon(&isolated, rev, runner.min(f.distance));
+        stats.evaluated += 1;
+        stats.cells_evaluated += f.cells + b.cells;
+        if f.abandoned && b.abandoned {
+            // Both orientations provably exceed the runner-up.
+            continue;
+        }
+        let d = f.distance.min(b.distance);
+        if d < best || (d == best && i < best_index) {
+            runner = best;
+            best = d;
+            best_index = i;
+        } else if d < runner {
+            runner = d;
+        }
+    }
+
+    Some((
+        IdentifiedSat {
+            norad_id: candidates[best_index].norad_id,
+            distance: best,
+            runner_up: runner,
+            n_candidates: candidates.len(),
+            trail_pixels: trajectory.len(),
+        },
+        stats,
+    ))
 }
 
 /// Identifies the satellite that served the terminal during the slot whose
@@ -66,6 +139,26 @@ pub fn identify_slot(
     identify_from_trajectory(&trajectory, constellation, observer, slot_start)
 }
 
+/// [`identify_slot`] reading all published-TLE propagation through a shared
+/// [`PropagationCache`]: the candidate epochs are propagated once per slot
+/// for the whole campaign instead of once per terminal. Results are
+/// bit-identical to [`identify_slot`].
+pub fn identify_slot_through(
+    cache: &PropagationCache<'_>,
+    prev: &ObstructionMap,
+    curr: &ObstructionMap,
+    observer: Geodetic,
+    slot_start: JulianDate,
+) -> Option<IdentifiedSat> {
+    let isolated_map = isolate(prev, curr);
+    let trajectory = extract_trajectory(&isolated_map);
+    if trajectory.len() < 3 {
+        return None;
+    }
+    let candidates = candidate_tracks_through(cache, observer, slot_start, 25.0, 16);
+    match_candidates(&trajectory, &candidates).map(|(id, _)| id)
+}
+
 /// The matching half of the pipeline, for callers that already extracted a
 /// trajectory (e.g. the validation harness's ambiguity analyses).
 pub fn identify_from_trajectory(
@@ -74,44 +167,26 @@ pub fn identify_from_trajectory(
     observer: Geodetic,
     slot_start: JulianDate,
 ) -> Option<IdentifiedSat> {
+    identify_from_trajectory_counted(trajectory, constellation, observer, slot_start)
+        .map(|(id, _)| id)
+}
+
+/// [`identify_from_trajectory`] plus the pruning work counters — how many
+/// DTW cells the pruned matcher evaluated versus what an exhaustive scan
+/// would have cost. Used by the benches to report pruning effectiveness.
+pub fn identify_from_trajectory_counted(
+    trajectory: &[PolarSample],
+    constellation: &Constellation,
+    observer: Geodetic,
+    slot_start: JulianDate,
+) -> Option<(IdentifiedSat, PruneStats)> {
     // A couple of pixels carry no directional information; the paper's
     // protocol guarantees fresh trails, so tiny residues are XOR noise.
     if trajectory.len() < 3 {
         return None;
     }
-    let isolated: Vec<[f64; 2]> = trajectory.iter().map(|s| s.to_cartesian()).collect();
-
     let candidates = candidate_tracks(constellation, observer, slot_start, 25.0, 16);
-    if candidates.is_empty() {
-        return None;
-    }
-
-    let mut best: Option<(usize, f64)> = None;
-    let mut runner_up = f64::INFINITY;
-    for (i, cand) in candidates.iter().enumerate() {
-        let d = track_distance(&isolated, cand);
-        match best {
-            None => best = Some((i, d)),
-            Some((_, bd)) if d < bd => {
-                runner_up = bd;
-                best = Some((i, d));
-            }
-            Some(_) => {
-                if d < runner_up {
-                    runner_up = d;
-                }
-            }
-        }
-    }
-
-    let (idx, distance) = best?;
-    Some(IdentifiedSat {
-        norad_id: candidates[idx].norad_id,
-        distance,
-        runner_up,
-        n_candidates: candidates.len(),
-        trail_pixels: trajectory.len(),
-    })
+    match_candidates(trajectory, &candidates)
 }
 
 #[cfg(test)]
@@ -167,6 +242,85 @@ mod tests {
 
         let id = identify_slot(&cap1.map, &cap2.map, &c, loc, next_start).expect("match");
         assert_eq!(id.norad_id, fov[1].norad_id);
+    }
+
+    /// DTW distance of one candidate, both orientations, full matrices —
+    /// the pre-pruning per-candidate evaluation, kept as the test oracle.
+    fn track_distance(isolated: &[[f64; 2]], candidate: &CandidateTrack) -> f64 {
+        let cand = candidate.cartesian();
+        let forward = starsense_dtw::dtw_distance(isolated, &cand);
+        let mut rev = cand;
+        rev.reverse();
+        let backward = starsense_dtw::dtw_distance(isolated, &rev);
+        forward.min(backward)
+    }
+
+    /// Exhaustive reference matcher: the pre-pruning forward scan.
+    fn exhaustive_match(
+        trajectory: &[PolarSample],
+        candidates: &[CandidateTrack],
+    ) -> Option<(usize, f64, f64)> {
+        let isolated: Vec<[f64; 2]> = trajectory.iter().map(|s| s.to_cartesian()).collect();
+        let mut best: Option<(usize, f64)> = None;
+        let mut runner_up = f64::INFINITY;
+        for (i, cand) in candidates.iter().enumerate() {
+            let d = track_distance(&isolated, cand);
+            match best {
+                None => best = Some((i, d)),
+                Some((_, bd)) if d < bd => {
+                    runner_up = bd;
+                    best = Some((i, d));
+                }
+                Some(_) => {
+                    if d < runner_up {
+                        runner_up = d;
+                    }
+                }
+            }
+        }
+        best.map(|(i, d)| (i, d, runner_up))
+    }
+
+    #[test]
+    fn pruned_matching_is_bit_identical_to_exhaustive_scan() {
+        let (c, loc, start) = setup();
+        let truth = c.field_of_view(loc, start, 45.0);
+        let serving = truth.first().expect("a high satellite").norad_id;
+        let mut dish = DishSimulator::new(loc);
+        let prev = dish.map().clone();
+        let cap = dish.play_slot(&c, slot_index(start), start, Some(serving));
+
+        let isolated_map = starsense_obstruction::isolate(&prev, &cap.map);
+        let trajectory = starsense_obstruction::extract_trajectory(&isolated_map);
+        let candidates = candidate_tracks(&c, loc, start, 25.0, 16);
+        let (pruned, stats) = match_candidates(&trajectory, &candidates).expect("match");
+        let (bi, bd, ru) = exhaustive_match(&trajectory, &candidates).expect("match");
+
+        assert_eq!(pruned.norad_id, candidates[bi].norad_id);
+        assert_eq!(pruned.distance.to_bits(), bd.to_bits());
+        assert_eq!(pruned.runner_up.to_bits(), ru.to_bits());
+        assert!(
+            stats.cells_evaluated < stats.cells_full,
+            "pruning should skip cells on a real slot: {} of {}",
+            stats.cells_evaluated,
+            stats.cells_full
+        );
+    }
+
+    #[test]
+    fn identify_slot_through_cache_matches_direct() {
+        let (c, loc, start) = setup();
+        let truth = c.field_of_view(loc, start, 45.0);
+        let serving = truth.first().expect("a high satellite").norad_id;
+        let mut dish = DishSimulator::new(loc);
+        let prev = dish.map().clone();
+        let cap = dish.play_slot(&c, slot_index(start), start, Some(serving));
+
+        let direct = identify_slot(&prev, &cap.map, &c, loc, start).expect("direct");
+        let cache = starsense_constellation::PropagationCache::new(&c);
+        let cached = identify_slot_through(&cache, &prev, &cap.map, loc, start).expect("cached");
+        assert_eq!(direct, cached);
+        assert!(cache.stats().published_entries > 0, "candidates must go through the cache");
     }
 
     #[test]

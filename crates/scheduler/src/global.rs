@@ -32,7 +32,7 @@ use crate::terminal::Terminal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use starsense_astro::time::JulianDate;
-use starsense_constellation::{Constellation, VisibleSat};
+use starsense_constellation::{Constellation, PropagationCache, Snapshot, VisibleSat};
 use std::collections::HashMap;
 
 /// Tunable preferences of the hidden scheduler. Zeroing a weight removes
@@ -170,20 +170,65 @@ impl GlobalScheduler {
     /// Allocates a satellite to every terminal for the slot containing
     /// `at`. Returns one [`Allocation`] per terminal, in terminal order.
     pub fn allocate(&mut self, constellation: &Constellation, at: JulianDate) -> Vec<Allocation> {
+        // One propagation pass per slot, shared by every terminal.
+        let snapshot = constellation.snapshot(slot_start(at));
+        let available = self.fields_of_view(constellation, &snapshot);
+        self.allocate_from_available(at, available)
+    }
+
+    /// Like [`GlobalScheduler::allocate`], but reads the slot's snapshot
+    /// through a shared [`PropagationCache`], so several schedulers — or a
+    /// campaign's pre-warming workers — propagate each epoch only once.
+    /// Bit-identical to `allocate` on the same catalog.
+    pub fn allocate_through(
+        &mut self,
+        cache: &PropagationCache<'_>,
+        at: JulianDate,
+    ) -> Vec<Allocation> {
+        let snapshot = cache.snapshot(slot_start(at));
+        let available = self.fields_of_view(cache.constellation(), &snapshot);
+        self.allocate_from_available(at, available)
+    }
+
+    /// Per-terminal field-of-view lists for one prepared snapshot, in
+    /// terminal order — the stateless (parallelizable) half of `allocate`.
+    pub fn fields_of_view(
+        &self,
+        constellation: &Constellation,
+        snapshot: &Snapshot,
+    ) -> Vec<Vec<VisibleSat>> {
+        self.terminals
+            .iter()
+            .map(|t| {
+                constellation.field_of_view_from(
+                    snapshot,
+                    t.location,
+                    self.policy.min_elevation_deg,
+                )
+            })
+            .collect()
+    }
+
+    /// The stateful half of `allocate`: scoring, the softmax draw and the
+    /// hysteresis update, consuming per-terminal availability lists that
+    /// were computed elsewhere (in slot order — the RNG stream and the
+    /// previous-assignment state advance per call).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `available` does not have one entry per terminal.
+    pub fn allocate_from_available(
+        &mut self,
+        at: JulianDate,
+        available: Vec<Vec<VisibleSat>>,
+    ) -> Vec<Allocation> {
+        assert_eq!(available.len(), self.terminals.len(), "one availability list per terminal");
         let slot = slot_index(at);
         let start = slot_start(at);
         let mut out = Vec::with_capacity(self.terminals.len());
 
-        // One propagation pass per slot, shared by every terminal.
-        let snapshot = constellation.snapshot(start);
-
-        for ti in 0..self.terminals.len() {
+        for (ti, available) in available.into_iter().enumerate() {
             let terminal = &self.terminals[ti];
-            let available = constellation.field_of_view_from(
-                &snapshot,
-                terminal.location,
-                self.policy.min_elevation_deg,
-            );
 
             let eligible: Vec<&VisibleSat> = available
                 .iter()
@@ -455,6 +500,31 @@ mod tests {
             sticky < free,
             "hysteresis 3.0 changed satellite {sticky} times vs {free} with none"
         );
+    }
+
+    #[test]
+    fn allocate_through_cache_is_bit_identical_to_allocate() {
+        let c = constellation();
+        let cache = PropagationCache::new(&c);
+        let mut direct = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), 3);
+        let mut cached = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), 3);
+        for k in 0..6 {
+            let t = at().plus_seconds(15.0 * k as f64);
+            let a = direct.allocate(&c, t);
+            let b = cached.allocate_through(&cache, t);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.chosen_id(), y.chosen_id());
+                assert_eq!(x.eligible_ids, y.eligible_ids);
+                assert_eq!(x.available.len(), y.available.len());
+                for (va, vb) in x.available.iter().zip(&y.available) {
+                    assert_eq!(va.norad_id, vb.norad_id);
+                    assert_eq!(va.look, vb.look);
+                }
+            }
+        }
+        // Every slot was propagated exactly once despite both schedulers.
+        assert_eq!(cache.stats().truth_entries, 6);
     }
 
     #[test]
