@@ -15,6 +15,13 @@
 //!
 //! `--test` (as in `cargo bench -- --test`) runs a smoke pass: tiny
 //! workload, no JSON written.
+//!
+//! `--check-baseline` compares the freshly measured identified-mode serial
+//! throughput against the committed `BENCH_campaign.json` before it is
+//! overwritten, and exits non-zero on a >20% regression. The check only
+//! scores hosts comparable to the baseline (same recorded `host_threads`);
+//! otherwise it degrades to a warning, so CI runners of any width can run
+//! it. Ignored in smoke mode (the tiny workload measures nothing).
 
 use starsense_astro::frames::Geodetic;
 use starsense_astro::time::JulianDate;
@@ -61,6 +68,7 @@ fn time_campaign(c: &Constellation, identified: bool, threads: usize, slots: usi
 struct DtwSweep {
     cells_full: usize,
     cells_pruned: usize,
+    cells_coarse: usize,
     queries: usize,
     agreements: usize,
 }
@@ -71,7 +79,8 @@ fn dtw_sweep(c: &Constellation, slots: usize) -> DtwSweep {
     let loc = Geodetic::new(41.66, -91.53, 0.2);
     let mut dish = DishSimulator::new(loc);
     let mut prev = None;
-    let mut sweep = DtwSweep { cells_full: 0, cells_pruned: 0, queries: 0, agreements: 0 };
+    let mut sweep =
+        DtwSweep { cells_full: 0, cells_pruned: 0, cells_coarse: 0, queries: 0, agreements: 0 };
     let t0 = slot_start(campaign_start());
     for k in 0..slots {
         let at = t0.plus_seconds(15.0 * k as f64);
@@ -84,6 +93,7 @@ fn dtw_sweep(c: &Constellation, slots: usize) -> DtwSweep {
             if let Some((id, stats)) = identify_from_trajectory_counted(&trajectory, c, loc, at) {
                 sweep.cells_full += stats.cells_full;
                 sweep.cells_pruned += stats.cells_evaluated;
+                sweep.cells_coarse += stats.coarse_cells;
                 sweep.queries += 1;
                 if exhaustive_winner(c, loc, at, &trajectory) == Some(id.norad_id) {
                     sweep.agreements += 1;
@@ -125,9 +135,59 @@ fn json_f(v: f64) -> String {
     }
 }
 
+const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+
+/// Maximum tolerated identified-mode serial throughput loss versus the
+/// committed baseline before `--check-baseline` fails the run.
+const MAX_REGRESSION: f64 = 0.20;
+
+/// Scores `fresh` identified-mode serial throughput against the committed
+/// baseline document. Returns an error message on a >20% regression, `Ok`
+/// with a human-readable verdict otherwise — including the warn-and-skip
+/// cases (no baseline, or a host the baseline does not represent).
+fn check_against_baseline(
+    baseline: Option<&str>,
+    fresh: f64,
+    host_threads: usize,
+) -> Result<String, String> {
+    let Some(doc) = baseline else {
+        return Ok("baseline check skipped: no committed BENCH_campaign.json".to_string());
+    };
+    let (Some(base), Some(base_threads)) = (
+        starsense_bench::json_number(doc, &["identified", "serial_slots_per_sec"]),
+        starsense_bench::json_number(doc, &["host_threads"]),
+    ) else {
+        return Ok("baseline check skipped: committed JSON missing identified numbers".to_string());
+    };
+    if base_threads as usize != host_threads {
+        return Ok(format!(
+            "baseline check skipped: baseline host_threads={base_threads} vs this host={host_threads}"
+        ));
+    }
+    if base <= 0.0 {
+        return Ok("baseline check skipped: non-positive baseline throughput".to_string());
+    }
+    let ratio = fresh / base;
+    if ratio < 1.0 - MAX_REGRESSION {
+        return Err(format!(
+            "identified-mode serial throughput regressed: {fresh:.1} vs baseline {base:.1} slots/s \
+             ({:.0}% of baseline, threshold {:.0}%)",
+            100.0 * ratio,
+            100.0 * (1.0 - MAX_REGRESSION)
+        ));
+    }
+    Ok(format!(
+        "baseline check ok: {fresh:.1} vs baseline {base:.1} slots/s ({:.0}%)",
+        100.0 * ratio
+    ))
+}
+
 fn main() {
     criterion::configure_from_args(std::env::args().skip(1));
     let smoke = criterion::is_smoke();
+    let check_baseline = std::env::args().skip(1).any(|a| a == "--check-baseline");
+    // Captured before the fresh numbers overwrite it.
+    let committed_baseline = std::fs::read_to_string(BENCH_JSON_PATH).ok();
 
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let (oracle_slots, ident_slots, sweep_slots) = if smoke { (6, 4, 6) } else { (1600, 120, 200) };
@@ -153,14 +213,15 @@ fn main() {
     let sweep = dtw_sweep(&constellation, sweep_slots);
     let ratio = sweep.cells_pruned as f64 / sweep.cells_full.max(1) as f64;
     println!(
-        "dtw/pruned_sweep_{sweep_slots}slots             {} of {} cells ({:.1}%)   agreement {}/{}",
+        "dtw/cascade_sweep_{sweep_slots}slots            {} of {} exact cells ({:.1}%) + {} coarse   agreement {}/{}",
         sweep.cells_pruned,
         sweep.cells_full,
         100.0 * ratio,
+        sweep.cells_coarse,
         sweep.agreements,
         sweep.queries
     );
-    assert_eq!(sweep.agreements, sweep.queries, "pruned matcher must agree with exhaustive scan");
+    assert_eq!(sweep.agreements, sweep.queries, "cascade matcher must agree with exhaustive scan");
 
     if smoke {
         println!("smoke mode: skipping BENCH_campaign.json");
@@ -191,6 +252,7 @@ fn main() {
   "dtw": {{
     "cells_full": {},
     "cells_pruned": {},
+    "cells_coarse": {},
     "ratio": {},
     "queries": {},
     "agreement": {}
@@ -205,11 +267,21 @@ fn main() {
         json_f(ident_parallel / ident_serial),
         sweep.cells_full,
         sweep.cells_pruned,
+        sweep.cells_coarse,
         json_f(ratio),
         sweep.queries,
         json_f(sweep.agreements as f64 / sweep.queries.max(1) as f64),
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
-    std::fs::write(path, json).expect("write BENCH_campaign.json");
-    println!("wrote {path}");
+    std::fs::write(BENCH_JSON_PATH, json).expect("write BENCH_campaign.json");
+    println!("wrote {BENCH_JSON_PATH}");
+
+    if check_baseline {
+        match check_against_baseline(committed_baseline.as_deref(), ident_serial, host_threads) {
+            Ok(verdict) => println!("{verdict}"),
+            Err(regression) => {
+                eprintln!("{regression}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

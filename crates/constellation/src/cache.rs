@@ -32,12 +32,19 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 pub struct CacheStats {
     /// Lookups answered from a warm entry.
     pub hits: usize,
-    /// Lookups that had to propagate.
+    /// Lookups that had to propagate (a full catalog row or snapshot).
     pub misses: usize,
     /// True-snapshot entries currently cached.
     pub truth_entries: usize,
     /// Published-position entries currently cached.
     pub published_entries: usize,
+    /// Single-satellite lookups answered from a warm entry (full row or
+    /// sparse memo).
+    pub sparse_hits: usize,
+    /// Single-satellite lookups that had to propagate one satellite.
+    pub sparse_misses: usize,
+    /// Per-(satellite, epoch) entries currently memoized.
+    pub sparse_entries: usize,
 }
 
 /// A thread-safe, read-through memo of per-epoch propagation results for
@@ -47,8 +54,14 @@ pub struct PropagationCache<'a> {
     constellation: &'a Constellation,
     truth: RwLock<HashMap<u64, Arc<Snapshot>>>,
     published: RwLock<HashMap<u64, Arc<Vec<Option<Vec3>>>>>,
+    /// Per-(epoch, satellite) published positions, for callers — like the
+    /// identification track cache — that only need a pruned subset of the
+    /// catalog at an epoch and should not pay for a full row.
+    sparse: RwLock<HashMap<(u64, u32), Option<Vec3>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    sparse_hits: AtomicUsize,
+    sparse_misses: AtomicUsize,
 }
 
 /// Locks can only be poisoned by a panicking writer; the cached values are
@@ -69,8 +82,11 @@ impl<'a> PropagationCache<'a> {
             constellation,
             truth: RwLock::new(HashMap::new()),
             published: RwLock::new(HashMap::new()),
+            sparse: RwLock::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            sparse_hits: AtomicUsize::new(0),
+            sparse_misses: AtomicUsize::new(0),
         }
     }
 
@@ -112,6 +128,31 @@ impl<'a> PropagationCache<'a> {
         Arc::clone(map.entry(key).or_insert(Arc::new(positions)))
     }
 
+    /// Published-TLE TEME position of the satellite at catalog index `si`
+    /// at `at`, memoized per (satellite, epoch) pair. Bit-identical to
+    /// `published_positions(at)[si]` — both are
+    /// [`crate::Satellite::published_position`] verbatim — but a cold
+    /// lookup propagates one satellite instead of the whole catalog, which
+    /// is what the identification track cache wants for the few dozen
+    /// candidates that survive its elevation prefilter. A full row already
+    /// cached for `at` answers without touching the sparse memo.
+    pub fn published_position_of(&self, si: usize, at: JulianDate) -> Option<Vec3> {
+        let key = at.0.to_bits();
+        if let Some(row) = read_unpoisoned(&self.published).get(&key) {
+            self.sparse_hits.fetch_add(1, Ordering::Relaxed);
+            return row[si];
+        }
+        let sparse_key = (key, si as u32);
+        if let Some(hit) = read_unpoisoned(&self.sparse).get(&sparse_key) {
+            self.sparse_hits.fetch_add(1, Ordering::Relaxed);
+            return *hit;
+        }
+        let pos = self.constellation.sats()[si].published_position(at);
+        self.sparse_misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = write_unpoisoned(&self.sparse);
+        *map.entry(sparse_key).or_insert(pos)
+    }
+
     /// Pre-propagates true snapshots for every epoch in `epochs`, fanning
     /// the work across up to `threads` scoped workers (values ≤ 1 warm the
     /// cache serially). Epochs are interleaved across workers so chunks
@@ -139,6 +180,7 @@ impl<'a> PropagationCache<'a> {
     pub fn clear(&self) {
         write_unpoisoned(&self.truth).clear();
         write_unpoisoned(&self.published).clear();
+        write_unpoisoned(&self.sparse).clear();
     }
 
     /// Current hit/miss/occupancy counters.
@@ -148,6 +190,9 @@ impl<'a> PropagationCache<'a> {
             misses: self.misses.load(Ordering::Relaxed),
             truth_entries: read_unpoisoned(&self.truth).len(),
             published_entries: read_unpoisoned(&self.published).len(),
+            sparse_hits: self.sparse_hits.load(Ordering::Relaxed),
+            sparse_misses: self.sparse_misses.load(Ordering::Relaxed),
+            sparse_entries: read_unpoisoned(&self.sparse).len(),
         }
     }
 }
@@ -240,9 +285,41 @@ mod tests {
         let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
         let _ = cache.snapshot(at);
         let _ = cache.published_positions(at);
+        let _ = cache.published_position_of(0, at.plus_seconds(1.0));
         cache.clear();
         let s = cache.stats();
-        assert_eq!((s.truth_entries, s.published_entries), (0, 0));
+        assert_eq!((s.truth_entries, s.published_entries, s.sparse_entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn sparse_lookup_matches_direct_propagation_and_memoizes() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        for si in [0usize, 7, c.len() - 1] {
+            assert_eq!(cache.published_position_of(si, at), c.sats()[si].published_position(at));
+        }
+        let s = cache.stats();
+        assert_eq!((s.sparse_hits, s.sparse_misses, s.sparse_entries), (0, 3, 3));
+        // Re-asking is a sparse hit and adds no entries.
+        let _ = cache.published_position_of(7, at);
+        let s = cache.stats();
+        assert_eq!((s.sparse_hits, s.sparse_misses, s.sparse_entries), (1, 3, 3));
+        // Full-row counters are untouched by sparse traffic.
+        assert_eq!((s.hits, s.misses), (0, 0));
+    }
+
+    #[test]
+    fn warm_full_row_answers_sparse_lookups_without_new_entries() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let row = cache.published_positions(at);
+        for si in 0..c.len() {
+            assert_eq!(cache.published_position_of(si, at), row[si]);
+        }
+        let s = cache.stats();
+        assert_eq!((s.sparse_hits, s.sparse_misses, s.sparse_entries), (c.len(), 0, 0));
     }
 
     #[test]

@@ -20,11 +20,16 @@
 //! * [`dtw_lower_bound`] — an O(1) endpoint lower bound used to order and
 //!   prune candidates before any matrix work,
 //! * [`dtw_path`] — full-matrix DTW that also returns the warping path,
+//! * [`downsample`] — evenly spaced subsampling for cheap coarse passes,
 //! * [`NearestSequence`] — a tiny 1-nearest-neighbour classifier over DTW,
 //!   which is exactly the matching rule of §4.1. Its [`NearestSequence::best_match`]
-//!   orders candidates by lower bound and early-abandons against the
-//!   running runner-up, evaluating a fraction of the matrix cells while
-//!   returning **bit-identical** results to the exhaustive scan.
+//!   runs an exact two-stage cascade: a downsampled coarse DTW pass orders
+//!   the candidates (so the best and runner-up are almost always measured
+//!   first, seeding a tight running cutoff), then the exact early-abandon
+//!   pass confirms each candidate against that cutoff, with the O(1) lower
+//!   bound skipping candidates outright. The coarse distances influence
+//!   only the visit *order*, never a skip decision, so the result stays
+//!   **bit-identical** to the exhaustive scan.
 //!
 //! Distances are Euclidean over fixed-size points (`[f64; N]`), covering the
 //! 2-D Cartesian sky tracks the paper uses as well as 3-D variants.
@@ -188,6 +193,34 @@ pub fn dtw_distance_banded<const N: usize>(a: &[[f64; N]], b: &[[f64; N]], band:
     prev[m]
 }
 
+/// Points per sequence in the cascade's coarse pass: long enough to keep
+/// the shape of a sky track, short enough that a coarse DTW costs at most
+/// 64 cells — around 5% of a typical full matrix in the §4.1 workload.
+pub const COARSE_LEN: usize = 8;
+
+/// Evenly spaced subsample of `seq` with at most `max_len` points, always
+/// keeping both endpoints. Sequences already short enough are returned
+/// verbatim. Used by the cascade's coarse pass: DTW over two downsampled
+/// sequences costs `max_len²` cells instead of `n·m`.
+///
+/// The subsample is a *heuristic* summary — its DTW distance is neither an
+/// upper nor a lower bound of the full distance — so exact callers may use
+/// it only to choose evaluation order, never to discard a candidate.
+pub fn downsample<const N: usize>(seq: &[[f64; N]], max_len: usize) -> Vec<[f64; N]> {
+    let max_len = max_len.max(2);
+    if seq.len() <= max_len {
+        return seq.to_vec();
+    }
+    (0..max_len)
+        .map(|i| {
+            // Integer rounding of i·(len−1)/(max_len−1): deterministic and
+            // strictly monotone because the real step exceeds one.
+            let idx = (i * (seq.len() - 1) + (max_len - 1) / 2) / (max_len - 1);
+            seq[idx]
+        })
+        .collect()
+}
+
 /// A step of a DTW warping path: indices into the two sequences.
 pub type PathStep = (usize, usize);
 
@@ -260,6 +293,10 @@ pub struct PruneStats {
     pub evaluated: usize,
     /// Candidates skipped outright by the lower bound (no matrix work).
     pub pruned: usize,
+    /// Matrix cells spent in the cascade's downsampled coarse pass (these
+    /// are extra work on top of `cells_evaluated`, bounded by
+    /// candidates × coarse-length²).
+    pub coarse_cells: usize,
 }
 
 /// 1-nearest-neighbour search over candidate sequences by DTW distance —
@@ -295,56 +332,68 @@ impl<const N: usize> NearestSequence<N> {
     /// Finds the candidate with the lowest DTW distance to `query`.
     /// Returns `None` when there are no candidates or the query is empty.
     ///
-    /// The search is pruned — candidates are visited in lower-bound order
-    /// and early-abandoned against the running runner-up — but the result
-    /// is bit-identical to an exhaustive scan: same winning index (ties
-    /// broken by lowest index, as a forward scan would), same `distance`,
-    /// same exact `runner_up`.
+    /// The search is an exact two-stage cascade — a downsampled coarse DTW
+    /// pass orders candidates, then the exact early-abandon pass confirms
+    /// them against the running runner-up — but the result is bit-identical
+    /// to an exhaustive scan: same winning index (ties broken by lowest
+    /// index, as a forward scan would), same `distance`, same exact
+    /// `runner_up`.
     pub fn best_match(&self, query: &[[f64; N]]) -> Option<Match> {
         self.best_match_with_stats(query).map(|(m, _)| m)
     }
 
     /// [`NearestSequence::best_match`] plus counters describing how much
-    /// work the pruning saved.
+    /// work the cascade saved.
     ///
-    /// Exactness argument: the runner-up only ever decreases, every
-    /// candidate's true distance is at least its lower bound, and the
-    /// abandon test in [`dtw_distance_early_abandon`] is strict. A
-    /// candidate skipped at the lower-bound break therefore has distance
-    /// `> runner_up ≥ best`, and an abandoned one has distance
-    /// `> runner_up`; neither can change the winner *or* the runner-up.
-    /// Minimal-distance candidates can never be skipped (their lower bound
-    /// never exceeds the runner-up), so ties resolve on the full set of
-    /// minima, by lowest index.
+    /// Stage 1 (coarse): every candidate's DTW distance to the query is
+    /// estimated on [`downsample`]d copies (≤ [`COARSE_LEN`] points each)
+    /// and candidates are visited cheapest-estimate first, so the true best
+    /// and runner-up are almost always measured immediately and the cutoff
+    /// is tight for everyone else. Stage 2 (exact): each candidate is
+    /// skipped when its O(1) lower bound exceeds the running runner-up,
+    /// otherwise confirmed by [`dtw_distance_early_abandon`].
+    ///
+    /// Exactness argument: coarse distances influence only the visit
+    /// *order*. The runner-up only ever decreases, every candidate's true
+    /// distance is at least its lower bound, and the abandon test is
+    /// strict; a skipped candidate therefore has distance `> runner_up ≥
+    /// best` and an abandoned one `> runner_up` — neither can change the
+    /// winner *or* the runner-up, for any visit order. Minimal-distance
+    /// candidates can never be skipped (their lower bound never exceeds the
+    /// runner-up), so ties still resolve on the full set of minima, by
+    /// lowest index.
     pub fn best_match_with_stats(&self, query: &[[f64; N]]) -> Option<(Match, PruneStats)> {
         if query.is_empty() || self.candidates.is_empty() {
             return None;
         }
 
         let mut stats = PruneStats::default();
-        // Visit candidates cheapest-lower-bound first so the runner-up
-        // cutoff tightens as early as possible; ties on the bound fall back
-        // to index order to keep the visit order deterministic.
-        let mut order: Vec<(usize, f64)> = self
+        let coarse_query = downsample(query, COARSE_LEN);
+        // (index, lower bound, coarse estimate) per candidate; visited in
+        // ascending coarse-estimate order, ties by index so the order is
+        // deterministic.
+        let mut order: Vec<(usize, f64, f64)> = self
             .candidates
             .iter()
             .enumerate()
             .map(|(i, c)| {
                 stats.cells_full += query.len() * c.len();
-                (i, dtw_lower_bound(query, c))
+                let coarse = downsample(c, COARSE_LEN);
+                stats.coarse_cells += coarse_query.len() * coarse.len();
+                (i, dtw_lower_bound(query, c), dtw_distance(&coarse_query, &coarse))
             })
             .collect();
-        order.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+        order.sort_by(|x, y| x.2.total_cmp(&y.2).then(x.0.cmp(&y.0)));
 
         let mut best_index = usize::MAX;
         let mut best = f64::INFINITY;
         let mut runner = f64::INFINITY;
-        for (visited, &(index, lb)) in order.iter().enumerate() {
+        for &(index, lb, _) in &order {
             if lb > runner {
-                // Bounds are sorted: every remaining candidate is also
-                // strictly worse than the runner-up. Nothing left to learn.
-                stats.pruned += order.len() - visited;
-                break;
+                // Not sorted by bound any more, so skip (not break): a
+                // later candidate may still have a smaller bound.
+                stats.pruned += 1;
+                continue;
             }
             // Cut against the runner-up, not the best: distances in
             // (best, runner_up] still have to be measured exactly so the
@@ -630,6 +679,71 @@ mod tests {
         assert_eq!(pruned, exhaustive_best_match(&ns, &query).unwrap());
         assert_eq!(pruned.index, 0);
         assert_eq!(pruned.distance, f64::INFINITY);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints_and_order() {
+        let seq: Vec<[f64; 1]> = (0..100).map(|i| [i as f64]).collect();
+        let coarse = downsample(&seq, 8);
+        assert_eq!(coarse.len(), 8);
+        assert_eq!(coarse[0], [0.0]);
+        assert_eq!(coarse[7], [99.0]);
+        for w in coarse.windows(2) {
+            assert!(w[0][0] < w[1][0], "downsample must preserve order");
+        }
+    }
+
+    #[test]
+    fn downsample_short_sequences_are_verbatim() {
+        let seq = seq1d(&[3.0, 1.0, 4.0]);
+        assert_eq!(downsample(&seq, 8), seq);
+        assert_eq!(downsample(&seq, 3), seq);
+        let empty: Vec<[f64; 1]> = Vec::new();
+        assert!(downsample(&empty, 8).is_empty());
+        // max_len below 2 is clamped, never a panic or a truncation to one.
+        let two = seq1d(&[1.0, 2.0]);
+        assert_eq!(downsample(&two, 0), two);
+    }
+
+    #[test]
+    fn cascade_counts_coarse_work_separately() {
+        let mut ns = NearestSequence::<1>::new();
+        let long: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        ns.add(seq1d(&long));
+        ns.add(seq1d(&long));
+        let query = seq1d(&long);
+        let (_, stats) = ns.best_match_with_stats(&query).unwrap();
+        // Coarse matrices are COARSE_LEN² per candidate, far below full.
+        assert_eq!(stats.coarse_cells, 2 * COARSE_LEN * COARSE_LEN);
+        assert!(stats.coarse_cells < stats.cells_full / 10);
+    }
+
+    #[test]
+    fn cascade_orders_far_candidates_out_of_the_exact_pass() {
+        // The best candidate and its close runner-up are placed LAST by
+        // index, so index-ordered visiting would evaluate every far
+        // candidate exactly first; the coarse pass must instead surface the
+        // two of them immediately, after which the tight runner-up cutoff
+        // lets the lower bound or a first-column abandon dispatch the far
+        // candidates with almost no matrix work.
+        let mut ns = NearestSequence::<1>::new();
+        let n = 32;
+        for k in 0..12 {
+            let off = 500.0 + 40.0 * k as f64;
+            ns.add(seq1d(&(0..n).map(|i| off + i as f64).collect::<Vec<_>>()));
+        }
+        ns.add(seq1d(&(0..n).map(|i| i as f64).collect::<Vec<_>>()));
+        ns.add(seq1d(&(0..n).map(|i| i as f64 + 1.0).collect::<Vec<_>>()));
+        let query = seq1d(&(0..n).map(|i| i as f64 + 0.25).collect::<Vec<_>>());
+        let (m, stats) = ns.best_match_with_stats(&query).unwrap();
+        assert_eq!(m.index, 12);
+        assert_eq!(m, exhaustive_best_match(&ns, &query).unwrap());
+        assert!(
+            stats.cells_evaluated < stats.cells_full / 4,
+            "cascade saved too little: {} of {} cells",
+            stats.cells_evaluated,
+            stats.cells_full
+        );
     }
 
     #[test]

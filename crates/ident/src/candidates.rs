@@ -104,16 +104,17 @@ pub fn candidate_tracks_through(
 }
 
 /// The sample instants inside a slot: `n` points spanning the slot period,
-/// endpoints included. Both candidate generators use this exact expression,
-/// so their epochs are bit-identical — a requirement for cache sharing.
-fn sample_epochs(slot_start: JulianDate, n: u32) -> Vec<JulianDate> {
+/// endpoints included. Every candidate generator (including the
+/// [`crate::TrackCache`]) uses this exact expression, so their epochs are
+/// bit-identical — a requirement for cache sharing.
+pub(crate) fn sample_epochs(slot_start: JulianDate, n: u32) -> Vec<JulianDate> {
     (0..n)
         .map(|k| slot_start.plus_seconds(k as f64 * SLOT_PERIOD_SECONDS / (n - 1) as f64))
         .collect()
 }
 
-/// Applies the visibility and in-plot filters shared by both generators.
-fn finish_track(
+/// Applies the visibility and in-plot filters shared by all generators.
+pub(crate) fn finish_track(
     norad_id: u32,
     any_above: bool,
     samples: Vec<PolarSample>,

@@ -27,12 +27,15 @@
 pub mod candidates;
 pub mod dish;
 pub mod pipeline;
+pub mod track_cache;
 pub mod validate;
 
 pub use candidates::{candidate_tracks, candidate_tracks_through, CandidateTrack};
 pub use dish::{DishSimulator, SlotCapture};
 pub use pipeline::{
     identify_from_trajectory, identify_from_trajectory_counted, identify_slot,
-    identify_slot_through, IdentifiedSat,
+    identify_slot_through, identify_slot_tracked, IdentifiedSat, CANDIDATE_SAMPLES_PER_SLOT,
+    MIN_CANDIDATE_ELEVATION_DEG,
 };
+pub use track_cache::{prefilter_margin_deg, TrackCache, TrackCacheStats};
 pub use validate::{run_validation, ValidationReport};

@@ -1,19 +1,32 @@
 //! The identification pipeline: XOR → extract → DTW match.
 //!
-//! The DTW matching stage is pruned: candidates are visited in lower-bound
-//! order and early-abandoned against the running runner-up, in both track
-//! orientations. The pruning is exact — the winner, its distance, and the
-//! runner-up are bit-identical to the exhaustive scan (see
-//! [`starsense_dtw::dtw_distance_early_abandon`] for the argument) — so
-//! identification accuracy is untouched while most matrix cells are never
-//! evaluated.
+//! The DTW matching stage is a two-stage cascade: a cheap coarse pass on
+//! [`starsense_dtw::downsample`]d sequences orders the candidates so the
+//! near-certain winner is evaluated first, then the exact early-abandon
+//! pass visits them in that order (both track orientations per candidate),
+//! skipping any whose O(1) lower bound already exceeds the running
+//! runner-up. The cascade is exact — coarse distances only pick the visit
+//! order, and the winner, its distance, and the runner-up are bit-identical
+//! to the exhaustive scan (see [`starsense_dtw::dtw_distance_early_abandon`]
+//! for the argument) — so identification accuracy is untouched while most
+//! matrix cells are never evaluated.
 
 use crate::candidates::{candidate_tracks, candidate_tracks_through, CandidateTrack};
 use starsense_astro::frames::Geodetic;
 use starsense_astro::time::JulianDate;
 use starsense_constellation::{Constellation, PropagationCache};
-use starsense_dtw::{dtw_distance_early_abandon, dtw_lower_bound, PruneStats};
+use starsense_dtw::{
+    downsample, dtw_distance, dtw_distance_early_abandon, dtw_lower_bound, PruneStats, COARSE_LEN,
+};
 use starsense_obstruction::{extract_trajectory, isolate, ObstructionMap, PolarSample};
+
+/// Elevation cutoff (deg) for candidate generation: the obstruction plot's
+/// rim, below which nothing is ever painted.
+pub const MIN_CANDIDATE_ELEVATION_DEG: f64 = 25.0;
+
+/// Sample epochs per 15-second slot for candidate tracks (1 Hz, endpoints
+/// included).
+pub const CANDIDATE_SAMPLES_PER_SLOT: u32 = 16;
 
 /// A successful identification for one slot.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,12 +57,20 @@ impl IdentifiedSat {
     }
 }
 
-/// Pruned 1-NN over both orientations of every candidate — a track is
-/// tried in both directions because a bitmap has no arrow of time, and the
-/// smaller of the two alignments counts. Bit-identical to the exhaustive
-/// scan (full DTW in both orientations per candidate, strict `<` update
-/// in index order; the tests keep that scan as the oracle): minimal-
-/// distance candidates can never be skipped — the
+/// Cascaded, pruned 1-NN over both orientations of every candidate — a
+/// track is tried in both directions because a bitmap has no arrow of time,
+/// and the smaller of the two alignments counts.
+///
+/// Stage one runs full DTW on [`downsample`]d copies (≤ [`COARSE_LEN`]
+/// points per side) of the query and every candidate; the coarse distances
+/// only decide the *visit order* of the exact pass, so they carry no
+/// correctness burden — a bad coarse estimate costs cells, never accuracy.
+/// Stage two is the exact early-abandon pass, visiting candidates in coarse
+/// order so the running runner-up cutoff tightens as early as possible.
+///
+/// Bit-identical to the exhaustive scan (full DTW in both orientations per
+/// candidate, strict `<` update in index order; the tests keep that scan as
+/// the oracle): minimal-distance candidates can never be skipped — the
 /// lower bound never exceeds the runner-up for them — and every candidate
 /// that *is* skipped or abandoned has a true distance strictly above the
 /// final runner-up, so neither winner nor runner-up can differ.
@@ -61,31 +82,39 @@ fn match_candidates(
         return None;
     }
     let isolated: Vec<[f64; 2]> = trajectory.iter().map(|s| s.to_cartesian()).collect();
+    let coarse_query = downsample(&isolated, COARSE_LEN);
 
     let mut stats = PruneStats::default();
-    // Both orientations per candidate, plus an O(1) lower bound on the
-    // cheaper of the two; visit cheapest-bound first (ties by index).
+    // Both orientations per candidate, an O(1) lower bound on the cheaper
+    // of the two for skipping, and a coarse DTW estimate for ordering;
+    // visit cheapest-estimate first (ties by index).
     let mut tracks: Vec<(Vec<[f64; 2]>, Vec<[f64; 2]>)> = Vec::with_capacity(candidates.len());
-    let mut order: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
+    let mut order: Vec<(usize, f64, f64)> = Vec::with_capacity(candidates.len());
     for (i, cand) in candidates.iter().enumerate() {
         let fwd = cand.cartesian();
         let mut rev = fwd.clone();
         rev.reverse();
         stats.cells_full += 2 * isolated.len() * fwd.len();
         let lb = dtw_lower_bound(&isolated, &fwd).min(dtw_lower_bound(&isolated, &rev));
-        order.push((i, lb));
+        let coarse_fwd = downsample(&fwd, COARSE_LEN);
+        let coarse_rev = downsample(&rev, COARSE_LEN);
+        stats.coarse_cells += 2 * coarse_query.len() * coarse_fwd.len();
+        let coarse =
+            dtw_distance(&coarse_query, &coarse_fwd).min(dtw_distance(&coarse_query, &coarse_rev));
+        order.push((i, lb, coarse));
         tracks.push((fwd, rev));
     }
-    order.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+    order.sort_by(|x, y| x.2.total_cmp(&y.2).then(x.0.cmp(&y.0)));
 
     let mut best_index = usize::MAX;
     let mut best = f64::INFINITY;
     let mut runner = f64::INFINITY;
-    for (visited, &(i, lb)) in order.iter().enumerate() {
+    for &(i, lb, _) in &order {
         if lb > runner {
-            // Bounds are sorted ascending: everything left is worse still.
-            stats.pruned += order.len() - visited;
-            break;
+            // Coarse order is a heuristic, not sorted by bound — skip this
+            // candidate but keep scanning the rest.
+            stats.pruned += 1;
+            continue;
         }
         let (fwd, rev) = &tracks[i];
         // Cut against the runner-up (not the best) so the reported
@@ -155,7 +184,34 @@ pub fn identify_slot_through(
     if trajectory.len() < 3 {
         return None;
     }
-    let candidates = candidate_tracks_through(cache, observer, slot_start, 25.0, 16);
+    let candidates = candidate_tracks_through(
+        cache,
+        observer,
+        slot_start,
+        MIN_CANDIDATE_ELEVATION_DEG,
+        CANDIDATE_SAMPLES_PER_SLOT,
+    );
+    match_candidates(&trajectory, &candidates).map(|(id, _)| id)
+}
+
+/// [`identify_slot_through`] with candidate generation going through a
+/// per-terminal [`crate::TrackCache`]: never-visible satellites are
+/// discarded from boundary elevations alone and consecutive slots share
+/// boundary work. Results are bit-identical to [`identify_slot`] and
+/// [`identify_slot_through`] — the cache's prefilter is exact (see
+/// [`crate::track_cache`] for the argument and the property tests).
+pub fn identify_slot_tracked(
+    tracks: &mut crate::TrackCache<'_, '_>,
+    prev: &ObstructionMap,
+    curr: &ObstructionMap,
+    slot_start: JulianDate,
+) -> Option<IdentifiedSat> {
+    let isolated_map = isolate(prev, curr);
+    let trajectory = extract_trajectory(&isolated_map);
+    if trajectory.len() < 3 {
+        return None;
+    }
+    let candidates = tracks.candidate_tracks(slot_start);
     match_candidates(&trajectory, &candidates).map(|(id, _)| id)
 }
 
@@ -185,7 +241,13 @@ pub fn identify_from_trajectory_counted(
     if trajectory.len() < 3 {
         return None;
     }
-    let candidates = candidate_tracks(constellation, observer, slot_start, 25.0, 16);
+    let candidates = candidate_tracks(
+        constellation,
+        observer,
+        slot_start,
+        MIN_CANDIDATE_ELEVATION_DEG,
+        CANDIDATE_SAMPLES_PER_SLOT,
+    );
     match_candidates(trajectory, &candidates)
 }
 
@@ -321,6 +383,30 @@ mod tests {
         let cached = identify_slot_through(&cache, &prev, &cap.map, loc, start).expect("cached");
         assert_eq!(direct, cached);
         assert!(cache.stats().published_entries > 0, "candidates must go through the cache");
+    }
+
+    #[test]
+    fn identify_slot_tracked_matches_through() {
+        let (c, loc, start) = setup();
+        let mut dish = DishSimulator::new(loc);
+        let fov = c.field_of_view(loc, start, 40.0);
+        assert!(fov.len() >= 2);
+
+        // Two consecutive identified slots, as the campaign engine replays
+        // them; the tracked path must agree slot by slot, field by field.
+        let cache = starsense_constellation::PropagationCache::new(&c);
+        let mut tracks = crate::TrackCache::new(&cache, loc, 25.0, 16);
+        let prev = dish.map().clone();
+        let cap1 = dish.play_slot(&c, 0, start, Some(fov[0].norad_id));
+        let next = start.plus_seconds(15.0);
+        let cap2 = dish.play_slot(&c, 1, next, Some(fov[1].norad_id));
+
+        for (p, m, at) in [(&prev, &cap1.map, start), (&cap1.map, &cap2.map, next)] {
+            let through = identify_slot_through(&cache, p, m, loc, at);
+            let tracked = identify_slot_tracked(&mut tracks, p, m, at);
+            assert_eq!(through, tracked);
+        }
+        assert!(tracks.stats().prefiltered > 0, "prefilter should do work on real slots");
     }
 
     #[test]
