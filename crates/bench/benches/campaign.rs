@@ -11,17 +11,23 @@
 //! * **DTW pruning** — matrix cells evaluated by the pruned matcher versus
 //!   the exhaustive scan over a sweep of real identification slots, plus
 //!   an agreement check (the pruned winner must always equal the
-//!   exhaustive winner).
+//!   exhaustive winner);
+//! * **terminal scaling** — scheduler-tick throughput (slot·terminals per
+//!   second) at 4/64/256 terminals, for the visibility-indexed
+//!   field-of-view path against the reference full-catalog linear scan.
 //!
 //! `--test` (as in `cargo bench -- --test`) runs a smoke pass: tiny
-//! workload, no JSON written.
+//! workload (the 256-terminal sweep point drops to a single slot), no
+//! JSON written.
 //!
-//! `--check-baseline` compares the freshly measured identified-mode serial
-//! throughput against the committed `BENCH_campaign.json` before it is
-//! overwritten, and exits non-zero on a >20% regression. The check only
-//! scores hosts comparable to the baseline (same recorded `host_threads`);
-//! otherwise it degrades to a warning, so CI runners of any width can run
-//! it. Ignored in smoke mode (the tiny workload measures nothing).
+//! `--check-baseline` compares the freshly measured serial throughputs
+//! (oracle, identified, 256-terminal indexed sweep) against the committed
+//! `BENCH_campaign.json` before it is overwritten, and exits non-zero on a
+//! >20% regression on any of them. The check only scores hosts comparable
+//! to the baseline (same recorded `host_threads`); otherwise it degrades
+//! to a warning, so CI runners of any width can run it. In smoke mode it
+//! degrades to a structural check: the committed JSON must still carry
+//! every guarded number (the tiny workload measures nothing).
 
 use starsense_astro::frames::Geodetic;
 use starsense_astro::time::JulianDate;
@@ -31,7 +37,7 @@ use starsense_dtw::dtw_distance;
 use starsense_ident::{candidate_tracks, identify_from_trajectory_counted, DishSimulator};
 use starsense_obstruction::{extract_trajectory, isolate};
 use starsense_scheduler::slots::slot_start;
-use starsense_scheduler::Terminal;
+use starsense_scheduler::{GlobalScheduler, SchedulerPolicy, Terminal};
 use std::time::Instant;
 
 const SEED: u64 = 42;
@@ -63,6 +69,55 @@ fn time_campaign(c: &Constellation, identified: bool, threads: usize, slots: usi
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     assert_eq!(obs.len(), slots * terminals().len());
     slots as f64 / elapsed
+}
+
+/// `n` terminals on a deterministic Fibonacci-style lattice over the
+/// populated latitudes — the terminal-scale workload for the visibility
+/// index, with no two terminals sharing a sky.
+fn sweep_terminals(n: usize) -> Vec<Terminal> {
+    (0..n)
+        .map(|i| {
+            let lat = -55.0 + 110.0 * ((i as f64 * 0.618_033_988_749_895).fract());
+            let lon = -180.0 + 360.0 * ((i as f64 * 0.754_877_666_246_693).fract());
+            Terminal::new(i, format!("sweep{i}"), Geodetic::new(lat, lon, 0.1))
+        })
+        .collect()
+}
+
+/// Times `slots` scheduler ticks over `n` terminals and returns
+/// slot·terminals per second. `linear` selects the reference full-catalog
+/// field-of-view scan instead of the visibility-indexed path; everything
+/// else (snapshot propagation, scoring, the softmax draws) is identical.
+fn time_terminal_sweep(c: &Constellation, n: usize, slots: usize, linear: bool) -> f64 {
+    let mut scheduler = GlobalScheduler::new(SchedulerPolicy::default(), sweep_terminals(n), SEED);
+    let first_mid = slot_start(campaign_start()).plus_seconds(7.5);
+    let start = Instant::now();
+    let mut served = 0usize;
+    for k in 0..slots {
+        let at = first_mid.plus_seconds(15.0 * k as f64);
+        let snapshot = c.snapshot(slot_start(at));
+        let fov = if linear {
+            scheduler.fields_of_view_linear(c, &snapshot)
+        } else {
+            scheduler.fields_of_view(c, &snapshot)
+        };
+        served += scheduler
+            .allocate_from_available(at, fov)
+            .iter()
+            .filter(|a| a.chosen.is_some())
+            .count();
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    assert!(served > 0, "terminal sweep allocated nothing");
+    (slots * n) as f64 / elapsed
+}
+
+/// One measured point of the terminal-scaling sweep.
+struct SweepPoint {
+    terminals: usize,
+    slots: usize,
+    indexed: f64,
+    linear: f64,
 }
 
 struct DtwSweep {
@@ -137,49 +192,88 @@ fn json_f(v: f64) -> String {
 
 const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
 
-/// Maximum tolerated identified-mode serial throughput loss versus the
+/// Maximum tolerated throughput loss on any guarded metric versus the
 /// committed baseline before `--check-baseline` fails the run.
 const MAX_REGRESSION: f64 = 0.20;
 
-/// Scores `fresh` identified-mode serial throughput against the committed
-/// baseline document. Returns an error message on a >20% regression, `Ok`
-/// with a human-readable verdict otherwise — including the warn-and-skip
-/// cases (no baseline, or a host the baseline does not represent).
+/// The JSON paths `--check-baseline` guards, with human-readable labels.
+const GUARDED_METRICS: [(&[&str], &str); 3] = [
+    (&["oracle", "serial_slots_per_sec"], "oracle serial slots/s"),
+    (&["identified", "serial_slots_per_sec"], "identified serial slots/s"),
+    (
+        &["terminal_scaling", "t256", "indexed_slot_terminals_per_sec"],
+        "256-terminal indexed slot·terminals/s",
+    ),
+];
+
+/// Scores each freshly measured guarded metric against the committed
+/// baseline document. Returns the first >20% regression as an error, and
+/// one human-readable verdict per metric otherwise — including the
+/// warn-and-skip cases (no baseline, a host the baseline does not
+/// represent, or a metric the committed JSON predates).
 fn check_against_baseline(
     baseline: Option<&str>,
-    fresh: f64,
+    fresh: &[f64],
     host_threads: usize,
-) -> Result<String, String> {
+) -> Result<Vec<String>, String> {
+    assert_eq!(fresh.len(), GUARDED_METRICS.len(), "one fresh value per guarded metric");
     let Some(doc) = baseline else {
-        return Ok("baseline check skipped: no committed BENCH_campaign.json".to_string());
+        return Ok(vec!["baseline check skipped: no committed BENCH_campaign.json".to_string()]);
     };
-    let (Some(base), Some(base_threads)) = (
-        starsense_bench::json_number(doc, &["identified", "serial_slots_per_sec"]),
-        starsense_bench::json_number(doc, &["host_threads"]),
-    ) else {
-        return Ok("baseline check skipped: committed JSON missing identified numbers".to_string());
+    let Some(base_threads) = starsense_bench::json_number(doc, &["host_threads"]) else {
+        return Ok(vec!["baseline check skipped: committed JSON missing host_threads".to_string()]);
     };
     if base_threads as usize != host_threads {
-        return Ok(format!(
+        return Ok(vec![format!(
             "baseline check skipped: baseline host_threads={base_threads} vs this host={host_threads}"
-        ));
+        )]);
     }
-    if base <= 0.0 {
-        return Ok("baseline check skipped: non-positive baseline throughput".to_string());
+    let mut verdicts = Vec::new();
+    for ((path, label), &value) in GUARDED_METRICS.iter().zip(fresh) {
+        let Some(base) = starsense_bench::json_number(doc, path) else {
+            verdicts.push(format!("{label}: skipped (not in committed baseline)"));
+            continue;
+        };
+        if base <= 0.0 {
+            verdicts.push(format!("{label}: skipped (non-positive baseline)"));
+            continue;
+        }
+        let ratio = value / base;
+        if ratio < 1.0 - MAX_REGRESSION {
+            return Err(format!(
+                "{label} regressed: {value:.1} vs baseline {base:.1} \
+                 ({:.0}% of baseline, threshold {:.0}%)",
+                100.0 * ratio,
+                100.0 * (1.0 - MAX_REGRESSION)
+            ));
+        }
+        verdicts
+            .push(format!("{label}: ok, {value:.1} vs baseline {base:.1} ({:.0}%)", 100.0 * ratio));
     }
-    let ratio = fresh / base;
-    if ratio < 1.0 - MAX_REGRESSION {
-        return Err(format!(
-            "identified-mode serial throughput regressed: {fresh:.1} vs baseline {base:.1} slots/s \
-             ({:.0}% of baseline, threshold {:.0}%)",
-            100.0 * ratio,
-            100.0 * (1.0 - MAX_REGRESSION)
-        ));
+    Ok(verdicts)
+}
+
+/// The smoke-mode arm of `--check-baseline`: a tiny workload measures
+/// nothing, but CI can still fail if the committed baseline lost any of
+/// the numbers the full run guards.
+fn validate_baseline_structure(baseline: Option<&str>) -> Result<String, String> {
+    let Some(doc) = baseline else {
+        return Err("no committed BENCH_campaign.json to validate".to_string());
+    };
+    let mut missing = Vec::new();
+    if starsense_bench::json_number(doc, &["host_threads"]).is_none() {
+        missing.push("host_threads".to_string());
     }
-    Ok(format!(
-        "baseline check ok: {fresh:.1} vs baseline {base:.1} slots/s ({:.0}%)",
-        100.0 * ratio
-    ))
+    for (path, _) in GUARDED_METRICS {
+        if starsense_bench::json_number(doc, path).is_none() {
+            missing.push(path.join("."));
+        }
+    }
+    if missing.is_empty() {
+        Ok("baseline structure ok: all guarded metrics present".to_string())
+    } else {
+        Err(format!("committed BENCH_campaign.json is missing: {}", missing.join(", ")))
+    }
 }
 
 fn main() {
@@ -210,6 +304,30 @@ fn main() {
         ident_parallel / ident_serial
     );
 
+    // Terminal scaling: the 256-terminal point gets fewer slots (and a
+    // single one in smoke mode) so the linear reference stays affordable.
+    let scaling_points: &[(usize, usize)] =
+        if smoke { &[(4, 2), (64, 2), (256, 1)] } else { &[(4, 48), (64, 32), (256, 16)] };
+    let scaling: Vec<SweepPoint> = scaling_points
+        .iter()
+        .map(|&(terminals, slots)| SweepPoint {
+            terminals,
+            slots,
+            indexed: time_terminal_sweep(&constellation, terminals, slots, false),
+            linear: time_terminal_sweep(&constellation, terminals, slots, true),
+        })
+        .collect();
+    for p in &scaling {
+        println!(
+            "scaling/allocate_{}terms_{}slots        indexed {:9.0} slot·terms/s   linear {:9.0} slot·terms/s   speedup {:.2}x",
+            p.terminals,
+            p.slots,
+            p.indexed,
+            p.linear,
+            p.indexed / p.linear
+        );
+    }
+
     let sweep = dtw_sweep(&constellation, sweep_slots);
     let ratio = sweep.cells_pruned as f64 / sweep.cells_full.max(1) as f64;
     println!(
@@ -224,9 +342,37 @@ fn main() {
     assert_eq!(sweep.agreements, sweep.queries, "cascade matcher must agree with exhaustive scan");
 
     if smoke {
+        if check_baseline {
+            match validate_baseline_structure(committed_baseline.as_deref()) {
+                Ok(verdict) => println!("{verdict}"),
+                Err(problem) => {
+                    eprintln!("{problem}");
+                    std::process::exit(1);
+                }
+            }
+        }
         println!("smoke mode: skipping BENCH_campaign.json");
         return;
     }
+
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|p| {
+            format!(
+                r#"    "t{}": {{
+      "slots": {},
+      "indexed_slot_terminals_per_sec": {},
+      "linear_slot_terminals_per_sec": {},
+      "speedup": {}
+    }}"#,
+                p.terminals,
+                p.slots,
+                json_f(p.indexed),
+                json_f(p.linear),
+                json_f(p.indexed / p.linear),
+            )
+        })
+        .collect();
 
     let json = format!(
         r#"{{
@@ -256,6 +402,9 @@ fn main() {
     "ratio": {},
     "queries": {},
     "agreement": {}
+  }},
+  "terminal_scaling": {{
+{}
   }}
 }}
 "#,
@@ -271,13 +420,20 @@ fn main() {
         json_f(ratio),
         sweep.queries,
         json_f(sweep.agreements as f64 / sweep.queries.max(1) as f64),
+        scaling_json.join(",\n"),
     );
     std::fs::write(BENCH_JSON_PATH, json).expect("write BENCH_campaign.json");
     println!("wrote {BENCH_JSON_PATH}");
 
     if check_baseline {
-        match check_against_baseline(committed_baseline.as_deref(), ident_serial, host_threads) {
-            Ok(verdict) => println!("{verdict}"),
+        let t256_indexed = scaling.last().map(|p| p.indexed).unwrap_or(0.0);
+        let fresh = [oracle_serial, ident_serial, t256_indexed];
+        match check_against_baseline(committed_baseline.as_deref(), &fresh, host_threads) {
+            Ok(verdicts) => {
+                for v in verdicts {
+                    println!("{v}");
+                }
+            }
             Err(regression) => {
                 eprintln!("{regression}");
                 std::process::exit(1);

@@ -89,6 +89,22 @@ mod tests {
     }
 
     #[test]
+    fn three_level_paths_resolve_inside_the_scaling_section() {
+        let doc = r#"{
+  "terminal_scaling": {
+    "t4": { "slots": 48, "indexed_slot_terminals_per_sec": 9000.0 },
+    "t256": { "slots": 16, "indexed_slot_terminals_per_sec": 120000.5 }
+  }
+}"#;
+        assert_eq!(
+            json_number(doc, &["terminal_scaling", "t256", "indexed_slot_terminals_per_sec"]),
+            Some(120000.5)
+        );
+        assert_eq!(json_number(doc, &["terminal_scaling", "t4", "slots"]), Some(48.0));
+        assert_eq!(json_number(doc, &["terminal_scaling", "t64", "slots"]), None);
+    }
+
+    #[test]
     fn scientific_and_signed_numbers_parse() {
         let doc = r#"{"a": -1.5e-3, "b": 2E6}"#;
         assert_eq!(json_number(doc, &["a"]), Some(-0.0015));

@@ -1,10 +1,12 @@
 //! The satellite catalog: per-satellite state and field-of-view queries.
 
+use crate::index::VisibilityIndex;
 use starsense_astro::frames::{look_angles, teme_to_ecef, Geodetic, LookAngles};
 use starsense_astro::sun::{is_sunlit_given_sun, sun_position_teme};
 use starsense_astro::time::JulianDate;
 use starsense_astro::vec3::Vec3;
 use starsense_sgp4::{Elements, Sgp4, Tle};
+use std::sync::OnceLock;
 
 /// A launch batch: satellites launched together share a date, as Starlink
 /// satellites do (§5.2 bins satellites "by the year and month of their
@@ -124,10 +126,24 @@ pub struct SnapshotEntry {
 /// True positions (and sunlit flags) of every catalog satellite at one
 /// instant — the shared input for several same-instant field-of-view
 /// queries. Entries are `None` for unlaunched or decayed satellites.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Snapshot {
     at: JulianDate,
     positions: Vec<Option<SnapshotEntry>>,
+    /// Spatial index over the entries, built lazily by the first
+    /// field-of-view query that wants it and shared by every later one
+    /// (snapshots travel between terminals and worker threads as `Arc`s).
+    index: OnceLock<VisibilityIndex>,
+}
+
+impl Clone for Snapshot {
+    fn clone(&self) -> Snapshot {
+        let index = OnceLock::new();
+        if let Some(built) = self.index.get() {
+            let _ = index.set(built.clone());
+        }
+        Snapshot { at: self.at, positions: self.positions.clone(), index }
+    }
 }
 
 impl Snapshot {
@@ -149,6 +165,12 @@ impl Snapshot {
     /// Per-satellite entries, indexed like [`Constellation::sats`].
     pub fn entries(&self) -> &[Option<SnapshotEntry>] {
         &self.positions
+    }
+
+    /// The snapshot's [`VisibilityIndex`], built on first use and reused
+    /// by every subsequent caller (and thread) sharing the snapshot.
+    pub fn visibility_index(&self) -> &VisibilityIndex {
+        self.index.get_or_init(|| VisibilityIndex::build(self))
     }
 }
 
@@ -229,7 +251,7 @@ impl Constellation {
                 })
             })
             .collect();
-        Snapshot { at, positions }
+        Snapshot { at, positions, index: OnceLock::new() }
     }
 
     /// Field-of-view query against a prepared [`Snapshot`].
@@ -248,19 +270,70 @@ impl Constellation {
         let mut out = Vec::new();
         for (sat, entry) in self.sats.iter().zip(&snap.positions) {
             let Some(entry) = entry else { continue };
-            let look = look_angles(observer, entry.ecef);
-            if look.elevation_deg >= min_elevation_deg {
-                out.push(VisibleSat {
-                    norad_id: sat.norad_id,
-                    look,
-                    teme: entry.teme,
-                    sunlit: entry.sunlit,
-                    age_days: sat.age_days(snap.at),
-                    launch: sat.launch,
-                });
-            }
+            self.admit(snap, sat, entry, observer, min_elevation_deg, &mut out);
         }
         out
+    }
+
+    /// Field-of-view query answered through the snapshot's
+    /// [`VisibilityIndex`]: only the candidate bucket neighborhood is
+    /// tested instead of the whole catalog. The index returns a provable
+    /// superset in catalog order and this method applies the *same*
+    /// per-satellite test as [`Constellation::field_of_view_from`], so the
+    /// result is bit-identical to the linear scan (property-tested in
+    /// `tests/properties.rs`).
+    ///
+    /// `scratch` holds the candidate indices between calls so a per-slot,
+    /// per-terminal caller allocates nothing here; pass any `Vec` (it is
+    /// cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `snap` was taken from a different catalog (length
+    /// mismatch).
+    pub fn field_of_view_indexed(
+        &self,
+        snap: &Snapshot,
+        observer: Geodetic,
+        min_elevation_deg: f64,
+        scratch: &mut Vec<u32>,
+    ) -> Vec<VisibleSat> {
+        assert_eq!(snap.positions.len(), self.sats.len(), "snapshot/catalog mismatch");
+        snap.visibility_index().candidates_into(observer, min_elevation_deg, scratch);
+        let mut out = Vec::new();
+        for &si in scratch.iter() {
+            let si = si as usize;
+            let Some(entry) = &snap.positions[si] else { continue };
+            self.admit(snap, &self.sats[si], entry, observer, min_elevation_deg, &mut out);
+        }
+        out
+    }
+
+    /// The one per-satellite visibility test both field-of-view paths
+    /// share: compute exact look angles and admit the satellite when it
+    /// clears the cutoff. Keeping this in one place is what makes the
+    /// indexed path bit-identical to the linear scan by construction.
+    #[inline]
+    fn admit(
+        &self,
+        snap: &Snapshot,
+        sat: &Satellite,
+        entry: &SnapshotEntry,
+        observer: Geodetic,
+        min_elevation_deg: f64,
+        out: &mut Vec<VisibleSat>,
+    ) {
+        let look = look_angles(observer, entry.ecef);
+        if look.elevation_deg >= min_elevation_deg {
+            out.push(VisibleSat {
+                norad_id: sat.norad_id,
+                look,
+                teme: entry.teme,
+                sunlit: entry.sunlit,
+                age_days: sat.age_days(snap.at),
+                launch: sat.launch,
+            });
+        }
     }
 
     /// Renders the published catalog as CelesTrak-style 3LE text, exercising

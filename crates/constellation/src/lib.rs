@@ -31,9 +31,11 @@
 mod builder;
 mod cache;
 mod catalog;
+mod index;
 mod shell;
 
 pub use builder::ConstellationBuilder;
 pub use cache::{CacheStats, PropagationCache};
 pub use catalog::{Constellation, LaunchBatch, Satellite, Snapshot, SnapshotEntry, VisibleSat};
+pub use index::VisibilityIndex;
 pub use shell::{Shell, WalkerSlot};

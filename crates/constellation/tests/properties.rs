@@ -1,0 +1,115 @@
+//! Property tests for the constellation crate's spatial visibility index.
+//!
+//! The contract under test is the repo's standing invariant for every
+//! optimization: the indexed field-of-view path must be **bit-identical**
+//! to the linear scan — same satellites, same order, same look-angle bit
+//! patterns — for arbitrary epochs, elevation cutoffs, and observer
+//! locations, and the candidate set must be a superset of the true field
+//! of view.
+
+use proptest::prelude::*;
+use starsense_astro::frames::Geodetic;
+use starsense_astro::time::JulianDate;
+use starsense_constellation::{Constellation, ConstellationBuilder, VisibleSat};
+use std::sync::OnceLock;
+
+/// One shared catalog for every case: building it is the expensive part,
+/// and the properties quantify over (epoch, observer, cutoff), not seeds.
+fn catalog() -> &'static Constellation {
+    static CATALOG: OnceLock<Constellation> = OnceLock::new();
+    CATALOG.get_or_init(|| ConstellationBuilder::starlink_mini().seed(42).build())
+}
+
+fn assert_fov_bit_identical(linear: &[VisibleSat], indexed: &[VisibleSat]) {
+    assert_eq!(linear.len(), indexed.len(), "field-of-view size");
+    for (a, b) in linear.iter().zip(indexed) {
+        assert_eq!(a.norad_id, b.norad_id);
+        assert_eq!(a.look.elevation_deg.to_bits(), b.look.elevation_deg.to_bits());
+        assert_eq!(a.look.azimuth_deg.to_bits(), b.look.azimuth_deg.to_bits());
+        assert_eq!(a.look.range_km.to_bits(), b.look.range_km.to_bits());
+        assert_eq!(a.teme, b.teme);
+        assert_eq!(a.sunlit, b.sunlit);
+        assert_eq!(a.age_days.to_bits(), b.age_days.to_bits());
+        assert_eq!(a.launch, b.launch);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexed_fov_is_bit_identical_to_linear_scan(
+        hours in 0.0f64..240.0,
+        lat in -84.0f64..84.0,
+        lon in -180.0f64..180.0,
+        alt in 0.0f64..3.0,
+        min_el in 5.0f64..70.0,
+    ) {
+        let c = catalog();
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0).plus_seconds(hours * 3600.0);
+        let obs = Geodetic::new(lat, lon, alt);
+        let snap = c.snapshot(at);
+        let linear = c.field_of_view_from(&snap, obs, min_el);
+        let mut scratch = Vec::new();
+        let indexed = c.field_of_view_indexed(&snap, obs, min_el, &mut scratch);
+        assert_fov_bit_identical(&linear, &indexed);
+    }
+
+    #[test]
+    fn candidate_set_is_a_sorted_superset_of_the_fov(
+        hours in 0.0f64..240.0,
+        lat in -89.0f64..89.0,
+        lon in -180.0f64..180.0,
+        min_el in 0.0f64..80.0,
+    ) {
+        let c = catalog();
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0).plus_seconds(hours * 3600.0);
+        let obs = Geodetic::new(lat, lon, 0.1);
+        let snap = c.snapshot(at);
+        let cand = snap.visibility_index().candidates(obs, min_el);
+        prop_assert!(cand.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+        for v in c.field_of_view_from(&snap, obs, min_el) {
+            let si = c.sats().iter().position(|s| s.norad_id == v.norad_id).unwrap() as u32;
+            prop_assert!(
+                cand.binary_search(&si).is_ok(),
+                "satellite {} at elevation {:.2} missing from candidates \
+                 (obs ({lat:.2},{lon:.2}) cutoff {min_el:.2})",
+                v.norad_id,
+                v.look.elevation_deg
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_change_results(
+        hours in 0.0f64..48.0,
+        lat in -60.0f64..60.0,
+        lon in -180.0f64..180.0,
+    ) {
+        // The same scratch vector survives across unrelated queries; stale
+        // contents must never leak into a later result.
+        let c = catalog();
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0).plus_seconds(hours * 3600.0);
+        let snap = c.snapshot(at);
+        let mut scratch = vec![3, 1, 4, 1, 5];
+        let first = c.field_of_view_indexed(&snap, Geodetic::new(lat, lon, 0.1), 25.0, &mut scratch);
+        let second =
+            c.field_of_view_indexed(&snap, Geodetic::new(lat, lon, 0.1), 25.0, &mut scratch);
+        assert_fov_bit_identical(&first, &second);
+        let fresh = c.field_of_view_from(&snap, Geodetic::new(-lat, lon, 0.1), 40.0);
+        let reused =
+            c.field_of_view_indexed(&snap, Geodetic::new(-lat, lon, 0.1), 40.0, &mut scratch);
+        assert_fov_bit_identical(&fresh, &reused);
+    }
+}
+
+#[test]
+fn snapshot_clone_preserves_a_built_index() {
+    let c = catalog();
+    let at = JulianDate::from_ymd_hms(2023, 6, 1, 9, 30, 0.0);
+    let snap = c.snapshot(at);
+    let before_clone = snap.visibility_index().candidates(Geodetic::new(41.66, -91.53, 0.2), 25.0);
+    let cloned = snap.clone();
+    let after_clone = cloned.visibility_index().candidates(Geodetic::new(41.66, -91.53, 0.2), 25.0);
+    assert_eq!(before_clone, after_clone);
+}

@@ -8,7 +8,8 @@ use crate::trace::{ProbeRecord, RttTrace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use starsense_astro::time::JulianDate;
-use starsense_constellation::Constellation;
+use starsense_astro::vec3::Vec3;
+use starsense_constellation::{Constellation, Satellite};
 use starsense_scheduler::slots::slot_index;
 use starsense_scheduler::{Allocation, GlobalScheduler, MacScheduler};
 
@@ -118,6 +119,15 @@ impl<'a> Emulator<'a> {
     /// The global scheduler fires exactly once per 15-second slot for all
     /// terminals together, matching the paper's key observation that
     /// reallocation is globally synchronized.
+    ///
+    /// Probes are driven as **slot cohorts**: everything a slot's probes
+    /// share — the allocation, each terminal's MAC cycle, the resolved
+    /// catalog entry of every distinct serving satellite — is computed once
+    /// at the slot boundary, and each probe instant propagates a serving
+    /// satellite once no matter how many terminals it carries. Only the
+    /// per-terminal draws (loss chain, handover, jitter) stay in the inner
+    /// loop, in the historical order, so traces are byte-identical to the
+    /// old per-probe engine (pinned by the golden-fingerprint tests).
     pub fn probe_all(&mut self, from: JulianDate, duration_s: f64) -> Vec<RttTrace> {
         let n_terminals = self.scheduler.terminals().len();
         let mut traces: Vec<RttTrace> = (0..n_terminals)
@@ -126,22 +136,32 @@ impl<'a> Emulator<'a> {
 
         let n_probes = (duration_s * 1_000.0 / self.config.probe_period_ms).floor() as u64;
         let mut current_slot: Option<i64> = None;
-        let mut allocations: Vec<Allocation> = Vec::new();
-        let mut macs: Vec<Option<(MacScheduler, usize)>> = vec![None; n_terminals];
+        let mut cohort = SlotCohort {
+            allocations: Vec::new(),
+            macs: Vec::new(),
+            serving: Vec::new(),
+            sats: Vec::new(),
+        };
+        // Reusable per-probe buffer: this instant's TEME position of each
+        // cohort satellite.
+        let mut teme: Vec<Option<Vec3>> = Vec::new();
 
         for seq in 0..n_probes {
             let at = from.plus_seconds(seq as f64 * self.config.probe_period_ms / 1_000.0);
             let slot = slot_index(at);
             if current_slot != Some(slot) {
-                allocations = self.scheduler.allocate(self.constellation, at);
-                for t in 0..n_terminals {
-                    macs[t] = self.build_mac(&allocations[t]);
-                }
+                cohort = self.build_cohort(at);
                 current_slot = Some(slot);
             }
 
+            // Serving satellites move ~150 km within a slot, so positions
+            // are per-probe — but one SGP4 propagation per *distinct*
+            // satellite now serves every terminal it carries.
+            teme.clear();
+            teme.extend(cohort.sats.iter().map(|s| s.true_position(at)));
+
             for t in 0..n_terminals {
-                let record = self.probe_once(t, seq, at, &allocations[t], &macs[t]);
+                let record = self.probe_in_cohort(t, seq, at, &cohort, &teme);
                 traces[t].records.push(record);
             }
         }
@@ -219,21 +239,55 @@ impl<'a> Emulator<'a> {
         Some((mac, marker))
     }
 
-    /// Emulates one probe from one terminal.
-    fn probe_once(
+    /// Resolves everything a slot's probes share: the allocation, each
+    /// terminal's MAC cycle, and — once, not per probe — the catalog entry
+    /// of every distinct serving satellite. The per-probe
+    /// `Constellation::get` linear scans this replaces dominated the old
+    /// engine's probe loop at terminal scale.
+    fn build_cohort(&mut self, at: JulianDate) -> SlotCohort<'a> {
+        let allocations = self.scheduler.allocate(self.constellation, at);
+        let mut macs = Vec::with_capacity(allocations.len());
+        let mut serving = Vec::with_capacity(allocations.len());
+        let mut sats: Vec<&'a Satellite> = Vec::new();
+        for alloc in &allocations {
+            macs.push(self.build_mac(alloc));
+            serving.push(alloc.chosen_id().and_then(|id| {
+                match sats.iter().position(|s| s.norad_id == id) {
+                    Some(k) => Some(k),
+                    None => {
+                        let sat = self.constellation.get(id)?;
+                        sats.push(sat);
+                        Some(sats.len() - 1)
+                    }
+                }
+            }));
+        }
+        SlotCohort { allocations, macs, serving, sats }
+    }
+
+    /// Emulates one probe from one terminal against its slot cohort.
+    ///
+    /// `teme[k]` must hold the position of `cohort.sats[k]` at `at`. The
+    /// RNG-consuming steps (loss chain, handover draw, jitter) run in the
+    /// exact order of the historical per-probe engine; only the pure
+    /// lookups moved to the cohort.
+    fn probe_in_cohort(
         &mut self,
         terminal_id: usize,
         seq: u64,
         at: JulianDate,
-        alloc: &Allocation,
-        mac: &Option<(MacScheduler, usize)>,
+        cohort: &SlotCohort<'_>,
+        teme: &[Option<Vec3>],
     ) -> ProbeRecord {
+        let alloc = &cohort.allocations[terminal_id];
         let slot = alloc.slot;
         let serving_sat = alloc.chosen_id();
         let lost = ProbeRecord { at, seq, rtt_ms: None, owd_up_ms: None, slot, serving_sat };
 
         // Outage: no satellite assigned.
-        let (Some(chosen), Some((mac, marker))) = (alloc.chosen.as_ref(), mac.as_ref()) else {
+        let (Some(_), Some((mac, marker))) =
+            (alloc.chosen.as_ref(), cohort.macs[terminal_id].as_ref())
+        else {
             return lost;
         };
 
@@ -247,9 +301,10 @@ impl<'a> Emulator<'a> {
             return lost;
         }
 
-        // Current satellite position (it moves ~150 km within a slot).
-        let Some(sat) = self.constellation.get(chosen.norad_id) else { return lost };
-        let Some(sat_teme) = sat.true_position(at) else { return lost };
+        // Current satellite position, propagated once per probe instant at
+        // the cohort level.
+        let Some(si) = cohort.serving[terminal_id] else { return lost };
+        let Some(sat_teme) = teme[si] else { return lost };
 
         // Bent-pipe geometry through the best ground station.
         let pop = &self.terminal_pops[terminal_id];
@@ -274,6 +329,20 @@ impl<'a> Emulator<'a> {
 
         ProbeRecord { at, seq, rtt_ms: Some(rtt), owd_up_ms: Some(owd), slot, serving_sat }
     }
+}
+
+/// Per-slot cohort state: everything about a slot that is shared by all of
+/// its probes, hoisted out of the per-probe loop.
+struct SlotCohort<'c> {
+    /// The slot's allocations, in terminal order.
+    allocations: Vec<Allocation>,
+    /// MAC cycle (and the terminal's marker in it) per terminal.
+    macs: Vec<Option<(MacScheduler, usize)>>,
+    /// For each terminal, index into `sats` of its serving satellite
+    /// (`None` = outage, or a catalog id the constellation does not know).
+    serving: Vec<Option<usize>>,
+    /// The slot's distinct serving satellites, catalog-resolved once.
+    sats: Vec<&'c Satellite>,
 }
 
 fn mix(a: u64, b: u64) -> u64 {

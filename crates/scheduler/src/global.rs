@@ -119,6 +119,24 @@ impl Allocation {
     }
 }
 
+/// Reusable per-scheduler buffers for the hot allocation loop, so that
+/// scoring a terminal allocates nothing: candidate indices and scores live
+/// here across terminals and slots, and the softmax overwrites the score
+/// buffer in place instead of building a separate weight vector.
+///
+/// Scratch contents never outlive one terminal's scoring pass, so carrying
+/// the buffers across calls cannot change results — only where the
+/// intermediate values are stored.
+#[derive(Debug, Clone, Default)]
+struct AllocScratch {
+    /// Indices into the current terminal's `available` list that survived
+    /// the sky mask and the GSO exclusion.
+    eligible: Vec<usize>,
+    /// Scores for the eligible candidates; the softmax draw overwrites
+    /// them with their weights in place.
+    scores: Vec<f64>,
+}
+
 /// The global scheduler: owns per-terminal GSO geometry, the background
 /// load model, the softmax RNG and the previous-assignment state.
 #[derive(Debug, Clone)]
@@ -129,6 +147,7 @@ pub struct GlobalScheduler {
     load: LoadModel,
     rng: StdRng,
     previous: HashMap<usize, u32>,
+    scratch: AllocScratch,
 }
 
 impl GlobalScheduler {
@@ -148,6 +167,7 @@ impl GlobalScheduler {
             load: LoadModel::new(seed ^ 0x10AD, 0.5),
             rng: StdRng::seed_from_u64(seed),
             previous: HashMap::new(),
+            scratch: AllocScratch::default(),
         }
     }
 
@@ -192,7 +212,38 @@ impl GlobalScheduler {
 
     /// Per-terminal field-of-view lists for one prepared snapshot, in
     /// terminal order — the stateless (parallelizable) half of `allocate`.
+    ///
+    /// Queries go through the snapshot's [`VisibilityIndex`], so the cost
+    /// per terminal is proportional to the satellites near its sky rather
+    /// than to the whole catalog; the index's property tests guarantee the
+    /// result is bit-identical to [`GlobalScheduler::fields_of_view_linear`].
+    ///
+    /// [`VisibilityIndex`]: starsense_constellation::VisibilityIndex
     pub fn fields_of_view(
+        &self,
+        constellation: &Constellation,
+        snapshot: &Snapshot,
+    ) -> Vec<Vec<VisibleSat>> {
+        // One candidate buffer per call (not per terminal); `&self` keeps
+        // this callable from the campaign engine's parallel workers.
+        let mut candidates = Vec::new();
+        self.terminals
+            .iter()
+            .map(|t| {
+                constellation.field_of_view_indexed(
+                    snapshot,
+                    t.location,
+                    self.policy.min_elevation_deg,
+                    &mut candidates,
+                )
+            })
+            .collect()
+    }
+
+    /// [`GlobalScheduler::fields_of_view`] via the full-catalog linear
+    /// scan. Kept as the reference implementation the spatial index is
+    /// measured and property-tested against; not used on any hot path.
+    pub fn fields_of_view_linear(
         &self,
         constellation: &Constellation,
         snapshot: &Snapshot,
@@ -227,19 +278,33 @@ impl GlobalScheduler {
         let start = slot_start(at);
         let mut out = Vec::with_capacity(self.terminals.len());
 
+        // Detach the scratch buffers so `self` stays borrowable for
+        // scoring and the RNG draw; reattached after the loop.
+        let mut scratch = std::mem::take(&mut self.scratch);
+
         for (ti, available) in available.into_iter().enumerate() {
             let terminal = &self.terminals[ti];
 
-            let eligible: Vec<&VisibleSat> = available
-                .iter()
-                .filter(|v| !terminal.mask.blocks(v.look.elevation_deg, v.look.azimuth_deg))
-                .filter(|v| !self.gso[ti].excludes(&v.look))
-                .collect();
+            scratch.eligible.clear();
+            scratch.eligible.extend(available.iter().enumerate().filter_map(|(i, v)| {
+                let open = !terminal.mask.blocks(v.look.elevation_deg, v.look.azimuth_deg)
+                    && !self.gso[ti].excludes(&v.look);
+                open.then_some(i)
+            }));
 
-            let eligible_ids: Vec<u32> = eligible.iter().map(|v| v.norad_id).collect();
-            let scores: Vec<f64> =
-                eligible.iter().map(|s| self.score(ti, slot, s, &self.gso[ti])).collect();
-            let chosen = self.sample(&scores).map(|i| eligible[i].clone());
+            let mut eligible_ids = Vec::with_capacity(scratch.eligible.len());
+            eligible_ids.extend(scratch.eligible.iter().map(|&i| available[i].norad_id));
+
+            scratch.scores.clear();
+            scratch.scores.extend(
+                scratch
+                    .eligible
+                    .iter()
+                    .map(|&i| self.score(ti, slot, &available[i], &self.gso[ti])),
+            );
+            let chosen = self
+                .sample_in_place(&mut scratch.scores)
+                .map(|i| available[scratch.eligible[i]].clone());
 
             match chosen.as_ref() {
                 Some(c) => {
@@ -259,6 +324,7 @@ impl GlobalScheduler {
                 chosen,
             });
         }
+        self.scratch = scratch;
         out
     }
 
@@ -305,16 +371,26 @@ impl GlobalScheduler {
     }
 
     /// Softmax draw over candidate scores; returns the winning index.
-    fn sample(&mut self, scores: &[f64]) -> Option<usize> {
+    ///
+    /// Overwrites `scores` with the softmax weights in place — exp and the
+    /// weight total fold into one pass over the buffer, with no
+    /// intermediate weight vector. The float operations and their order
+    /// are exactly those of the historical two-vector version (exp per
+    /// element, then a left-fold sum), so the RNG draw and the winner are
+    /// bit-identical.
+    fn sample_in_place(&mut self, scores: &mut [f64]) -> Option<usize> {
         if scores.is_empty() {
             return None;
         }
         let tau = self.policy.temperature.max(1e-6);
         let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> = scores.iter().map(|s| ((s - max) / tau).exp()).collect();
-        let total: f64 = weights.iter().sum();
+        let mut total = 0.0;
+        for s in scores.iter_mut() {
+            *s = ((*s - max) / tau).exp();
+            total += *s;
+        }
         let mut draw = self.rng.random_range(0.0..total);
-        for (i, w) in weights.iter().enumerate() {
+        for (i, w) in scores.iter().enumerate() {
             draw -= w;
             if draw <= 0.0 {
                 return Some(i);
@@ -525,6 +601,38 @@ mod tests {
         }
         // Every slot was propagated exactly once despite both schedulers.
         assert_eq!(cache.stats().truth_entries, 6);
+    }
+
+    #[test]
+    fn indexed_availability_is_bit_identical_to_linear() {
+        // Two schedulers with the same seed, one fed by the indexed
+        // field-of-view path and one by the linear scan, must produce
+        // byte-identical allocations and consume identical RNG streams.
+        let c = constellation();
+        let mut indexed = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), 3);
+        let mut linear = indexed.clone();
+        for k in 0..8 {
+            let t = at().plus_seconds(15.0 * k as f64);
+            let snap = c.snapshot(crate::slots::slot_start(t));
+            let fov_i = indexed.fields_of_view(&c, &snap);
+            let fov_l = linear.fields_of_view_linear(&c, &snap);
+            assert_eq!(fov_i.len(), fov_l.len());
+            for (a, b) in fov_i.iter().zip(&fov_l) {
+                assert_eq!(a.len(), b.len(), "slot {k} FOV size");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.norad_id, y.norad_id);
+                    assert_eq!(x.look.elevation_deg.to_bits(), y.look.elevation_deg.to_bits());
+                    assert_eq!(x.look.azimuth_deg.to_bits(), y.look.azimuth_deg.to_bits());
+                    assert_eq!(x.look.range_km.to_bits(), y.look.range_km.to_bits());
+                }
+            }
+            let aa = indexed.allocate_from_available(t, fov_i);
+            let bb = linear.allocate_from_available(t, fov_l);
+            for (x, y) in aa.iter().zip(&bb) {
+                assert_eq!(x.chosen_id(), y.chosen_id(), "slot {k}");
+                assert_eq!(x.eligible_ids, y.eligible_ids, "slot {k}");
+            }
+        }
     }
 
     #[test]

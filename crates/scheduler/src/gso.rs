@@ -30,7 +30,18 @@ pub struct GsoExclusion {
     /// Protection half-angle, degrees: a satellite within this angular
     /// separation of the arc is excluded.
     pub half_angle_deg: f64,
+    /// `cos(half_angle)` — the exclusion threshold, hoisted out of the
+    /// per-satellite test.
+    cos_half: f64,
 }
+
+/// Dot-product slack under which two arc points count as tied for closest
+/// (see [`GsoExclusion::separation_deg`]). An arc point whose dot product
+/// with the query trails the winner by more than this is separated by a
+/// strictly larger angle — the guard is ~6 orders of magnitude above the
+/// combined rounding error of the dot products and `angle_to`, and ties
+/// merely add a redundant term to a `min` fold.
+const DOT_TIE_GUARD: f64 = 1e-9;
 
 /// Converts look angles to a local unit direction vector (east, north, up).
 fn look_to_unit(look: &LookAngles) -> Vec3 {
@@ -57,12 +68,12 @@ impl GsoExclusion {
                 arc_dirs.push(look_to_unit(&look));
             }
         }
-        GsoExclusion { arc_dirs, half_angle_deg }
+        GsoExclusion { arc_dirs, half_angle_deg, cos_half: half_angle_deg.to_radians().cos() }
     }
 
     /// A disabled zone (never excludes) — the ablation configuration.
     pub fn disabled() -> GsoExclusion {
-        GsoExclusion { arc_dirs: Vec::new(), half_angle_deg: 0.0 }
+        GsoExclusion { arc_dirs: Vec::new(), half_angle_deg: 0.0, cos_half: 1.0 }
     }
 
     /// True when a satellite seen at `look` falls inside the protected zone.
@@ -71,15 +82,34 @@ impl GsoExclusion {
             return false;
         }
         let dir = look_to_unit(look);
-        let threshold = self.half_angle_deg.to_radians().cos();
-        self.arc_dirs.iter().any(|a| a.dot(dir) > threshold)
+        self.arc_dirs.iter().any(|a| a.dot(dir) > self.cos_half)
     }
 
     /// Minimum angular separation (degrees) between `look` and the visible
     /// GSO arc; `f64::INFINITY` when the arc is below the horizon entirely.
+    ///
+    /// The historical implementation evaluated `angle_to` (a cross
+    /// product, a square root and an `atan2`) against every arc point.
+    /// The angle is monotone in the dot product, so this version finds the
+    /// winning arc point with dot products alone and evaluates the exact
+    /// historical formula only for points tied with it (within
+    /// [`DOT_TIE_GUARD`], conservatively). The fold over the survivors
+    /// yields the same minimum, bit for bit: every skipped point is
+    /// separated by a strictly larger angle, and `min` ignores it either
+    /// way.
     pub fn separation_deg(&self, look: &LookAngles) -> f64 {
         let dir = look_to_unit(look);
-        self.arc_dirs.iter().map(|a| a.angle_to(dir).to_degrees()).fold(f64::INFINITY, f64::min)
+        let mut best_dot = f64::NEG_INFINITY;
+        for a in &self.arc_dirs {
+            best_dot = best_dot.max(a.dot(dir));
+        }
+        let mut min_deg = f64::INFINITY;
+        for a in &self.arc_dirs {
+            if a.dot(dir) >= best_dot - DOT_TIE_GUARD {
+                min_deg = min_deg.min(a.angle_to(dir).to_degrees());
+            }
+        }
+        min_deg
     }
 
     /// Whether any part of the belt is visible from the site at all.
@@ -134,6 +164,35 @@ mod tests {
         let near = z.separation_deg(&look(45.0, 180.0));
         let far = z.separation_deg(&look(80.0, 0.0));
         assert!(near < far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn pruned_separation_matches_the_exhaustive_fold_bit_for_bit() {
+        let zones = [
+            GsoExclusion::for_site(iowa(), 12.0),
+            GsoExclusion::for_site(Geodetic::new(0.0, 17.2, 0.0), 12.0),
+            GsoExclusion::for_site(Geodetic::new(-41.66, 130.0, 0.2), 15.0),
+            GsoExclusion::for_site(Geodetic::new(67.0, -20.0, 0.1), 12.0),
+        ];
+        for z in &zones {
+            for el10 in (250..=900).step_by(23) {
+                for az in (0..360).step_by(7) {
+                    let l = look(el10 as f64 / 10.0, az as f64);
+                    let dir = look_to_unit(&l);
+                    let exhaustive = z
+                        .arc_dirs
+                        .iter()
+                        .map(|a| a.angle_to(dir).to_degrees())
+                        .fold(f64::INFINITY, f64::min);
+                    assert_eq!(
+                        z.separation_deg(&l).to_bits(),
+                        exhaustive.to_bits(),
+                        "el {} az {az}",
+                        el10 as f64 / 10.0
+                    );
+                }
+            }
+        }
     }
 
     #[test]
