@@ -31,11 +31,13 @@
 mod builder;
 mod cache;
 mod catalog;
+mod feed;
 mod index;
 mod shell;
 
 pub use builder::ConstellationBuilder;
 pub use cache::{CacheStats, PropagationCache};
 pub use catalog::{Constellation, LaunchBatch, Satellite, Snapshot, SnapshotEntry, VisibleSat};
+pub use feed::{defect_kind, load_catalog_text, CatalogLoad};
 pub use index::VisibilityIndex;
 pub use shell::{Shell, WalkerSlot};

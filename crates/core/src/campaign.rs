@@ -38,14 +38,16 @@
 //! [`CampaignConfig::threads`]), and the determinism tests hold a
 //! multi-threaded run to the single-threaded stream field by field.
 
+use crate::degrade::{DegradationStats, DegradeReason, SlotOutcome};
 use crate::vantage;
 use starsense_astro::time::JulianDate;
 use starsense_constellation::{Constellation, PropagationCache, VisibleSat};
+use starsense_faults::{FaultPlan, PropagationSchedule};
 use starsense_ident::{
-    identify_slot_tracked, DishSimulator, SlotCapture, TrackCache, CANDIDATE_SAMPLES_PER_SLOT,
-    MIN_CANDIDATE_ELEVATION_DEG,
+    verdict_slot_tracked, DishSimulator, FrameStatus, IdentVerdict, NoDataReason, SlotCapture,
+    TrackCache, CANDIDATE_SAMPLES_PER_SLOT, MIN_CANDIDATE_ELEVATION_DEG,
 };
-use starsense_scheduler::slots::{slot_start, SLOT_PERIOD_SECONDS};
+use starsense_scheduler::slots::{slot_index, slot_start, SLOT_PERIOD_SECONDS};
 use starsense_scheduler::{Allocation, GlobalScheduler, SchedulerPolicy, Terminal};
 
 /// A satellite as observed during one slot from one terminal.
@@ -99,6 +101,10 @@ pub struct SlotObservation {
     /// Ground truth (always the scheduler's real pick; equals `chosen` in
     /// oracle mode).
     pub truth_id: Option<u32>,
+    /// How the observation resolved — identification, ambiguity, or the
+    /// degradation cause. `chosen.is_some()` exactly when this is
+    /// [`SlotOutcome::Observed`].
+    pub outcome: SlotOutcome,
 }
 
 /// Campaign configuration.
@@ -114,11 +120,35 @@ pub struct CampaignConfig {
     /// `1` runs everything inline with no threads spawned. Results are
     /// byte-identical for every value.
     pub threads: usize,
+    /// Deterministic fault-injection plan. The default
+    /// ([`FaultPlan::none`]) keeps every output bit-identical to a
+    /// fault-unaware campaign: fault decisions are counter-based hashes
+    /// and never touch the scheduler's or dish's randomness.
+    pub faults: FaultPlan,
+    /// Minimum DTW margin for a match to count as identified rather than
+    /// [`SlotOutcome::Ambiguous`]. The default `0.0` reproduces the
+    /// legacy always-report-the-best behaviour bit for bit; chaos runs
+    /// use [`starsense_ident::DEFAULT_MIN_MARGIN`].
+    pub min_margin: f64,
+    /// Obstruction-frame fetch retries after a dropped frame (identified
+    /// mode only).
+    pub frame_retries: u32,
+    /// Quarantine a satellite for the rest of the campaign once this many
+    /// of its slot propagations have failed. `0` disables quarantine.
+    pub quarantine_after: u32,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { policy: SchedulerPolicy::default(), identified: false, threads: 0 }
+        CampaignConfig {
+            policy: SchedulerPolicy::default(),
+            identified: false,
+            threads: 0,
+            faults: FaultPlan::none(),
+            min_margin: 0.0,
+            frame_retries: 2,
+            quarantine_after: 0,
+        }
     }
 }
 
@@ -187,6 +217,17 @@ impl<'a> Campaign<'a> {
     /// parallel phases compute pure per-slot / per-terminal functions whose
     /// results are merged back in slot-major, terminal-minor order.
     pub fn run(&self, from: JulianDate, slots: usize) -> Vec<SlotObservation> {
+        self.run_with_stats(from, slots).0
+    }
+
+    /// [`Campaign::run`] plus the run's [`DegradationStats`] — outcome
+    /// tallies from the observation stream and the fault schedule's
+    /// quarantine counters.
+    pub fn run_with_stats(
+        &self,
+        from: JulianDate,
+        slots: usize,
+    ) -> (Vec<SlotObservation>, DegradationStats) {
         let mut scheduler =
             GlobalScheduler::new(self.config.policy.clone(), self.terminals.clone(), self.seed);
         let threads = self.worker_threads();
@@ -199,10 +240,28 @@ impl<'a> Campaign<'a> {
         let mids: Vec<JulianDate> =
             (0..slots).map(|k| first_mid.plus_seconds(k as f64 * SLOT_PERIOD_SECONDS)).collect();
 
+        // Injected propagation failures (and their quarantine closure) are
+        // precomputed serially into a bitset so the parallel visibility
+        // phase can consult them without any ordering dependence.
+        let schedule = self.config.faults.enabled().then(|| {
+            let mut ids: Vec<u32> = self.constellation.sats().iter().map(|s| s.norad_id).collect();
+            ids.sort_unstable();
+            let first_slot = slot_index(first_mid);
+            let schedule = PropagationSchedule::build(
+                &self.config.faults,
+                &ids,
+                first_slot,
+                slots,
+                self.config.quarantine_after,
+            );
+            (schedule, ids)
+        });
+
         // Phase 1 (parallel): propagate each slot epoch once into the
         // shared cache and derive every terminal's visibility list from the
         // cached snapshot.
-        let availability = self.visibility_phase(&scheduler, &cache, &mids, threads);
+        let availability =
+            self.visibility_phase(&scheduler, &cache, &mids, threads, schedule.as_ref());
 
         // Phase 2 (serial): the hidden scheduler walks the slots in order —
         // hysteresis and its allocation RNG make this pass order-dependent,
@@ -232,7 +291,13 @@ impl<'a> Campaign<'a> {
                 }
             }
         }
-        out
+
+        let mut stats = DegradationStats::collect(&out);
+        if let Some((schedule, _)) = &schedule {
+            stats.quarantined_sats = schedule.quarantined_count();
+            stats.masked_propagations = schedule.masked_slot_count();
+        }
+        (out, stats)
     }
 
     /// Phase 1: per-slot snapshots and per-terminal visibility, fanned over
@@ -245,14 +310,27 @@ impl<'a> Campaign<'a> {
         cache: &PropagationCache<'_>,
         mids: &[JulianDate],
         threads: usize,
+        schedule: Option<&(PropagationSchedule, Vec<u32>)>,
     ) -> Vec<Vec<Vec<VisibleSat>>> {
-        let per_slot = |&at: &JulianDate| {
+        let per_slot = |k: usize, &at: &JulianDate| {
             let snapshot = cache.snapshot(slot_start(at));
-            scheduler.fields_of_view(self.constellation, &snapshot)
+            let mut fov = scheduler.fields_of_view(self.constellation, &snapshot);
+            // A satellite whose propagation failed this slot (or that is
+            // quarantined) is invisible to the whole pipeline: the bitset
+            // is pure data, so filtering here is thread-order invariant.
+            if let Some((schedule, ids)) = schedule {
+                for list in &mut fov {
+                    list.retain(|v| match ids.binary_search(&v.norad_id) {
+                        Ok(sat) => !schedule.masked(sat, k),
+                        Err(_) => true,
+                    });
+                }
+            }
+            fov
         };
         let threads = threads.min(mids.len().max(1));
         if threads <= 1 {
-            return mids.iter().map(per_slot).collect();
+            return mids.iter().enumerate().map(|(k, at)| per_slot(k, at)).collect();
         }
         let mut indexed: Vec<(usize, Vec<Vec<VisibleSat>>)> = Vec::with_capacity(mids.len());
         std::thread::scope(|scope| {
@@ -264,7 +342,7 @@ impl<'a> Campaign<'a> {
                         .enumerate()
                         .skip(worker)
                         .step_by(threads)
-                        .map(|(k, at)| (k, per_slot(at)))
+                        .map(|(k, at)| (k, per_slot(k, at)))
                         .collect::<Vec<_>>()
                 }));
             }
@@ -343,22 +421,56 @@ impl<'a> Campaign<'a> {
         let mut out = Vec::with_capacity(allocs.len());
         for alloc in allocs {
             let truth_id = alloc.chosen_id();
-            let chosen: Option<SatObs> = if let Some(tracks) = tracks.as_mut() {
-                let capture =
-                    dish.play_slot(self.constellation, alloc.slot, alloc.slot_start, truth_id);
-                let usable_prev = if capture.after_reset { None } else { prev_cap.as_ref() };
-                let identified = usable_prev.and_then(|prev| {
-                    identify_slot_tracked(tracks, &prev.map, &capture.map, alloc.slot_start)
-                });
-                prev_cap = Some(capture);
-                identified.and_then(|id| {
-                    // Report the identified satellite's observed state,
-                    // taken from the available list (all satellites in
-                    // view, so a correct match is always present).
-                    alloc.available.iter().find(|v| v.norad_id == id.norad_id).map(SatObs::from)
-                })
+            let (chosen, outcome) = if let Some(tracks) = tracks.as_mut() {
+                let fetch = dish.play_slot_faulted(
+                    self.constellation,
+                    alloc.slot,
+                    alloc.slot_start,
+                    truth_id,
+                    &self.config.faults,
+                    tid as u64,
+                    self.config.frame_retries,
+                );
+                match fetch.capture {
+                    None => {
+                        // Every attempt failed: nothing to difference, and
+                        // the next successful frame has no baseline either.
+                        prev_cap = None;
+                        let reason = DegradeReason::FrameDropped { attempts: fetch.attempts };
+                        (None, SlotOutcome::NoData(reason))
+                    }
+                    Some(capture) => {
+                        let usable_prev =
+                            if capture.after_reset { None } else { prev_cap.as_ref() };
+                        let resolved = match usable_prev {
+                            None => {
+                                let reason = if capture.after_reset {
+                                    DegradeReason::AfterReset
+                                } else {
+                                    DegradeReason::MissingBaseline
+                                };
+                                (None, SlotOutcome::NoData(reason))
+                            }
+                            Some(prev) => self.resolve_verdict(
+                                tracks,
+                                &prev.map,
+                                &capture.map,
+                                &alloc,
+                                fetch.status,
+                                truth_id,
+                            ),
+                        };
+                        prev_cap = Some(capture);
+                        resolved
+                    }
+                }
             } else {
-                alloc.chosen.as_ref().map(SatObs::from)
+                match alloc.chosen.as_ref() {
+                    Some(chosen) => {
+                        (Some(SatObs::from(chosen)), SlotOutcome::Observed { confidence: 1.0 })
+                    }
+                    None => (None, SlotOutcome::NoData(DegradeReason::Outage)),
+                }
             };
 
             out.push(SlotObservation {
@@ -369,9 +481,51 @@ impl<'a> Campaign<'a> {
                 available: alloc.available.iter().map(SatObs::from).collect(),
                 chosen,
                 truth_id,
+                outcome,
             });
         }
         out
+    }
+
+    /// Runs the §4 identification on one differenced frame pair and folds
+    /// the verdict into the observation's `(chosen, outcome)` pair,
+    /// attributing empty trails to their upstream cause (stale frame,
+    /// scheduler outage) when one is known.
+    fn resolve_verdict(
+        &self,
+        tracks: &mut TrackCache<'_, '_>,
+        prev: &starsense_obstruction::ObstructionMap,
+        curr: &starsense_obstruction::ObstructionMap,
+        alloc: &Allocation,
+        status: FrameStatus,
+        truth_id: Option<u32>,
+    ) -> (Option<SatObs>, SlotOutcome) {
+        match verdict_slot_tracked(tracks, prev, curr, alloc.slot_start, self.config.min_margin) {
+            IdentVerdict::Identified { sat, confidence } => {
+                // Report the identified satellite's observed state, taken
+                // from the available list (all satellites in view, so a
+                // correct match is always present).
+                match alloc.available.iter().find(|v| v.norad_id == sat.norad_id) {
+                    Some(v) => (Some(SatObs::from(v)), SlotOutcome::Observed { confidence }),
+                    None => (None, SlotOutcome::NoData(DegradeReason::UnmatchedIdentity)),
+                }
+            }
+            IdentVerdict::Ambiguous { best } => {
+                (None, SlotOutcome::Ambiguous { margin: best.margin() })
+            }
+            IdentVerdict::NoData(reason) => {
+                let reason = match reason {
+                    NoDataReason::EmptyTrail if status == FrameStatus::Stale => {
+                        DegradeReason::StaleFrame
+                    }
+                    NoDataReason::EmptyTrail if truth_id.is_none() => DegradeReason::Outage,
+                    NoDataReason::EmptyTrail => DegradeReason::EmptyTrail,
+                    NoDataReason::TinyTrail => DegradeReason::TinyTrail,
+                    NoDataReason::NoCandidates => DegradeReason::NoCandidates,
+                };
+                (None, SlotOutcome::NoData(reason))
+            }
+        }
     }
 }
 
@@ -469,6 +623,7 @@ mod tests {
             assert_eq!(x.slot_start.0.to_bits(), y.slot_start.0.to_bits());
             assert_eq!(x.local_hour.to_bits(), y.local_hour.to_bits());
             assert_eq!(x.truth_id, y.truth_id);
+            assert_eq!(x.outcome, y.outcome);
             assert_eq!(x.chosen.as_ref().map(sat_bits), y.chosen.as_ref().map(sat_bits));
             assert_eq!(x.available.len(), y.available.len());
             for (sa, sb) in x.available.iter().zip(&y.available) {
@@ -516,6 +671,129 @@ mod tests {
         let serial = threaded_run(true, 1);
         assert_streams_identical(&serial, &threaded_run(true, 4));
         assert_streams_identical(&serial, &threaded_run(true, 0));
+    }
+
+    #[test]
+    fn outcomes_partition_every_slot() {
+        // Oracle: every slot is Observed (confidence 1) or an Outage.
+        for obs in &small_run(false) {
+            match obs.outcome {
+                SlotOutcome::Observed { confidence } => {
+                    assert_eq!(confidence, 1.0);
+                    assert!(obs.chosen.is_some());
+                }
+                SlotOutcome::NoData(DegradeReason::Outage) => assert!(obs.chosen.is_none()),
+                other => panic!("oracle slot resolved as {other:?}"),
+            }
+        }
+        // Identified: chosen is Some exactly on Observed outcomes.
+        let obs = small_run(true);
+        for o in &obs {
+            assert_eq!(o.chosen.is_some(), o.outcome.is_observed(), "slot {}", o.slot);
+        }
+        assert!(obs.iter().filter(|o| o.outcome.is_observed()).count() >= 15);
+    }
+
+    fn faulted_run(rates: starsense_faults::FaultRates, seed: u64) -> Vec<SlotObservation> {
+        let c = ConstellationBuilder::starlink_mini().seed(33).build();
+        let terminals = vec![Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2))];
+        let config = CampaignConfig {
+            faults: FaultPlan::new(seed, rates),
+            min_margin: starsense_ident::DEFAULT_MIN_MARGIN,
+            quarantine_after: 2,
+            ..CampaignConfig::default()
+        };
+        Campaign::identified(&c, terminals, config, 33)
+            .run(JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 0.0), 25)
+    }
+
+    #[test]
+    fn faulted_campaign_degrades_gracefully_and_deterministically() {
+        use starsense_faults::FaultRates;
+        let rates = FaultRates {
+            frame_drop: 0.15,
+            frame_stale: 0.1,
+            frame_corrupt: 0.1,
+            propagation_fail: 0.1,
+            ..FaultRates::none()
+        };
+        let obs = faulted_run(rates, 5);
+        assert_eq!(obs.len(), 25, "faults must never lose slots");
+        let stats = DegradationStats::collect(&obs);
+        assert_eq!(stats.observed + stats.ambiguous + stats.no_data, 25);
+        assert!(stats.no_data > 0, "15% frame drops over 25 slots should surface");
+        for o in &obs {
+            assert_eq!(o.chosen.is_some(), o.outcome.is_observed());
+            // Slot times stay monotone even across dropped frames.
+        }
+        for w in obs.windows(2) {
+            assert!(w[1].slot == w[0].slot + 1);
+        }
+        // Bit-for-bit reproducible under the same plan.
+        assert_streams_identical(&obs, &faulted_run(rates, 5));
+        // A different fault seed gives a different degradation pattern.
+        let other = faulted_run(rates, 6);
+        let outcomes = |os: &[SlotObservation]| -> Vec<bool> {
+            os.iter().map(|o| o.outcome.is_observed()).collect::<Vec<_>>()
+        };
+        assert_ne!(outcomes(&obs), outcomes(&other), "fault seed had no effect");
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_to_default_config() {
+        let c = ConstellationBuilder::starlink_gen1().seed(33).build();
+        let terminals = vec![Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2))];
+        let from = JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 0.0);
+        let plain = Campaign::identified(&c, terminals.clone(), CampaignConfig::default(), 33)
+            .run(from, 20);
+        // A seeded all-zero plan (plus retry/quarantine knobs that only
+        // matter under faults) must not move a single bit.
+        let config = CampaignConfig {
+            faults: FaultPlan::new(987, starsense_faults::FaultRates::none()),
+            frame_retries: 5,
+            quarantine_after: 3,
+            ..CampaignConfig::default()
+        };
+        let faulted = Campaign::identified(&c, terminals, config, 33).run(from, 20);
+        assert_streams_identical(&plain, &faulted);
+    }
+
+    #[test]
+    fn propagation_faults_quarantine_and_shrink_visibility() {
+        use starsense_faults::FaultRates;
+        let c = ConstellationBuilder::starlink_mini().seed(33).build();
+        let terminals = vec![Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2))];
+        let from = JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 0.0);
+        let run = |rate: f64, quarantine_after: u32| {
+            let config = CampaignConfig {
+                faults: FaultPlan::new(
+                    11,
+                    FaultRates { propagation_fail: rate, ..FaultRates::none() },
+                ),
+                quarantine_after,
+                ..CampaignConfig::default()
+            };
+            Campaign::oracle(&c, terminals.clone(), config, 33).run_with_stats(from, 25)
+        };
+        let (clean_obs, clean_stats) = run(0.0, 2);
+        assert_eq!(clean_stats.quarantined_sats, 0);
+        assert_eq!(clean_stats.masked_propagations, 0);
+
+        let (faulty_obs, faulty_stats) = run(0.4, 2);
+        assert!(faulty_stats.quarantined_sats > 0, "40% failure rate must quarantine");
+        assert!(faulty_stats.masked_propagations > 0);
+        let visible =
+            |os: &[SlotObservation]| -> usize { os.iter().map(|o| o.available.len()).sum() };
+        assert!(
+            visible(&faulty_obs) < visible(&clean_obs),
+            "masked propagations should shrink the available lists"
+        );
+        // Every satellite the campaign still reports was actually usable.
+        for o in &faulty_obs {
+            if let Some(ch) = &o.chosen {
+                assert!(o.available.iter().any(|a| a.norad_id == ch.norad_id));
+            }
+        }
     }
 
     #[test]

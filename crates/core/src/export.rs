@@ -117,6 +117,9 @@ pub fn from_csv(text: &str) -> Result<Vec<SlotObservation>, DatasetError> {
                 available: Vec::new(),
                 chosen: None,
                 truth_id,
+                // The CSV schema predates the outcome taxonomy and does
+                // not carry it; imports are explicitly unrecorded.
+                outcome: crate::degrade::SlotOutcome::Unrecorded,
             });
         }
         // `out` is non-empty here (pushed above when needed); stay total

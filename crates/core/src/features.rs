@@ -198,6 +198,7 @@ mod tests {
             available,
             chosen,
             truth_id: None,
+            outcome: crate::degrade::SlotOutcome::Unrecorded,
         }
     }
 

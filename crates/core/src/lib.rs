@@ -38,6 +38,7 @@
 
 pub mod campaign;
 pub mod characterize;
+pub mod degrade;
 pub mod export;
 pub mod features;
 pub mod model;
@@ -45,6 +46,7 @@ pub mod report;
 pub mod vantage;
 
 pub use campaign::{Campaign, CampaignConfig, SatObs, SlotObservation};
+pub use degrade::{DegradationStats, DegradeReason, SlotOutcome};
 pub use features::{ClusterKey, ClusterVocabulary, FeatureExtractor};
 pub use model::{train_and_evaluate, ModelEvaluation};
 pub use vantage::paper_terminals;

@@ -14,6 +14,7 @@
 //! | `fig8` | Figure 8 (model vs baseline top-k accuracy) |
 //! | `tab_ident` | §4.1 validation (identification accuracy, staleness sweep) |
 //! | `tab_importance` | §6 feature-importance table |
+//! | `chaos_soak` | robustness soak: seeded fault tiers, degradation monotonicity |
 //!
 //! All binaries share one deterministic world (seed 42, constellation and
 //! campaign window below), print the figure's series as an aligned table,

@@ -1,0 +1,207 @@
+//! Integration tests for the propagation schedule and catalog corruptor.
+
+use proptest::prelude::*;
+use starsense_faults::{FaultPlan, FaultRates, PropagationSchedule, TleFault};
+
+fn ids(n: u32) -> Vec<u32> {
+    (0..n).map(|i| 44000 + i).collect()
+}
+
+fn plan(seed: u64, p: f64) -> FaultPlan {
+    FaultPlan::new(seed, FaultRates { propagation_fail: p, ..FaultRates::none() })
+}
+
+#[test]
+fn schedule_masks_every_raw_fault() {
+    let p = plan(11, 0.2);
+    let sats = ids(40);
+    let sched = PropagationSchedule::build(&p, &sats, 100, 64, 0);
+    let mut raw = 0;
+    for (s, &id) in sats.iter().enumerate() {
+        for k in 0..64 {
+            if p.propagation_fails(id, 100 + k as i64) {
+                raw += 1;
+                assert!(sched.masked(s, k), "raw fault at ({s}, {k}) not masked");
+            } else {
+                // quarantine_after == 0: no widening beyond raw faults.
+                assert!(!sched.masked(s, k));
+            }
+        }
+    }
+    assert_eq!(sched.raw_fault_count(), raw);
+    assert_eq!(sched.masked_slot_count(), raw);
+    assert_eq!(sched.quarantined_count(), 0);
+}
+
+#[test]
+fn quarantine_widens_the_mask_monotonically() {
+    let p = plan(13, 0.35);
+    let sats = ids(30);
+    let loose = PropagationSchedule::build(&p, &sats, 0, 80, 0);
+    let strict = PropagationSchedule::build(&p, &sats, 0, 80, 3);
+    assert!(strict.masked_slot_count() >= loose.masked_slot_count());
+    assert!(strict.quarantined_count() > 0, "rate 0.35 over 80 slots must quarantine someone");
+    for (s, _) in sats.iter().enumerate() {
+        // Once masked by quarantine, a satellite stays masked: the set of
+        // masked slots from the first quarantine point is a suffix.
+        let mut in_quarantine = false;
+        for k in 0..80 {
+            if loose.masked(s, k) {
+                assert!(strict.masked(s, k));
+            }
+            let widened = strict.masked(s, k) && !loose.masked(s, k);
+            if widened {
+                in_quarantine = true;
+            }
+            if in_quarantine {
+                assert!(strict.masked(s, k), "quarantine released sat {s} at slot {k}");
+            }
+        }
+        if in_quarantine {
+            assert!(strict.quarantined(s));
+        }
+    }
+}
+
+#[test]
+fn full_rate_quarantines_everyone_immediately() {
+    let p = plan(1, 1.0);
+    let sats = ids(5);
+    let sched = PropagationSchedule::build(&p, &sats, 0, 10, 1);
+    assert_eq!(sched.quarantined_count(), 5);
+    assert_eq!(sched.masked_slot_count(), 50);
+    for s in 0..5 {
+        for k in 0..10 {
+            assert!(sched.masked(s, k));
+        }
+    }
+}
+
+#[test]
+fn schedule_is_reproducible_and_bounds_safe() {
+    let p = plan(77, 0.25);
+    let sats = ids(20);
+    let a = PropagationSchedule::build(&p, &sats, 500, 33, 2);
+    let b = PropagationSchedule::build(&p, &sats, 500, 33, 2);
+    for s in 0..20 {
+        for k in 0..33 {
+            assert_eq!(a.masked(s, k), b.masked(s, k));
+        }
+    }
+    assert!(!a.masked(19, 33), "slot out of range must read false");
+    assert!(!a.masked(20, 0), "sat out of range must read false");
+    assert!(!a.quarantined(99));
+}
+
+#[test]
+fn masked_count_is_monotone_in_rate() {
+    let sats = ids(50);
+    let mut prev = 0;
+    for &rate in &[0.0, 0.1, 0.3, 0.7, 1.0] {
+        let sched = PropagationSchedule::build(&plan(9, rate), &sats, 0, 40, 0);
+        assert!(sched.masked_slot_count() >= prev, "masked count not monotone at rate {rate}");
+        prev = sched.masked_slot_count();
+    }
+}
+
+/// A structurally valid (if astronomically meaningless) TLE pair: 69
+/// columns, correct line numbers, correct mod-10 checksums.
+fn fake_record(norad: u32) -> (String, String) {
+    fn with_checksum(body: &str) -> String {
+        let sum: u32 = body
+            .bytes()
+            .map(|b| match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'-' => 1,
+                _ => 0,
+            })
+            .sum();
+        format!("{body}{}", sum % 10)
+    }
+    let l1 = with_checksum(&format!(
+        "1 {norad:05}U 19074A   23152.50000000  .00001000  00000+0  70000-4 0  999"
+    ));
+    let l2 = with_checksum(&format!(
+        "2 {norad:05}  53.0536 123.4567 0001450  90.1234 270.4321 15.0612345612345"
+    ));
+    (l1, l2)
+}
+
+fn fake_catalog(n: u32) -> String {
+    let mut text = String::new();
+    for i in 0..n {
+        let (l1, l2) = fake_record(44000 + i);
+        text.push_str(&format!("STARLINK-{i}\n{l1}\n{l2}\n"));
+    }
+    text
+}
+
+#[test]
+fn fault_free_corruption_is_identity() {
+    let text = fake_catalog(12);
+    assert_eq!(FaultPlan::none().corrupt_catalog_text(&text), text);
+    let zero = FaultPlan::new(5, FaultRates::none());
+    assert_eq!(zero.corrupt_catalog_text(&text), text);
+}
+
+#[test]
+fn full_rate_corruption_touches_every_record() {
+    let p = FaultPlan::new(3, FaultRates { tle_corrupt: 1.0, ..FaultRates::none() });
+    let text = fake_catalog(30);
+    let out = p.corrupt_catalog_text(&text);
+    assert_eq!(out.lines().count(), text.lines().count(), "line structure must survive");
+    let mut kinds = [0usize; 3];
+    for (rec, (orig, got)) in text.lines().zip(out.lines()).enumerate() {
+        if rec % 3 == 0 {
+            assert_eq!(orig, got, "title lines must pass through");
+            continue;
+        }
+        match p.tle_fault((rec / 3) as u64) {
+            TleFault::ChecksumFlip => {
+                if rec % 3 == 1 {
+                    assert_ne!(orig, got);
+                    kinds[0] += 1;
+                }
+            }
+            TleFault::Truncate { keep } => {
+                if rec % 3 == 2 {
+                    assert_eq!(got.len(), keep.min(orig.len()));
+                    kinds[1] += 1;
+                }
+            }
+            TleFault::NanField => {
+                if rec % 3 == 2 {
+                    assert!(got.contains("NaN"), "line 2 should carry the NaN field");
+                    kinds[2] += 1;
+                }
+            }
+            TleFault::None => panic!("rate 1.0 produced TleFault::None"),
+        }
+    }
+    assert!(kinds.iter().all(|&k| k > 0), "30 records should hit every kind: {kinds:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seed/rate: corruption preserves titles and the record count,
+    /// and the same plan applied twice gives byte-identical output.
+    #[test]
+    fn corruption_is_structure_preserving_and_deterministic(
+        seed in 0u64..10_000,
+        millis in 0u64..=1000,
+    ) {
+        let rate = millis as f64 / 1000.0;
+        let p = FaultPlan::new(seed, FaultRates { tle_corrupt: rate, ..FaultRates::none() });
+        let text = fake_catalog(10);
+        let a = p.corrupt_catalog_text(&text);
+        let b = p.corrupt_catalog_text(&text);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.lines().count(), text.lines().count());
+        for (orig, got) in text.lines().zip(a.lines()) {
+            if !orig.starts_with("1 ") && !orig.starts_with("2 ") {
+                prop_assert_eq!(orig, got);
+            }
+        }
+    }
+}

@@ -9,7 +9,8 @@
 use starsense_astro::frames::Geodetic;
 use starsense_astro::time::JulianDate;
 use starsense_constellation::Constellation;
-use starsense_obstruction::{paint, ObstructionMap};
+use starsense_faults::{FaultPlan, FaultRng, FrameFault};
+use starsense_obstruction::{paint, ObstructionMap, MAP_SIZE};
 use starsense_scheduler::slots::SLOT_PERIOD_SECONDS;
 
 /// An obstruction-map snapshot taken at the end of a slot, as
@@ -26,6 +27,37 @@ pub struct SlotCapture {
     pub after_reset: bool,
 }
 
+/// How one obstruction-frame *fetch* resolved (the fault channel of
+/// [`DishSimulator::play_slot_faulted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameStatus {
+    /// A clean, current bitmap.
+    Fresh,
+    /// The bitmap as it stood before this slot's trail was painted — a
+    /// late gRPC response serving the previous state.
+    Stale,
+    /// A current bitmap with a burst of flipped pixels.
+    Corrupted,
+    /// Every fetch attempt (including retries) returned nothing.
+    Dropped,
+}
+
+/// Result of a fault-aware frame fetch: the capture (absent when every
+/// attempt dropped), how the fetch resolved, and how many attempts it
+/// took. The dish's own state machine (reset policy, painting) always
+/// advances regardless — faults model the telemetry channel, not the
+/// dish.
+#[derive(Debug, Clone)]
+pub struct FrameFetch {
+    /// The fetched capture; `None` only when `status` is
+    /// [`FrameStatus::Dropped`].
+    pub capture: Option<SlotCapture>,
+    /// How the fetch resolved.
+    pub status: FrameStatus,
+    /// Fetch attempts made (1 = first attempt succeeded).
+    pub attempts: u32,
+}
+
 /// Simulates the dish's obstruction-map behaviour for one terminal.
 #[derive(Debug, Clone)]
 pub struct DishSimulator {
@@ -37,6 +69,11 @@ pub struct DishSimulator {
     /// Samples painted per slot (the dish tracks continuously; ~1 Hz
     /// sampling keeps the Bresenham trail identical to a continuous one).
     samples_per_slot: u32,
+    /// Whether the map was blanked since the last *successful* fetch —
+    /// dropped frames can hide a reset from the client, and the next
+    /// capture it does get must still carry `after_reset` so XOR chains
+    /// across the blank are discarded.
+    reset_since_fetch: bool,
 }
 
 impl DishSimulator {
@@ -48,11 +85,21 @@ impl DishSimulator {
             reset_every_slots: 40,
             slots_since_reset: 0,
             samples_per_slot: 16,
+            reset_since_fetch: false,
         }
     }
 
     /// Overrides the reset cadence (0 = never reset, for the 2-day
     /// saturation run of §4.1).
+    ///
+    /// The cadence counts *played* slots, and the check runs at the
+    /// **start** of a slot, before painting: with a cadence of `n`, slots
+    /// `0..n` paint onto one accumulating map, and the slot that would be
+    /// the `n`-th since the last blank first wipes the map and then
+    /// paints — its capture is flagged [`SlotCapture::after_reset`] and
+    /// shows only that slot's own trail. The counter restarts at every
+    /// blank, whether it came from this policy or from an explicit
+    /// [`DishSimulator::reset`] call.
     pub fn with_reset_every_slots(mut self, slots: u32) -> DishSimulator {
         self.reset_every_slots = slots;
         self
@@ -68,10 +115,37 @@ impl DishSimulator {
         &self.map
     }
 
-    /// Forces a terminal reset (blank map).
+    /// Forces a terminal reset: blanks the map and restarts the reset
+    /// cadence counter, exactly as the periodic policy does. The *next*
+    /// capture a client receives after this call carries
+    /// [`SlotCapture::after_reset`] `= true` (even if intervening
+    /// fetches were dropped), telling the identification pipeline that
+    /// an XOR against any earlier capture is meaningless.
     pub fn reset(&mut self) {
         self.map = ObstructionMap::new();
         self.slots_since_reset = 0;
+        self.reset_since_fetch = true;
+    }
+
+    /// Advances the dish state machine by one slot: applies the reset
+    /// policy and paints the serving satellite's true sky track.
+    fn advance_slot(
+        &mut self,
+        constellation: &Constellation,
+        slot_start: JulianDate,
+        serving: Option<u32>,
+    ) {
+        if self.reset_every_slots > 0 && self.slots_since_reset >= self.reset_every_slots {
+            self.reset();
+        }
+        self.slots_since_reset += 1;
+
+        if let Some(id) = serving {
+            if let Some(sat) = constellation.get(id) {
+                let samples = sky_track(sat, self.location, slot_start, self.samples_per_slot);
+                paint(&mut self.map, &samples);
+            }
+        }
     }
 
     /// Plays one slot: applies the reset policy, paints the serving
@@ -87,21 +161,96 @@ impl DishSimulator {
         slot_start: JulianDate,
         serving: Option<u32>,
     ) -> SlotCapture {
-        let mut after_reset = false;
-        if self.reset_every_slots > 0 && self.slots_since_reset >= self.reset_every_slots {
-            self.reset();
-            after_reset = true;
-        }
-        self.slots_since_reset += 1;
-
-        if let Some(id) = serving {
-            if let Some(sat) = constellation.get(id) {
-                let samples = sky_track(sat, self.location, slot_start, self.samples_per_slot);
-                paint(&mut self.map, &samples);
-            }
-        }
-
+        self.advance_slot(constellation, slot_start, serving);
+        let after_reset = self.reset_since_fetch;
+        self.reset_since_fetch = false;
         SlotCapture { slot, slot_start, map: self.map.clone(), after_reset }
+    }
+
+    /// [`DishSimulator::play_slot`] with a fault-injected fetch channel.
+    ///
+    /// The dish state machine advances exactly as in `play_slot` — resets
+    /// and painting are unaffected by telemetry faults — but the
+    /// *snapshot fetch* consults `plan` (keyed by `terminal`, `slot`, and
+    /// the attempt number, so the schedule is reproducible and
+    /// thread-order independent):
+    ///
+    /// - **Dropped** attempts are retried up to `max_retries` times; if
+    ///   all attempts drop, the result carries no capture and any reset
+    ///   stays pending for the next successful fetch.
+    /// - A **stale** fetch returns the map as it stood before this slot's
+    ///   trail was painted (a late response).
+    /// - A **corrupted** fetch returns the current map with a burst of
+    ///   deterministically flipped pixels; the dish's own map is *not*
+    ///   modified.
+    ///
+    /// With a fault-free plan this is bit-identical to `play_slot` (one
+    /// attempt, `Fresh`, same capture).
+    pub fn play_slot_faulted(
+        &mut self,
+        constellation: &Constellation,
+        slot: i64,
+        slot_start: JulianDate,
+        serving: Option<u32>,
+        plan: &FaultPlan,
+        terminal: u64,
+        max_retries: u32,
+    ) -> FrameFetch {
+        // Resolve the fetch outcome first (pure in (plan, keys)): the
+        // attempt loop stops at the first non-dropped attempt.
+        let mut status = FrameStatus::Dropped;
+        let mut salt = 0u64;
+        let mut attempts = max_retries + 1;
+        for attempt in 0..=max_retries {
+            match plan.frame_fault(terminal, slot, attempt) {
+                FrameFault::Dropped => continue,
+                FrameFault::None => status = FrameStatus::Fresh,
+                FrameFault::Stale => status = FrameStatus::Stale,
+                FrameFault::Corrupt { salt: s } => {
+                    status = FrameStatus::Corrupted;
+                    salt = s;
+                }
+            }
+            attempts = attempt + 1;
+            break;
+        }
+
+        // The state machine always advances; a stale fetch needs the
+        // post-reset, pre-paint map.
+        let will_reset =
+            self.reset_every_slots > 0 && self.slots_since_reset >= self.reset_every_slots;
+        let pre_paint = if status == FrameStatus::Stale {
+            Some(if will_reset { ObstructionMap::new() } else { self.map.clone() })
+        } else {
+            None
+        };
+        self.advance_slot(constellation, slot_start, serving);
+
+        let map = match (status, pre_paint) {
+            (FrameStatus::Dropped, _) => {
+                return FrameFetch { capture: None, status, attempts };
+            }
+            (FrameStatus::Stale, Some(m)) => m,
+            (FrameStatus::Corrupted, _) => {
+                let mut m = self.map.clone();
+                let mut rng = FaultRng::from_salt(salt);
+                let flips = 1 + rng.below(24);
+                for _ in 0..flips {
+                    let x = rng.below(MAP_SIZE as u64) as usize;
+                    let y = rng.below(MAP_SIZE as u64) as usize;
+                    m.set(x, y, !m.get(x, y));
+                }
+                m
+            }
+            (_, _) => self.map.clone(),
+        };
+        let after_reset = self.reset_since_fetch;
+        self.reset_since_fetch = false;
+        FrameFetch {
+            capture: Some(SlotCapture { slot, slot_start, map, after_reset }),
+            status,
+            attempts,
+        }
     }
 }
 
@@ -196,6 +345,144 @@ mod tests {
             let cap = dish.play_slot(&c, k, start.plus_seconds(15.0 * k as f64), Some(id));
             assert!(!cap.after_reset);
         }
+    }
+
+    use starsense_faults::FaultRates;
+
+    fn frame_plan(drop: f64, stale: f64, corrupt: f64) -> FaultPlan {
+        FaultPlan::new(
+            7,
+            FaultRates {
+                frame_drop: drop,
+                frame_stale: stale,
+                frame_corrupt: corrupt,
+                ..FaultRates::none()
+            },
+        )
+    }
+
+    #[test]
+    fn fault_free_faulted_play_matches_play_slot_exactly() {
+        let (c, loc, at) = setup();
+        let start = slot_start(at);
+        let id = a_visible_sat(&c, loc, start);
+        let mut plain = DishSimulator::new(loc).with_reset_every_slots(3);
+        let mut faulted = DishSimulator::new(loc).with_reset_every_slots(3);
+        let plan = FaultPlan::none();
+        for k in 0..8 {
+            let t = start.plus_seconds(15.0 * k as f64);
+            let serving = if k % 4 == 3 { None } else { Some(id) };
+            let a = plain.play_slot(&c, k, t, serving);
+            let b = faulted.play_slot_faulted(&c, k, t, serving, &plan, 0, 2);
+            assert_eq!(b.status, FrameStatus::Fresh);
+            assert_eq!(b.attempts, 1);
+            let cap = b.capture.expect("fresh fetch has a capture");
+            assert_eq!(a.map, cap.map);
+            assert_eq!(a.after_reset, cap.after_reset);
+            assert_eq!(a.slot, cap.slot);
+        }
+    }
+
+    #[test]
+    fn dropped_frames_exhaust_retries_and_return_no_capture() {
+        let (c, loc, at) = setup();
+        let start = slot_start(at);
+        let id = a_visible_sat(&c, loc, start);
+        let mut dish = DishSimulator::new(loc);
+        let fetch =
+            dish.play_slot_faulted(&c, 0, start, Some(id), &frame_plan(1.0, 0.0, 0.0), 0, 2);
+        assert_eq!(fetch.status, FrameStatus::Dropped);
+        assert_eq!(fetch.attempts, 3);
+        assert!(fetch.capture.is_none());
+        // The dish still painted: a later clean fetch shows the trail.
+        let next =
+            dish.play_slot_faulted(&c, 1, start.plus_seconds(15.0), None, &FaultPlan::none(), 0, 0);
+        let cap = next.capture.expect("clean fetch");
+        assert!(cap.map.count_set() >= 3, "dropped-slot trail must persist in the map");
+    }
+
+    #[test]
+    fn stale_frames_return_the_pre_paint_map() {
+        let (c, loc, at) = setup();
+        let start = slot_start(at);
+        let id = a_visible_sat(&c, loc, start);
+        let mut dish = DishSimulator::new(loc);
+        let first = dish
+            .play_slot_faulted(&c, 0, start, Some(id), &FaultPlan::none(), 0, 0)
+            .capture
+            .expect("clean fetch");
+        // Slot 1 serves again but the fetch is stale: the capture must
+        // equal slot 0's end-of-slot map, not include slot 1's trail.
+        let stale = dish.play_slot_faulted(
+            &c,
+            1,
+            start.plus_seconds(15.0),
+            Some(id),
+            &frame_plan(0.0, 1.0, 0.0),
+            0,
+            0,
+        );
+        assert_eq!(stale.status, FrameStatus::Stale);
+        let cap = stale.capture.expect("stale fetch still returns a bitmap");
+        assert_eq!(cap.map, first.map);
+        assert!(dish.map().count_set() >= cap.map.count_set());
+    }
+
+    #[test]
+    fn corrupted_frames_flip_pixels_without_touching_the_dish() {
+        let (c, loc, at) = setup();
+        let start = slot_start(at);
+        let id = a_visible_sat(&c, loc, start);
+        let mut dish = DishSimulator::new(loc);
+        let fetch =
+            dish.play_slot_faulted(&c, 0, start, Some(id), &frame_plan(0.0, 0.0, 1.0), 3, 0);
+        assert_eq!(fetch.status, FrameStatus::Corrupted);
+        let cap = fetch.capture.expect("corrupted fetch returns a bitmap");
+        assert_ne!(&cap.map, dish.map(), "corruption must alter the returned copy");
+        // Corruption is deterministic: replaying the same dish and plan
+        // reproduces the identical corrupted bitmap.
+        let mut dish2 = DishSimulator::new(loc);
+        let fetch2 =
+            dish2.play_slot_faulted(&c, 0, start, Some(id), &frame_plan(0.0, 0.0, 1.0), 3, 0);
+        assert_eq!(cap.map, fetch2.capture.expect("same plan").map);
+    }
+
+    #[test]
+    fn reset_during_dropped_frames_reaches_the_next_successful_fetch() {
+        let (c, loc, at) = setup();
+        let start = slot_start(at);
+        let id = a_visible_sat(&c, loc, start);
+        // Reset cadence 2: slot 2 blanks the map. Drop exactly that
+        // slot's fetch; the *next* successful capture must still carry
+        // `after_reset` so XOR chains across the blank are discarded.
+        let mut dish = DishSimulator::new(loc).with_reset_every_slots(2);
+        let none = FaultPlan::none();
+        let drop_all = frame_plan(1.0, 0.0, 0.0);
+        for k in 0..2 {
+            let f = dish.play_slot_faulted(
+                &c,
+                k,
+                start.plus_seconds(15.0 * k as f64),
+                Some(id),
+                &none,
+                0,
+                0,
+            );
+            assert!(!f.capture.expect("clean").after_reset);
+        }
+        let dropped =
+            dish.play_slot_faulted(&c, 2, start.plus_seconds(30.0), Some(id), &drop_all, 0, 0);
+        assert_eq!(dropped.status, FrameStatus::Dropped);
+        let after = dish.play_slot_faulted(&c, 3, start.plus_seconds(45.0), Some(id), &none, 0, 0);
+        let cap = after.capture.expect("clean fetch after the blackout");
+        assert!(
+            cap.after_reset,
+            "the reset hidden behind the dropped frame must surface in the next capture"
+        );
+        // And an explicit reset behaves the same way.
+        dish.reset();
+        let next = dish.play_slot_faulted(&c, 4, start.plus_seconds(60.0), Some(id), &none, 0, 0);
+        assert!(next.capture.expect("clean").after_reset);
     }
 
     #[test]

@@ -31,10 +31,11 @@ pub mod track_cache;
 pub mod validate;
 
 pub use candidates::{candidate_tracks, candidate_tracks_through, CandidateTrack};
-pub use dish::{DishSimulator, SlotCapture};
+pub use dish::{DishSimulator, FrameFetch, FrameStatus, SlotCapture};
 pub use pipeline::{
-    identify_from_trajectory, identify_from_trajectory_counted, identify_slot,
-    identify_slot_through, identify_slot_tracked, IdentifiedSat, CANDIDATE_SAMPLES_PER_SLOT,
+    classify_identification, identify_from_trajectory, identify_from_trajectory_counted,
+    identify_slot, identify_slot_through, identify_slot_tracked, verdict_slot_tracked,
+    IdentVerdict, IdentifiedSat, NoDataReason, CANDIDATE_SAMPLES_PER_SLOT, DEFAULT_MIN_MARGIN,
     MIN_CANDIDATE_ELEVATION_DEG,
 };
 pub use track_cache::{prefilter_margin_deg, TrackCache, TrackCacheStats};

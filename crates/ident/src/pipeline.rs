@@ -57,6 +57,81 @@ impl IdentifiedSat {
     }
 }
 
+/// Why a slot produced no identification at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoDataReason {
+    /// The XOR of consecutive captures left no trail (outage slot, or
+    /// the serving satellite's trail fully overlapped an earlier one).
+    EmptyTrail,
+    /// The trail has fewer than 3 pixels — XOR noise, not a trajectory.
+    TinyTrail,
+    /// No published-TLE candidate was in view of the terminal.
+    NoCandidates,
+}
+
+/// A sensible default confidence cutoff for [`IdentVerdict`]: matches
+/// whose winner beat the runner-up by less than 5% are ambiguous. The
+/// legacy `identify_slot*` entry points use 0.0 (always report the best
+/// match), which keeps their behaviour unchanged.
+pub const DEFAULT_MIN_MARGIN: f64 = 0.05;
+
+/// Identification outcome for one slot — the graceful-degradation
+/// counterpart of `Option<IdentifiedSat>`: instead of forcing the best
+/// match, low-confidence matches and empty slots are reported as what
+/// they are.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IdentVerdict {
+    /// A match that cleared the confidence threshold.
+    Identified {
+        /// The winning satellite.
+        sat: IdentifiedSat,
+        /// The winner's [`IdentifiedSat::margin`], in `[0, 1]`.
+        confidence: f64,
+    },
+    /// A best match exists but its margin fell below the threshold — the
+    /// runner-up is close enough that reporting the winner as fact would
+    /// be a guess.
+    Ambiguous {
+        /// The sub-threshold best match (its margin is the evidence).
+        best: IdentifiedSat,
+    },
+    /// There was nothing to match.
+    NoData(NoDataReason),
+}
+
+impl IdentVerdict {
+    /// The best match regardless of confidence, when one exists.
+    pub fn best(&self) -> Option<&IdentifiedSat> {
+        match self {
+            IdentVerdict::Identified { sat, .. } => Some(sat),
+            IdentVerdict::Ambiguous { best } => Some(best),
+            IdentVerdict::NoData(_) => None,
+        }
+    }
+
+    /// The match, only if it cleared the threshold.
+    pub fn identified(&self) -> Option<&IdentifiedSat> {
+        match self {
+            IdentVerdict::Identified { sat, .. } => Some(sat),
+            _ => None,
+        }
+    }
+}
+
+/// Applies the confidence threshold to a raw match: margins strictly
+/// below `min_margin` become [`IdentVerdict::Ambiguous`]. A
+/// `min_margin` of 0.0 never rejects (margins are non-negative), which
+/// is how the legacy always-best-match entry points are expressed in
+/// terms of this function.
+pub fn classify_identification(sat: IdentifiedSat, min_margin: f64) -> IdentVerdict {
+    let confidence = sat.margin();
+    if confidence < min_margin {
+        IdentVerdict::Ambiguous { best: sat }
+    } else {
+        IdentVerdict::Identified { sat, confidence }
+    }
+}
+
 /// Cascaded, pruned 1-NN over both orientations of every candidate — a
 /// track is tried in both directions because a bitmap has no arrow of time,
 /// and the smaller of the two alignments counts.
@@ -206,13 +281,38 @@ pub fn identify_slot_tracked(
     curr: &ObstructionMap,
     slot_start: JulianDate,
 ) -> Option<IdentifiedSat> {
+    match verdict_slot_tracked(tracks, prev, curr, slot_start, 0.0) {
+        IdentVerdict::Identified { sat, .. } | IdentVerdict::Ambiguous { best: sat } => Some(sat),
+        IdentVerdict::NoData(_) => None,
+    }
+}
+
+/// [`identify_slot_tracked`] with the degradation taxonomy surfaced: the
+/// result distinguishes *why* nothing was identified (empty vs. tiny
+/// trail, no candidates) and demotes matches whose margin falls below
+/// `min_margin` to [`IdentVerdict::Ambiguous`] instead of forcing the
+/// best match. With `min_margin = 0.0` the best match is always
+/// reported, bit-identical to `identify_slot_tracked`.
+pub fn verdict_slot_tracked(
+    tracks: &mut crate::TrackCache<'_, '_>,
+    prev: &ObstructionMap,
+    curr: &ObstructionMap,
+    slot_start: JulianDate,
+    min_margin: f64,
+) -> IdentVerdict {
     let isolated_map = isolate(prev, curr);
     let trajectory = extract_trajectory(&isolated_map);
+    if trajectory.is_empty() {
+        return IdentVerdict::NoData(NoDataReason::EmptyTrail);
+    }
     if trajectory.len() < 3 {
-        return None;
+        return IdentVerdict::NoData(NoDataReason::TinyTrail);
     }
     let candidates = tracks.candidate_tracks(slot_start);
-    match_candidates(&trajectory, &candidates).map(|(id, _)| id)
+    match match_candidates(&trajectory, &candidates) {
+        None => IdentVerdict::NoData(NoDataReason::NoCandidates),
+        Some((sat, _)) => classify_identification(sat, min_margin),
+    }
 }
 
 /// The matching half of the pipeline, for callers that already extracted a
@@ -423,6 +523,77 @@ mod tests {
         assert_eq!(b.margin(), 1.0);
         let c = IdentifiedSat { distance: 30.0, runner_up: 20.0, ..a };
         assert_eq!(c.margin(), 0.0);
+    }
+
+    #[test]
+    fn verdict_distinguishes_nodata_reasons_and_thresholds() {
+        let (c, loc, start) = setup();
+        let truth = c.field_of_view(loc, start, 45.0);
+        let serving = truth.first().expect("a high satellite").norad_id;
+        let mut dish = DishSimulator::new(loc);
+        let prev = dish.map().clone();
+        let cap = dish.play_slot(&c, slot_index(start), start, Some(serving));
+
+        let cache = starsense_constellation::PropagationCache::new(&c);
+        let mut tracks = crate::TrackCache::new(&cache, loc, 25.0, 16);
+
+        // Blank XOR → EmptyTrail.
+        let blank = ObstructionMap::new();
+        assert_eq!(
+            verdict_slot_tracked(&mut tracks, &blank, &blank, start, 0.0),
+            IdentVerdict::NoData(NoDataReason::EmptyTrail)
+        );
+
+        // A 2-pixel residue → TinyTrail.
+        let mut two = ObstructionMap::new();
+        two.set(60, 60, true);
+        two.set(61, 60, true);
+        assert_eq!(
+            verdict_slot_tracked(&mut tracks, &blank, &two, start, 0.0),
+            IdentVerdict::NoData(NoDataReason::TinyTrail)
+        );
+
+        // min_margin 0.0 reproduces the legacy best match...
+        let legacy = identify_slot_tracked(&mut tracks, &prev, &cap.map, start)
+            .expect("legacy identification");
+        let v = verdict_slot_tracked(&mut tracks, &prev, &cap.map, start, 0.0);
+        match &v {
+            IdentVerdict::Identified { sat, confidence } => {
+                assert_eq!(sat, &legacy);
+                assert_eq!(confidence.to_bits(), legacy.margin().to_bits());
+            }
+            other => panic!("expected Identified, got {other:?}"),
+        }
+        // ...and an impossible threshold demotes the same match to
+        // Ambiguous instead of inventing a different answer.
+        let strict = verdict_slot_tracked(&mut tracks, &prev, &cap.map, start, 1.1);
+        match strict {
+            IdentVerdict::Ambiguous { best } => assert_eq!(best, legacy),
+            other => panic!("expected Ambiguous at min_margin 1.1, got {other:?}"),
+        }
+        assert!(v.best().is_some());
+        assert!(v.identified().is_some());
+        assert!(IdentVerdict::NoData(NoDataReason::EmptyTrail).best().is_none());
+    }
+
+    #[test]
+    fn classify_identification_respects_threshold_boundaries() {
+        let sat = IdentifiedSat {
+            norad_id: 9,
+            distance: 5.0,
+            runner_up: 20.0, // margin 0.75
+            n_candidates: 3,
+            trail_pixels: 12,
+        };
+        assert!(matches!(
+            classify_identification(sat.clone(), 0.75),
+            IdentVerdict::Identified { .. } // not strictly below threshold
+        ));
+        assert!(matches!(
+            classify_identification(sat.clone(), 0.76),
+            IdentVerdict::Ambiguous { .. }
+        ));
+        assert!(matches!(classify_identification(sat, 0.0), IdentVerdict::Identified { .. }));
     }
 
     #[test]

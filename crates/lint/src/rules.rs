@@ -12,6 +12,7 @@
 //! | P102 | `.expect()` in library code |
 //! | P103 | `panic!` in library code |
 //! | P104 | `unimplemented!` / `todo!` in library code |
+//! | F101 | `.unwrap()` / `.expect()` on a fault-handling path |
 //! | Q101 | `==` / `!=` with a float operand |
 //! | Q201 | `println!`/`print!`/`eprintln!`/`eprint!`/`dbg!` in library code |
 //! | Q301 | crate root missing `#![warn(missing_docs)]` |
@@ -81,6 +82,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("P102", ".expect() in library code"),
     ("P103", "panic! in library code"),
     ("P104", "unimplemented!/todo! in library code"),
+    ("F101", "unwrap()/expect() on a fault-handling path (file uses fault-injection types)"),
     ("Q101", "== or != comparison with a float operand"),
     ("Q201", "debug printing (println!/print!/eprintln!/eprint!/dbg!) in library code"),
     ("Q301", "crate root missing #![warn(missing_docs)]"),
@@ -91,6 +93,30 @@ pub const RULES: &[(&str, &str)] = &[
 fn known_code(code: &str) -> Option<&'static str> {
     RULES.iter().map(|(c, _)| *c).find(|c| *c == code)
 }
+
+/// Type and function names whose presence in a file's library code marks
+/// it as a fault-handling path: code here is expected to degrade
+/// gracefully, so `F101` demands a second, fault-specific justification
+/// for every `unwrap()`/`expect()` on top of the generic P-series allow.
+const FAULT_PATH_MARKERS: &[&str] = &[
+    "FaultPlan",
+    "FaultRates",
+    "FaultRng",
+    "FrameFault",
+    "FrameFetch",
+    "FrameStatus",
+    "TleFault",
+    "ProbeBurst",
+    "PropagationSchedule",
+    "SlotOutcome",
+    "DegradeReason",
+    "DegradationStats",
+    "LossCause",
+    "CatalogDefect",
+    "CatalogLoad",
+    "parse_catalog_lossy",
+    "IdentVerdict",
+];
 
 /// A parsed `starlint: allow(...)` directive.
 #[derive(Clone, Debug)]
@@ -348,7 +374,16 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Whether this file's library code references any fault-injection or
+    /// degradation type — making every panic site in it an `F101` as well.
+    fn on_fault_path(&self) -> bool {
+        self.sig.iter().any(|t| {
+            t.kind == TokenKind::Ident && FAULT_PATH_MARKERS.contains(&t.text) && self.lib_code(t)
+        })
+    }
+
     fn check_panics(&mut self) {
+        let fault_path = self.on_fault_path();
         for i in 0..self.sig.len() {
             let tok = self.sig[i];
             if !self.lib_code(&tok) {
@@ -370,6 +405,18 @@ impl<'a> Engine<'a> {
                         "P102",
                         &t,
                         ".expect() can panic; return an error or match explicitly".to_string(),
+                    );
+                }
+                if fault_path && (t2 == "unwrap" || t2 == "expect") {
+                    let t = self.sig[i + 1];
+                    self.emit(
+                        "F101",
+                        &t,
+                        format!(
+                            ".{t2}() on a fault-handling path; faults must degrade into \
+                             outcome/defect buckets, not abort — allow(F101) needs its own \
+                             fault-specific reason"
+                        ),
                     );
                 }
             }
@@ -610,6 +657,77 @@ mod tests {
             }
         "#;
         assert_eq!(codes(src, &lib_ctx()), vec!["D201"]);
+    }
+
+    // ---- F101: fault-handling paths ---------------------------------
+
+    #[test]
+    fn unwrap_on_fault_path_carries_both_codes() {
+        let src = "fn f(p: &FaultPlan, x: Option<u8>) -> u8 { let _ = p; x.unwrap() }";
+        assert_eq!(codes(src, &lib_ctx()), vec!["F101", "P101"]);
+        let src2 = "fn g(o: SlotOutcome, x: Option<u8>) -> u8 { let _ = o; x.expect(\"set\") }";
+        assert_eq!(codes(src2, &lib_ctx()), vec!["F101", "P102"]);
+    }
+
+    #[test]
+    fn files_without_fault_types_stay_p_series_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(codes(src, &lib_ctx()), vec!["P101"]);
+    }
+
+    #[test]
+    fn fault_markers_inside_tests_do_not_mark_the_file() {
+        let src = r#"
+            fn lib_fn(x: Option<u8>) -> u8 { x.unwrap() }
+            #[cfg(test)]
+            mod tests {
+                fn t() { let _ = FaultPlan::none(); }
+            }
+        "#;
+        assert_eq!(codes(src, &lib_ctx()), vec!["P101"]);
+    }
+
+    #[test]
+    fn fault_markers_in_strings_or_comments_do_not_mark_the_file() {
+        let src = r#"
+            // FaultPlan is discussed here only.
+            fn f(x: Option<u8>) -> u8 {
+                let _doc = "FaultRates";
+                x.unwrap()
+            }
+        "#;
+        assert_eq!(codes(src, &lib_ctx()), vec!["P101"]);
+    }
+
+    #[test]
+    fn f101_needs_its_own_allow_on_top_of_the_p_series_one() {
+        // A pre-existing generic allow no longer suffices on fault paths.
+        let partial = r#"
+            fn f(p: &FaultPlan, x: Option<u8>) -> u8 {
+                let _ = p;
+                // starlint: allow(P101, reason = "validated above")
+                x.unwrap()
+            }
+        "#;
+        assert_eq!(codes(partial, &lib_ctx()), vec!["F101"]);
+        // The allowlist pattern: generic reason above, fault-specific
+        // reason inline.
+        let full = r#"
+            fn f(p: &FaultPlan, x: Option<u8>) -> u8 {
+                let _ = p;
+                // starlint: allow(P101, reason = "validated above")
+                x.unwrap() // starlint: allow(F101, reason = "pre-existing site; value checked before any fault can clear it")
+            }
+        "#;
+        assert!(codes(full, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn f101_applies_to_non_simulation_crates_too() {
+        // Graceful degradation is a P/F concern, not a determinism one.
+        let src = "fn f(s: &PropagationSchedule, x: Option<u8>) -> u8 { let _ = s; x.unwrap() }";
+        let ctx = FileContext { simulation: false, ..lib_ctx() };
+        assert_eq!(codes(src, &ctx), vec!["F101", "P101"]);
     }
 
     // ---- no false positives in strings and comments -----------------

@@ -4,12 +4,13 @@ use crate::clock::ClockModel;
 use crate::groundstation::PopSite;
 use crate::loss::GilbertElliott;
 use crate::path::bent_pipe_rtt_ms;
-use crate::trace::{ProbeRecord, RttTrace};
+use crate::trace::{LossCause, ProbeRecord, RttTrace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use starsense_astro::time::JulianDate;
 use starsense_astro::vec3::Vec3;
 use starsense_constellation::{Constellation, Satellite};
+use starsense_faults::{BurstKind, FaultPlan};
 use starsense_scheduler::slots::slot_index;
 use starsense_scheduler::{Allocation, GlobalScheduler, MacScheduler};
 
@@ -33,6 +34,11 @@ pub struct EmulatorConfig {
     pub min_gs_elevation_deg: f64,
     /// Largest number of terminals sharing a satellite's MAC cycle.
     pub max_mac_share: usize,
+    /// Deterministic fault-injection plan. The default
+    /// ([`FaultPlan::none`]) disables injection entirely and leaves probe
+    /// traces bit-identical to a plan-less emulator: fault decisions come
+    /// from counter-based hashes, never from the emulator's RNG stream.
+    pub faults: FaultPlan,
 }
 
 impl Default for EmulatorConfig {
@@ -46,6 +52,7 @@ impl Default for EmulatorConfig {
             handover_window_ms: 120.0,
             min_gs_elevation_deg: 25.0,
             max_mac_share: 6,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -282,36 +289,62 @@ impl<'a> Emulator<'a> {
         let alloc = &cohort.allocations[terminal_id];
         let slot = alloc.slot;
         let serving_sat = alloc.chosen_id();
-        let lost = ProbeRecord { at, seq, rtt_ms: None, owd_up_ms: None, slot, serving_sat };
+        let lost = |cause: LossCause| ProbeRecord {
+            at,
+            seq,
+            rtt_ms: None,
+            owd_up_ms: None,
+            slot,
+            serving_sat,
+            loss: Some(cause),
+        };
 
         // Outage: no satellite assigned.
         let (Some(_), Some((mac, marker))) =
             (alloc.chosen.as_ref(), cohort.macs[terminal_id].as_ref())
         else {
-            return lost;
+            return lost(LossCause::Outage);
         };
 
-        // Loss chain + handover burst.
+        // Loss chain + handover burst. These draws stay first and
+        // unconditional so the RNG stream matches the historical engine
+        // regardless of any fault plan.
         let in_handover =
             at.seconds_since(alloc.slot_start) * 1_000.0 < self.config.handover_window_ms;
         let chain_lost = self.loss_chains[terminal_id].step(&mut self.rng);
         let handover_lost =
             in_handover && self.rng.random_range(0.0..1.0) < self.config.handover_loss_prob;
-        if chain_lost || handover_lost {
-            return lost;
+        if chain_lost {
+            return lost(LossCause::Chain);
+        }
+        if handover_lost {
+            return lost(LossCause::Handover);
+        }
+
+        // Injected probe bursts: decisions come from counter-based hashes
+        // keyed by (terminal, slot, seq), never from `self.rng`, so a
+        // fault-free plan leaves the trace bit-identical.
+        let slot_frac =
+            at.seconds_since(alloc.slot_start) / starsense_scheduler::slots::SLOT_PERIOD_SECONDS;
+        let burst = self.config.faults.probe_burst(terminal_id as u64, slot);
+        if let Some(b) = &burst {
+            if b.kind == BurstKind::Loss && b.covers(slot_frac) {
+                return lost(LossCause::FaultBurst);
+            }
         }
 
         // Current satellite position, propagated once per probe instant at
         // the cohort level.
-        let Some(si) = cohort.serving[terminal_id] else { return lost };
-        let Some(sat_teme) = teme[si] else { return lost };
+        let Some(si) = cohort.serving[terminal_id] else { return lost(LossCause::Outage) };
+        let Some(sat_teme) = teme[si] else { return lost(LossCause::Outage) };
 
         // Bent-pipe geometry through the best ground station.
         let pop = &self.terminal_pops[terminal_id];
         let Some((_gs, gs_range)) =
             pop.best_ground_station(sat_teme, at, self.config.min_gs_elevation_deg)
         else {
-            return lost; // satellite cannot reach any of the PoP's gateways
+            // The satellite cannot reach any of the PoP's gateways.
+            return lost(LossCause::NoGateway);
         };
 
         let terminal = &self.scheduler.terminals()[terminal_id];
@@ -322,12 +355,26 @@ impl<'a> Emulator<'a> {
         let wait = mac.wait_ms(*marker, t_in_slot_ms).unwrap_or(0.0);
 
         let jitter = gauss(&mut self.rng) * self.config.jitter_ms;
-        let rtt = (base + wait + jitter).max(0.1);
+        let fault_jitter = match &burst {
+            Some(b) if b.kind == BurstKind::Jitter && b.covers(slot_frac) => {
+                self.config.faults.burst_jitter_ms(b, terminal_id as u64, slot, seq)
+            }
+            _ => 0.0,
+        };
+        let rtt = (base + wait + jitter + fault_jitter).max(0.1);
 
         // One-way delay as iRTT reports it: uplink share plus clock offset.
         let owd = rtt * 0.55 + self.clocks[terminal_id].offset_ms(at);
 
-        ProbeRecord { at, seq, rtt_ms: Some(rtt), owd_up_ms: Some(owd), slot, serving_sat }
+        ProbeRecord {
+            at,
+            seq,
+            rtt_ms: Some(rtt),
+            owd_up_ms: Some(owd),
+            slot,
+            serving_sat,
+            loss: None,
+        }
     }
 }
 
@@ -487,6 +534,99 @@ mod tests {
             }
         }
         assert!(changes >= 5, "capacity steps: {changes}");
+    }
+
+    #[test]
+    fn zero_length_probe_windows_yield_empty_traces() {
+        let c = ConstellationBuilder::starlink_mini().seed(42).build();
+        let mut emu = setup(&c);
+        let from = JulianDate::from_ymd_hms(2023, 6, 1, 15, 0, 0.0);
+        for duration in [0.0, -5.0, 0.01] {
+            let traces = emu.probe_all(from, duration);
+            assert_eq!(traces.len(), 2);
+            assert!(
+                traces.iter().all(|t| t.records.is_empty()),
+                "duration {duration} produced probes"
+            );
+        }
+        // A window of exactly one probe period carries exactly one probe.
+        let traces = emu.probe_all(from, EmulatorConfig::default().probe_period_ms / 1_000.0);
+        assert!(traces.iter().all(|t| t.records.len() == 1));
+    }
+
+    fn setup_with_faults(constellation: &Constellation, plan: FaultPlan) -> Emulator<'_> {
+        let terminals = vec![
+            Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2)),
+            Terminal::new(1, "Madrid", Geodetic::new(40.42, -3.70, 0.65)),
+        ];
+        let pops = paper_pops();
+        let scheduler = GlobalScheduler::new(SchedulerPolicy::default(), terminals, 77);
+        let config = EmulatorConfig { faults: plan, ..EmulatorConfig::default() };
+        Emulator::new(constellation, scheduler, vec![pops[0].clone(), pops[2].clone()], config, 77)
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_to_no_plan() {
+        use starsense_faults::FaultRates;
+        let c = ConstellationBuilder::starlink_mini().seed(42).build();
+        let from = JulianDate::from_ymd_hms(2023, 6, 1, 15, 0, 0.0);
+        let plain = setup(&c).probe_all(from, 45.0);
+        // A seeded plan whose rates are all zero must not perturb a single
+        // bit: fault decisions never touch the emulator's RNG stream.
+        let faulted =
+            setup_with_faults(&c, FaultPlan::new(12345, FaultRates::none())).probe_all(from, 45.0);
+        for (a, b) in plain.iter().zip(&faulted) {
+            assert_eq!(a.records.len(), b.records.len());
+            for (x, y) in a.records.iter().zip(&b.records) {
+                assert_eq!(x.rtt_ms.map(f64::to_bits), y.rtt_ms.map(f64::to_bits));
+                assert_eq!(x.owd_up_ms.map(f64::to_bits), y.owd_up_ms.map(f64::to_bits));
+                assert_eq!(x.loss, y.loss);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_bursts_inject_marked_loss_and_jitter() {
+        use starsense_faults::FaultRates;
+        let c = ConstellationBuilder::starlink_mini().seed(42).build();
+        let from = JulianDate::from_ymd_hms(2023, 6, 1, 15, 0, 0.0);
+        let plan = FaultPlan::new(5, FaultRates { probe_burst: 1.0, ..FaultRates::none() });
+        let baseline = setup(&c).probe_all(from, 90.0);
+        let chaotic = setup_with_faults(&c, plan).probe_all(from, 90.0);
+
+        // Every lost probe carries a cause; every answered probe none.
+        let mut burst_losses = 0usize;
+        for t in &chaotic {
+            for r in &t.records {
+                assert_eq!(r.loss.is_some(), r.rtt_ms.is_none());
+            }
+            burst_losses += t.losses_by_cause(LossCause::FaultBurst);
+        }
+        // Burst rate 1.0 puts a burst in every (terminal, slot); about
+        // half are loss bursts, so injected losses must show up.
+        assert!(burst_losses > 50, "only {burst_losses} fault-burst losses");
+
+        // Aggregate loss strictly exceeds the organic baseline.
+        let lossrate = |ts: &[RttTrace]| {
+            let total: usize = ts.iter().map(|t| t.records.len()).sum();
+            let lost: usize =
+                ts.iter().map(|t| t.records.iter().filter(|r| r.rtt_ms.is_none()).count()).sum();
+            lost as f64 / total as f64
+        };
+        assert!(lossrate(&chaotic) > lossrate(&baseline));
+
+        // Jitter bursts inflate the upper tail without touching loss.
+        let max_rtt = |ts: &[RttTrace]| ts.iter().flat_map(|t| t.rtts()).fold(0.0_f64, f64::max);
+        assert!(max_rtt(&chaotic) > max_rtt(&baseline) + 10.0, "no jitter burst visible");
+
+        // And the whole chaotic run reproduces bit for bit.
+        let again = setup_with_faults(&c, plan).probe_all(from, 90.0);
+        for (a, b) in chaotic.iter().zip(&again) {
+            for (x, y) in a.records.iter().zip(&b.records) {
+                assert_eq!(x.rtt_ms.map(f64::to_bits), y.rtt_ms.map(f64::to_bits));
+                assert_eq!(x.loss, y.loss);
+            }
+        }
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub use groundstation::{GroundStation, PopSite};
 pub use loss::GilbertElliott;
 pub use path::{bent_pipe_rtt_ms, SPEED_OF_LIGHT_KM_S};
 pub use throughput::{slot_throughput, IperfSender, SlotThroughput};
-pub use trace::{ProbeRecord, RttTrace, SlotWindow};
+pub use trace::{LossCause, ProbeRecord, RttTrace, SlotWindow};

@@ -125,4 +125,34 @@ mod tests {
     fn invalid_probability_panics() {
         let _ = GilbertElliott::new(1.5, 0.1, 0.0, 0.0);
     }
+
+    #[test]
+    fn certain_loss_chain_loses_every_packet() {
+        // p = 1 everywhere: both states always lose, expected loss is
+        // exactly 1, and every step says lost.
+        let mut ge = GilbertElliott::new(1.0, 1.0, 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(ge.expected_loss(), 1.0);
+        assert!((0..10_000).all(|_| ge.step(&mut rng)));
+    }
+
+    #[test]
+    fn boundary_transition_probabilities_are_accepted() {
+        // The degenerate corners of [0, 1] are legal parameters, not
+        // panics: p=0 pins the chain in Good, p=1 makes it alternate.
+        let mut stuck = GilbertElliott::new(0.0, 1.0, 0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            assert!(!stuck.step(&mut rng), "chain left the Good state at p_g2b = 0");
+            assert!(!stuck.in_bad_state());
+        }
+        assert_eq!(stuck.expected_loss(), 0.0);
+
+        // p_g2b = 1, p_b2g = 0: first step enters Bad and never leaves.
+        let mut sink = GilbertElliott::new(1.0, 0.0, 0.0, 1.0);
+        let _ = sink.step(&mut rng);
+        assert!(sink.in_bad_state());
+        assert!((0..1_000).all(|_| sink.step(&mut rng)));
+        assert_eq!(sink.expected_loss(), 1.0);
+    }
 }

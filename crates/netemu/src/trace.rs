@@ -2,7 +2,31 @@
 
 use starsense_astro::time::JulianDate;
 
+/// Why a probe produced no RTT sample.
+///
+/// Real traces only show an unanswered probe; the emulator knows the
+/// mechanism and records it so degradation analyses can tell organic loss
+/// (bursty radio loss, handover gaps) apart from structural loss (no
+/// serving satellite) and injected chaos ([`LossCause::FaultBurst`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossCause {
+    /// The Gilbert-Elliott chain dropped the packet.
+    Chain,
+    /// The extra loss window around the slot boundary ate the packet.
+    Handover,
+    /// No usable serving satellite this slot (none allocated, the catalog
+    /// did not know it, or propagation failed).
+    Outage,
+    /// The serving satellite could not reach any of the PoP's gateways.
+    NoGateway,
+    /// An injected [`starsense_faults::ProbeBurst`] covered the probe.
+    FaultBurst,
+}
+
 /// One probe's outcome.
+///
+/// Invariant: `loss.is_some()` exactly when `rtt_ms.is_none()` — every
+/// lost probe carries its cause, every answered probe carries none.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProbeRecord {
     /// Send time.
@@ -18,6 +42,8 @@ pub struct ProbeRecord {
     pub slot: i64,
     /// Serving satellite during that slot (ground truth; `None` = outage).
     pub serving_sat: Option<u32>,
+    /// Why the probe was lost (`None` for answered probes).
+    pub loss: Option<LossCause>,
 }
 
 /// A contiguous group of probes sharing one scheduler slot.
@@ -59,6 +85,11 @@ impl RttTrace {
     /// Successful RTT samples, in send order.
     pub fn rtts(&self) -> Vec<f64> {
         self.records.iter().filter_map(|r| r.rtt_ms).collect()
+    }
+
+    /// Number of lost probes attributed to `cause`.
+    pub fn losses_by_cause(&self, cause: LossCause) -> usize {
+        self.records.iter().filter(|r| r.loss == Some(cause)).count()
     }
 
     /// Overall loss rate.
@@ -119,6 +150,7 @@ mod tests {
             owd_up_ms: rtt.map(|r| r / 2.0),
             slot,
             serving_sat: Some(44_000 + slot as u32),
+            loss: if rtt.is_none() { Some(LossCause::Chain) } else { None },
         }
     }
 
@@ -152,6 +184,23 @@ mod tests {
         };
         assert!((t.loss_rate() - 0.5).abs() < 1e-12);
         assert_eq!(t.rtts(), vec![20.0]);
+    }
+
+    #[test]
+    fn losses_by_cause_counts_only_matching_markers() {
+        let mut outage = record(0.04, 1, None);
+        outage.loss = Some(LossCause::Outage);
+        let t = RttTrace {
+            terminal_id: 0,
+            records: vec![record(0.0, 1, Some(20.0)), record(0.02, 1, None), outage],
+        };
+        assert_eq!(t.losses_by_cause(LossCause::Chain), 1);
+        assert_eq!(t.losses_by_cause(LossCause::Outage), 1);
+        assert_eq!(t.losses_by_cause(LossCause::FaultBurst), 0);
+        // The invariant: markers appear exactly on the lost records.
+        for r in &t.records {
+            assert_eq!(r.loss.is_some(), r.rtt_ms.is_none());
+        }
     }
 
     #[test]

@@ -100,6 +100,18 @@ impl fmt::Display for TleError {
 
 impl std::error::Error for TleError {}
 
+/// One defect found while lossily parsing a catalog feed — the record
+/// that failed and why, so callers can degrade gracefully (keep the
+/// usable records) while still reporting what was lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogDefect {
+    /// 0-based index of the offending line among the feed's non-blank
+    /// lines.
+    pub line: usize,
+    /// The parse error for that record.
+    pub error: TleError,
+}
+
 /// Computes the TLE modulo-10 checksum of the first 68 columns of a line:
 /// digits count as their value, `-` counts as 1, everything else as 0.
 pub fn checksum(line: &str) -> u32 {
@@ -118,12 +130,27 @@ fn field(line: &str, range: std::ops::Range<usize>) -> &str {
     line.get(range).unwrap_or("").trim()
 }
 
+/// Rejects non-finite values: Rust's `f64` parser happily accepts
+/// `NaN`/`inf` spellings, which a corrupted feed can smuggle past the
+/// checksum (the checksum ignores letters), so every numeric field is
+/// validated semantically as well.
+fn require_finite(v: f64, name: &'static str) -> Result<f64, TleError> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(TleError::BadField { field: name })
+    }
+}
+
 fn parse_f64(
     line: &str,
     range: std::ops::Range<usize>,
     name: &'static str,
 ) -> Result<f64, TleError> {
-    field(line, range).parse().map_err(|_| TleError::BadField { field: name })
+    field(line, range)
+        .parse()
+        .map_err(|_| TleError::BadField { field: name })
+        .and_then(|v| require_finite(v, name))
 }
 
 fn parse_u32(
@@ -164,7 +191,7 @@ fn parse_exp_field(s: &str, name: &'static str) -> Result<f64, TleError> {
     let digits: f64 =
         mantissa_str.trim().parse().map_err(|_| TleError::BadField { field: name })?;
     let scale = 10f64.powi(mantissa_str.trim().len() as i32);
-    Ok(sign * digits / scale * 10f64.powi(exp))
+    require_finite(sign * digits / scale * 10f64.powi(exp), name)
 }
 
 /// Formats a value into the 8-character implied-decimal exponent form.
@@ -255,7 +282,7 @@ impl Tle {
                 let v: f64 = format!("0.{digits}")
                     .parse()
                     .map_err(|_| TleError::BadField { field: "eccentricity" })?;
-                v
+                require_finite(v, "eccentricity")?
             },
             arg_perigee_deg: parse_f64(line2, 34..42, "argument of perigee")?,
             mean_anomaly_deg: parse_f64(line2, 43..51, "mean anomaly")?,
@@ -282,6 +309,57 @@ impl Tle {
             }
         }
         Ok(out)
+    }
+
+    /// Like [`Tle::parse_catalog`], but defects do not abort the parse:
+    /// each failing record is skipped and reported as a
+    /// [`CatalogDefect`], and every record that parses cleanly is kept.
+    /// A feed with no defects returns exactly what `parse_catalog`
+    /// would.
+    ///
+    /// Resynchronization is structural: a line starting with `"1 "`
+    /// opens a record (consuming the following line as its line 2,
+    /// whether or not the pair parses), a stray `"2 "` line is reported
+    /// and skipped, and anything else is treated as a title for the
+    /// next record.
+    pub fn parse_catalog_lossy(text: &str) -> (Vec<Tle>, Vec<CatalogDefect>) {
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut out = Vec::new();
+        let mut defects = Vec::new();
+        let mut pending_name: Option<&str> = None;
+        let mut i = 0;
+        while i < lines.len() {
+            let line = lines[i];
+            if line.starts_with("1 ") {
+                if i + 1 < lines.len() {
+                    match Tle::parse_named(pending_name, line, lines[i + 1]) {
+                        Ok(t) => out.push(t),
+                        Err(error) => defects.push(CatalogDefect { line: i, error }),
+                    }
+                    i += 2;
+                } else {
+                    // A line 1 with nothing after it: the record's line 2
+                    // is missing entirely.
+                    defects.push(CatalogDefect {
+                        line: i,
+                        error: TleError::BadLineNumber { expected: 2 },
+                    });
+                    i += 1;
+                }
+                pending_name = None;
+            } else if line.starts_with("2 ") {
+                defects.push(CatalogDefect {
+                    line: i,
+                    error: TleError::BadLineNumber { expected: 1 },
+                });
+                pending_name = None;
+                i += 1;
+            } else {
+                pending_name = Some(line);
+                i += 1;
+            }
+        }
+        (out, defects)
     }
 
     /// Renders the two element lines, with correct column layout and
@@ -453,6 +531,67 @@ mod tests {
         assert_eq!(cat.len(), 2);
         assert_eq!(cat[0].name.as_deref(), Some("STARLINK-TEST"));
         assert_eq!(cat[1].name, None);
+    }
+
+    /// Rewrites a column range of a line and repairs the checksum so the
+    /// corruption can only be caught by semantic field validation.
+    fn with_field(line: &str, range: std::ops::Range<usize>, text: &str) -> String {
+        let mut s = line.to_string();
+        s.replace_range(range, text);
+        let c = checksum(&s);
+        s.replace_range(68..69, &c.to_string());
+        s
+    }
+
+    #[test]
+    fn nan_and_inf_fields_are_rejected_despite_valid_checksums() {
+        // Mean motion → NaN (the classic smuggle: checksum ignores letters).
+        let l2 = with_field(L2, 52..63, "        NaN");
+        assert_eq!(Tle::parse_lines(L1, &l2), Err(TleError::BadField { field: "mean motion" }));
+        // Inclination → inf.
+        let l2 = with_field(L2, 8..16, "     inf");
+        assert_eq!(Tle::parse_lines(L1, &l2), Err(TleError::BadField { field: "inclination" }));
+        // Epoch day-of-year → NaN on line 1.
+        let l1 = with_field(L1, 20..32, "         NaN");
+        assert_eq!(Tle::parse_lines(&l1, L2), Err(TleError::BadField { field: "epoch day" }));
+    }
+
+    #[test]
+    fn lossy_catalog_matches_strict_on_clean_input() {
+        let text = format!("STARLINK-TEST\n{L1}\n{L2}\n\n{L1}\n{L2}\n");
+        let strict = Tle::parse_catalog(&text).unwrap();
+        let (lossy, defects) = Tle::parse_catalog_lossy(&text);
+        assert_eq!(strict, lossy);
+        assert!(defects.is_empty());
+    }
+
+    #[test]
+    fn lossy_catalog_skips_defective_records_and_reports_them() {
+        let mut bad1 = L1.to_string();
+        bad1.replace_range(68..69, "9"); // checksum flip
+        let truncated2 = &L2[..40];
+        let text =
+            format!("GOOD-A\n{L1}\n{L2}\n{bad1}\n{L2}\nGOOD-B\n{L1}\n{L2}\n{L1}\n{truncated2}\n");
+        let (tles, defects) = Tle::parse_catalog_lossy(&text);
+        assert_eq!(tles.len(), 2);
+        assert_eq!(tles[0].name.as_deref(), Some("GOOD-A"));
+        assert_eq!(tles[1].name.as_deref(), Some("GOOD-B"));
+        assert_eq!(defects.len(), 2);
+        assert!(matches!(defects[0].error, TleError::BadChecksum { line: 1, .. }));
+        assert_eq!(defects[0].line, 3);
+        assert!(matches!(defects[1].error, TleError::LineTooShort { line: 2, .. }));
+    }
+
+    #[test]
+    fn lossy_catalog_handles_stray_and_dangling_lines() {
+        // A stray line 2, then a line 1 with no follower at all.
+        let text = format!("{L2}\n{L1}\n");
+        let (tles, defects) = Tle::parse_catalog_lossy(&text);
+        assert!(tles.is_empty());
+        assert_eq!(defects.len(), 2);
+        assert_eq!(defects[0].error, TleError::BadLineNumber { expected: 1 });
+        assert_eq!(defects[1].error, TleError::BadLineNumber { expected: 2 });
+        assert_eq!(Tle::parse_catalog_lossy(""), (Vec::new(), Vec::new()));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Robustness property tests: the TLE parser must never panic, whatever
+//! bytes a corrupted feed throws at it — byte flips, truncations,
+//! non-ASCII (multi-byte) injections — and must come back with a
+//! `TleError` instead.
+
+use proptest::prelude::*;
+use starsense_sgp4::{Tle, TleError};
+
+const L1: &str = "1 00005U 58002B   00179.78495062  .00000023  00000-0  28098-4 0  4753";
+const L2: &str = "2 00005  34.2682 348.7242 1859667 331.7664  19.3264 10.82419157413667";
+
+/// One mutation applied to a line.
+#[derive(Clone, Debug)]
+enum Mutation {
+    /// Overwrite the byte at `pos % len` with `byte`.
+    Flip { pos: usize, byte: u8 },
+    /// Truncate the line to `keep % (len + 1)` bytes.
+    Truncate { keep: usize },
+    /// Splice a multi-byte UTF-8 snippet at `pos % len`.
+    NonAscii { pos: usize, which: usize },
+}
+
+const SNIPPETS: [&str; 4] = ["é", "∞", "🛰", "ламп"];
+
+fn apply(line: &str, muts: &[Mutation]) -> String {
+    let mut bytes: Vec<u8> = line.as_bytes().to_vec();
+    for m in muts {
+        match *m {
+            Mutation::Flip { pos, byte } => {
+                if !bytes.is_empty() {
+                    let i = pos % bytes.len();
+                    bytes[i] = byte;
+                }
+            }
+            Mutation::Truncate { keep } => {
+                bytes.truncate(keep % (bytes.len() + 1));
+            }
+            Mutation::NonAscii { pos, which } => {
+                let i = if bytes.is_empty() { 0 } else { pos % bytes.len() };
+                let snippet = SNIPPETS[which % SNIPPETS.len()].as_bytes();
+                for (j, &b) in snippet.iter().enumerate() {
+                    if i + j < bytes.len() {
+                        bytes[i + j] = b;
+                    } else {
+                        bytes.push(b);
+                    }
+                }
+            }
+        }
+    }
+    // Invalid UTF-8 produced by partial overwrites becomes U+FFFD, which
+    // is exactly the kind of garbage a real feed can contain.
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn mutation() -> impl Strategy<Value = Mutation> {
+    (0usize..3, 0usize..128, 0usize..256).prop_map(|(kind, pos, extra)| match kind {
+        0 => Mutation::Flip { pos, byte: (extra % 256) as u8 },
+        1 => Mutation::Truncate { keep: pos + extra },
+        _ => Mutation::NonAscii { pos, which: extra },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `parse_lines` / `parse_named` on arbitrarily mutated input either
+    /// succeeds or returns a `TleError` — it never panics, and every
+    /// value it does accept is fully finite.
+    #[test]
+    fn parse_never_panics_on_mutated_lines(
+        m1 in proptest::collection::vec(mutation(), 0..6),
+        m2 in proptest::collection::vec(mutation(), 0..6),
+    ) {
+        let l1 = apply(L1, &m1);
+        let l2 = apply(L2, &m2);
+        let checks = |r: Result<Tle, TleError>| {
+            if let Ok(t) = r {
+                prop_assert!(t.ndot.is_finite());
+                prop_assert!(t.nddot.is_finite());
+                prop_assert!(t.bstar.is_finite());
+                prop_assert!(t.inclination_deg.is_finite());
+                prop_assert!(t.raan_deg.is_finite());
+                prop_assert!(t.eccentricity.is_finite());
+                prop_assert!(t.arg_perigee_deg.is_finite());
+                prop_assert!(t.mean_anomaly_deg.is_finite());
+                prop_assert!(t.mean_motion_rev_day.is_finite());
+            }
+            Ok(())
+        };
+        checks(Tle::parse_lines(&l1, &l2))?;
+        checks(Tle::parse_named(Some("MUTATED 🛰"), &l1, &l2))?;
+        // Swapped and doubled lines must also be handled gracefully.
+        checks(Tle::parse_lines(&l2, &l1))?;
+        checks(Tle::parse_lines(&l1, &l1))?;
+    }
+
+    /// Lossy catalog parsing of a feed with mutated records never
+    /// panics, never invents records, and accounts for every record as
+    /// either parsed or defective (titles aside).
+    #[test]
+    fn lossy_catalog_never_panics_on_mutated_feeds(
+        muts in proptest::collection::vec(
+            (0usize..4, proptest::collection::vec(mutation(), 1..4)),
+            0..6,
+        ),
+    ) {
+        let mut records: Vec<(String, String)> =
+            (0..4).map(|_| (L1.to_string(), L2.to_string())).collect();
+        for (idx, ms) in &muts {
+            let slot = idx % records.len();
+            let (l1, l2) = &mut records[slot];
+            if ms.len() % 2 == 0 {
+                *l1 = apply(l1, ms);
+            } else {
+                *l2 = apply(l2, ms);
+            }
+        }
+        let mut text = String::new();
+        for (i, (l1, l2)) in records.iter().enumerate() {
+            text.push_str(&format!("OBJ-{i}\n{l1}\n{l2}\n"));
+        }
+        let (tles, defects) = Tle::parse_catalog_lossy(&text);
+        prop_assert!(tles.len() <= records.len());
+        // Every clean record must survive: with 4 records and at most 6
+        // mutated ones, parsed + defective covers all line-1 openers.
+        prop_assert!(tles.len() + defects.len() >= 1);
+        for t in &tles {
+            prop_assert!(t.mean_motion_rev_day.is_finite());
+        }
+    }
+}

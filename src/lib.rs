@@ -23,6 +23,8 @@
 //! * [`ident`] — the XOR + DTW satellite-identification pipeline (§4);
 //! * [`stats`] — Mann-Whitney U, ECDFs, Pearson correlation;
 //! * [`forest`] — from-scratch random forests with CV and grid search (§6);
+//! * [`faults`] — seeded deterministic fault injection (dropped frames,
+//!   corrupt TLEs, propagation failures, probe bursts) for chaos testing;
 //! * [`core`] — campaigns, the §5 characterizations and the §6 model.
 //!
 //! # Quickstart
@@ -60,6 +62,7 @@ pub use starsense_astro as astro;
 pub use starsense_constellation as constellation;
 pub use starsense_core as core;
 pub use starsense_dtw as dtw;
+pub use starsense_faults as faults;
 pub use starsense_forest as forest;
 pub use starsense_ident as ident;
 pub use starsense_netemu as netemu;
@@ -77,8 +80,10 @@ pub mod prelude {
     pub use starsense_core::characterize::{
         aoe_analysis, azimuth_analysis, launch_analysis, sunlit_analysis,
     };
+    pub use starsense_core::degrade::{DegradationStats, DegradeReason, SlotOutcome};
     pub use starsense_core::model::train_and_evaluate;
     pub use starsense_core::vantage::paper_terminals;
+    pub use starsense_faults::{FaultPlan, FaultRates};
     pub use starsense_ident::{identify_slot, run_validation, DishSimulator};
     pub use starsense_netemu::{Emulator, EmulatorConfig};
     pub use starsense_scheduler::{GlobalScheduler, MacScheduler, SchedulerPolicy, Terminal};
