@@ -52,6 +52,11 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct PropagationCache<'a> {
     constellation: &'a Constellation,
+    // Determinism audit: these maps are accessed by key only — `get`,
+    // `entry().or_insert`, `len`, `clear`. Hash order is never observed,
+    // so `HashMap`'s O(1) lookups are safe on the terminal-scale hot
+    // path. Any future iteration over them must switch to `BTreeMap` or
+    // sort the keys first (starlint D201/X103 will flag it).
     truth: RwLock<HashMap<u64, Arc<Snapshot>>>,
     published: RwLock<HashMap<u64, Arc<Vec<Option<Vec3>>>>>,
     /// Per-(epoch, satellite) published positions, for callers — like the

@@ -1,0 +1,800 @@
+//! Cross-crate symbol table and call graph.
+//!
+//! The per-file D-series rules only see a source *inside* the file that
+//! commits it; a wall-clock read in a helper crate that the scheduler
+//! calls escapes them entirely. This module builds the workspace-level
+//! view the interprocedural pass ([`crate::taint`]) walks: every `fn` in
+//! every crate's library code becomes a [`FnNode`] carrying the
+//! determinism **sources** it touches directly, the **calls** it makes,
+//! and the **locks** it acquires; [`WorkspaceGraph::resolve_edges`] then
+//! links call sites to candidate callees by crate + name + imports.
+//!
+//! Resolution is deliberately conservative: where a call is ambiguous
+//! (several workspace functions share a name, a method receiver's type is
+//! unknown), *every* candidate gets an edge — over-approximating
+//! reachability can only produce an extra finding to justify, never a
+//! silently missed nondeterminism. Calls into `std` or other
+//! non-workspace code resolve to nothing and are ignored. Method calls
+//! cross crates only when the callee's type (or the whole crate, via a
+//! glob) is imported by the calling file, which keeps ubiquitous names
+//! like `.iter()` from linking every file to every crate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::parser::{parse_items, UseItem};
+use crate::rules::{hash_bound_names, test_regions, FileContext, HASH_ITERS};
+
+/// The kind of determinism source a function touches directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SourceKind {
+    /// Wall-clock or monotonic clock read (`SystemTime::now`,
+    /// `Instant::now`).
+    Clock,
+    /// Entropy-seeded RNG (`thread_rng`, `rand::rng`, `from_entropy`).
+    Entropy,
+    /// Hash-order iteration over `HashMap`/`HashSet`, or pointer-identity
+    /// hashing (`ptr::hash`).
+    HashOrder,
+}
+
+impl SourceKind {
+    /// The X-series rule code reporting this source kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            SourceKind::Clock => "X101",
+            SourceKind::Entropy => "X102",
+            SourceKind::HashOrder => "X103",
+        }
+    }
+}
+
+/// One direct determinism source inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceSite {
+    /// What kind of source this is.
+    pub kind: SourceKind,
+    /// The offending construct, for the finding message.
+    pub what: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// How a call site names its callee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CalleeRef {
+    /// `foo(..)` — unqualified call.
+    Bare(String),
+    /// `a::b::foo(..)` — path-qualified call (segments as written).
+    Path(Vec<String>),
+    /// `recv.foo(..)` — method call.
+    Method(String),
+}
+
+/// One lock acquisition inside a function body: `x.lock()` / `x.read()` /
+/// `x.write()` with no arguments (argument-taking `io::Read::read` style
+/// calls are excluded), or the workspace's unpoisoned-guard helper idiom
+/// `read_unpoisoned(&x)` / `write_unpoisoned(&x)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LockSite {
+    /// Dotted receiver path naming the lock (`self.truth`).
+    pub receiver: String,
+    /// 1-based source line of the acquisition.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// One function in the workspace graph.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Index of the owning file in [`WorkspaceGraph::files`].
+    pub file: usize,
+    /// The function's name.
+    pub name: String,
+    /// `impl`/`trait` self-type, when the fn is a method.
+    pub self_type: Option<String>,
+    /// Display path: `crate::mod::Type::name`.
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Determinism sources touched directly by this function's body.
+    pub sources: Vec<SourceSite>,
+    /// Call sites in this function's body. Attribution is by body range,
+    /// so a nested fn's calls also count against its enclosing fn — a
+    /// harmless over-approximation.
+    pub calls: Vec<CalleeRef>,
+    /// Lock acquisitions, in source order.
+    pub locks: Vec<LockSite>,
+}
+
+/// One library file contributing functions to the graph.
+#[derive(Clone, Debug)]
+pub struct FileInfo {
+    /// Workspace-relative display path.
+    pub path: String,
+    /// Owning crate's package name (as in `Cargo.toml`, dashes kept).
+    pub crate_name: String,
+    /// True when the owning crate is a simulation crate (graph roots).
+    pub simulation: bool,
+    /// Flattened `use` entries of the file.
+    pub uses: Vec<UseItem>,
+}
+
+/// The workspace call graph: all library functions plus their files.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceGraph {
+    /// Every library function, in (file, source) order.
+    pub fns: Vec<FnNode>,
+    /// Every library file scanned into the graph.
+    pub files: Vec<FileInfo>,
+}
+
+impl WorkspaceGraph {
+    /// Whether fn `i` lives in simulation-crate library code (a taint
+    /// root, already covered by the per-file D-series).
+    pub fn is_simulation(&self, i: usize) -> bool {
+        self.files[self.fns[i].file].simulation
+    }
+
+    /// Adds one library file's functions to the graph. `crate_name` is
+    /// the owning package name; `ctx` carries the display path and role.
+    /// Functions inside `#[cfg(test)]` modules are skipped — test code
+    /// may read clocks freely.
+    pub fn add_file(&mut self, src: &str, ctx: &FileContext, crate_name: &str) {
+        let tokens = lex(src);
+        let sig: Vec<Token<'_>> = tokens
+            .into_iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+                )
+            })
+            .collect();
+        let regions = test_regions(&sig);
+        let parsed = parse_items(&sig);
+        let file_idx = self.files.len();
+        let hash_names = hash_bound_names(&sig);
+        for item in &parsed.fns {
+            if regions.iter().any(|&(s, e)| item.start >= s && item.start < e) {
+                continue;
+            }
+            let body = &sig[item.body.0.min(sig.len())..item.body.1.min(sig.len())];
+            let mut qual = String::from(crate_name);
+            for m in &item.module_path {
+                qual.push_str("::");
+                qual.push_str(m);
+            }
+            if let Some(ty) = &item.self_type {
+                qual.push_str("::");
+                qual.push_str(ty);
+            }
+            qual.push_str("::");
+            qual.push_str(&item.name);
+            self.fns.push(FnNode {
+                file: file_idx,
+                name: item.name.clone(),
+                self_type: item.self_type.clone(),
+                qual,
+                line: item.line,
+                col: item.col,
+                sources: extract_sources(body, &hash_names),
+                calls: extract_calls(body),
+                locks: extract_locks(body),
+            });
+        }
+        self.files.push(FileInfo {
+            path: ctx.path.clone(),
+            crate_name: crate_name.to_string(),
+            simulation: ctx.simulation,
+            uses: parsed.uses,
+        });
+    }
+
+    /// Resolves every call site to candidate callees, returning a sorted,
+    /// deduplicated adjacency list over fn indices.
+    pub fn resolve_edges(&self) -> Vec<Vec<usize>> {
+        let ix = Indexes::build(self);
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.fns.len()];
+        for (i, f) in self.fns.iter().enumerate() {
+            let file = &self.files[f.file];
+            let imports = ix.file_imports(file);
+            let own = norm(&file.crate_name);
+            let mut out: Vec<usize> = Vec::new();
+            for call in &f.calls {
+                match call {
+                    CalleeRef::Bare(name) => {
+                        ix.free(&own, name, &mut out);
+                        if let Some(crates) = imports.named.get(name.as_str()) {
+                            for c in crates {
+                                ix.free(c, name, &mut out);
+                            }
+                        }
+                        for c in &imports.globs {
+                            ix.free(c, name, &mut out);
+                        }
+                    }
+                    CalleeRef::Path(segs) => {
+                        self.resolve_path(segs, f, &own, &imports, &ix, &mut out)
+                    }
+                    CalleeRef::Method(name) => {
+                        ix.methods(&own, name, &mut out);
+                        for (ty, crates) in &imports.named {
+                            for c in crates {
+                                ix.typed(c, ty, name, &mut out);
+                            }
+                        }
+                        for c in &imports.globs {
+                            ix.methods(c, name, &mut out);
+                        }
+                    }
+                }
+            }
+            out.retain(|&j| j != i);
+            out.sort_unstable();
+            out.dedup();
+            adj[i] = out;
+        }
+        adj
+    }
+
+    /// Resolves one path-qualified call (`a::b::foo`) to candidates.
+    fn resolve_path(
+        &self,
+        segs: &[String],
+        f: &FnNode,
+        own: &str,
+        imports: &Imports<'_>,
+        ix: &Indexes<'_>,
+        out: &mut Vec<usize>,
+    ) {
+        let Some(name) = segs.last() else { return };
+        // `Self::helper()` → methods of the current impl type, own crate.
+        if segs.len() == 2 && segs[0] == "Self" {
+            if let Some(ty) = &f.self_type {
+                ix.typed(own, ty, name, out);
+            }
+            return;
+        }
+        let head = segs[0].as_str();
+        let (crate_norm, rest): (Option<String>, &[String]) =
+            if head == "crate" || head == "self" || head == "super" {
+                (Some(own.to_string()), &segs[1..])
+            } else if ix.crates.contains(norm(head).as_str()) {
+                (Some(norm(head)), &segs[1..])
+            } else if let Some(crates) = imports.named.get(head) {
+                // Imported name as path head: `use b::T; T::new()` or
+                // `use b::module; module::f()`. Ambiguity → all candidates
+                // in every import-source crate.
+                for c in crates {
+                    if segs.len() == 2 {
+                        ix.typed(c, head, name, out);
+                        ix.free(c, name, out);
+                    } else {
+                        ix.free(c, name, out);
+                    }
+                }
+                return;
+            } else {
+                (None, segs)
+            };
+        let prev = rest.len().checked_sub(2).map(|k| rest[k].as_str());
+        match crate_norm {
+            Some(c) => {
+                // Known crate: free fns named `name` anywhere in it, plus
+                // `Type::name` methods when the prior segment is a type.
+                ix.free(&c, name, out);
+                if let Some(ty) = prev {
+                    ix.typed(&c, ty, name, out);
+                }
+            }
+            None => {
+                // Unknown head (std, external, or a local type used
+                // unqualified): only a trailing `Type::name` pair against
+                // workspace-defined types can resolve. Prefer the calling
+                // crate when it defines the type; over-approximate across
+                // all defining crates otherwise.
+                let Some(ty) = prev else { return };
+                let Some(defining) = ix.type_crates.get(ty) else { return };
+                if defining.contains(&own.to_string()) {
+                    ix.typed(own, ty, name, out);
+                } else {
+                    for c in defining {
+                        ix.typed(c, ty, name, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Normalizes a crate/package name for comparison with path segments
+/// (`starsense-core` → `starsense_core`).
+fn norm(name: &str) -> String {
+    name.replace('-', "_")
+}
+
+/// Per-file import summary: locally bound names → source crates (normed),
+/// plus glob-imported crates.
+#[derive(Clone, Debug, Default)]
+struct Imports<'g> {
+    named: BTreeMap<&'g str, Vec<String>>,
+    globs: Vec<String>,
+}
+
+/// Lookup tables over the graph, keyed by normalized crate name. All maps
+/// are `BTreeMap`s: iteration order feeds finding order, which must be
+/// byte-identical across runs.
+struct Indexes<'g> {
+    /// All workspace crate names, normalized.
+    crates: BTreeSet<String>,
+    /// (crate, fn name) → free fns.
+    free: BTreeMap<(String, &'g str), Vec<usize>>,
+    /// (crate, fn name) → methods (any self type).
+    method: BTreeMap<(String, &'g str), Vec<usize>>,
+    /// (crate, self type, fn name) → methods.
+    typed_method: BTreeMap<(String, &'g str, &'g str), Vec<usize>>,
+    /// type name → crates defining an impl/trait of that name.
+    type_crates: BTreeMap<&'g str, Vec<String>>,
+}
+
+impl<'g> Indexes<'g> {
+    fn build(g: &'g WorkspaceGraph) -> Indexes<'g> {
+        let mut ix = Indexes {
+            crates: g.files.iter().map(|f| norm(&f.crate_name)).collect(),
+            free: BTreeMap::new(),
+            method: BTreeMap::new(),
+            typed_method: BTreeMap::new(),
+            type_crates: BTreeMap::new(),
+        };
+        for (i, f) in g.fns.iter().enumerate() {
+            let c = norm(&g.files[f.file].crate_name);
+            match &f.self_type {
+                None => ix.free.entry((c, f.name.as_str())).or_default().push(i),
+                Some(ty) => {
+                    ix.method.entry((c.clone(), f.name.as_str())).or_default().push(i);
+                    ix.typed_method
+                        .entry((c.clone(), ty.as_str(), f.name.as_str()))
+                        .or_default()
+                        .push(i);
+                    let crates = ix.type_crates.entry(ty.as_str()).or_default();
+                    if !crates.contains(&c) {
+                        crates.push(c);
+                    }
+                }
+            }
+        }
+        ix
+    }
+
+    fn free(&self, crate_norm: &str, name: &str, out: &mut Vec<usize>) {
+        if let Some(v) = self.free.get(&(crate_norm.to_string(), name)) {
+            out.extend_from_slice(v);
+        }
+    }
+
+    fn methods(&self, crate_norm: &str, name: &str, out: &mut Vec<usize>) {
+        if let Some(v) = self.method.get(&(crate_norm.to_string(), name)) {
+            out.extend_from_slice(v);
+        }
+    }
+
+    fn typed(&self, crate_norm: &str, ty: &str, name: &str, out: &mut Vec<usize>) {
+        if let Some(v) = self.typed_method.get(&(crate_norm.to_string(), ty, name)) {
+            out.extend_from_slice(v);
+        }
+    }
+
+    /// Summarizes a file's imports against the workspace crate set.
+    fn file_imports(&self, file: &'g FileInfo) -> Imports<'g> {
+        let mut imports = Imports::default();
+        for u in &file.uses {
+            let Some(head) = u.segments.first() else { continue };
+            let source = if head == "crate" || head == "self" || head == "super" {
+                Some(norm(&file.crate_name))
+            } else {
+                let n = norm(head);
+                self.crates.contains(&n).then_some(n)
+            };
+            let Some(source) = source else { continue };
+            if u.glob {
+                if !imports.globs.contains(&source) {
+                    imports.globs.push(source);
+                }
+            } else {
+                let local = u.local_name();
+                if !local.is_empty() {
+                    let e = imports.named.entry(local).or_default();
+                    if !e.contains(&source) {
+                        e.push(source);
+                    }
+                }
+            }
+        }
+        imports
+    }
+}
+
+/// Rust keywords that can directly precede a parenthesis and must never
+/// be mistaken for call names.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "return", "for", "loop", "in", "as", "move", "let", "else", "fn",
+    "impl", "dyn", "where", "pub", "unsafe", "break", "continue", "await",
+];
+
+/// Extracts call sites from one function body's token slice.
+fn extract_calls(body: &[Token<'_>]) -> Vec<CalleeRef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let tok = body[i];
+        if tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let prev = if i == 0 { "" } else { body[i - 1].text };
+        if prev == "." {
+            // Method call: `.name(`, optionally with a turbofish.
+            if let Some(j) = after_turbofish(body, i + 1) {
+                if body.get(j).is_some_and(|t| t.text == "(") {
+                    out.push(CalleeRef::Method(tok.text.to_string()));
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if prev == "::" || prev == "fn" {
+            // Continuation of a path handled at its head, or a definition.
+            i += 1;
+            continue;
+        }
+        // Collect a path `a::b::c` forward from the head.
+        let mut segs = vec![tok.text.to_string()];
+        let mut j = i + 1;
+        while body.get(j).is_some_and(|t| t.text == "::")
+            && body.get(j + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            segs.push(body[j + 1].text.to_string());
+            j += 2;
+        }
+        if let Some(k) = after_turbofish(body, j) {
+            if body.get(k).is_some_and(|t| t.text == "(") {
+                if segs.len() > 1 {
+                    out.push(CalleeRef::Path(segs));
+                } else if !NON_CALL_KEYWORDS.contains(&tok.text) {
+                    out.push(CalleeRef::Bare(tok.text.to_string()));
+                }
+            }
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// Skips a `::<...>` turbofish starting at `i`, returning the index after
+/// it (`i` unchanged when there is none; `None` on an unterminated angle
+/// group).
+fn after_turbofish(body: &[Token<'_>], i: usize) -> Option<usize> {
+    if !(body.get(i).is_some_and(|t| t.text == "::")
+        && body.get(i + 1).is_some_and(|t| t.text == "<"))
+    {
+        return Some(i);
+    }
+    let mut depth = 0i64;
+    let mut j = i + 1; // at the `<`
+    while j < body.len() {
+        match body[j].text {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            _ => {}
+        }
+        j += 1;
+        if depth <= 0 {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// Extracts direct determinism sources from one function body.
+/// `hash_names` is the file-wide list of bindings known to hold
+/// `HashMap`/`HashSet` values.
+fn extract_sources(body: &[Token<'_>], hash_names: &[&str]) -> Vec<SourceSite> {
+    let mut out = Vec::new();
+    let text = |k: usize| body.get(k).map_or("", |t| t.text);
+    for (i, tok) in body.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let t2 = text(i + 1);
+        let t3 = text(i + 2);
+        let site = |kind: SourceKind, what: String| SourceSite {
+            kind,
+            what,
+            line: tok.line,
+            col: tok.col,
+        };
+        match tok.text {
+            "SystemTime" | "Instant" if t2 == "::" && t3 == "now" => {
+                out.push(site(SourceKind::Clock, format!("{}::now()", tok.text)));
+            }
+            "thread_rng" | "from_entropy" if t2 == "(" => {
+                out.push(site(SourceKind::Entropy, format!("{}()", tok.text)));
+            }
+            "rng" if i >= 2 && text(i - 1) == "::" && body[i - 2].text == "rand" && t2 == "(" => {
+                out.push(site(SourceKind::Entropy, "rand::rng()".to_string()));
+            }
+            "hash" if i >= 2 && text(i - 1) == "::" && body[i - 2].text == "ptr" => {
+                out.push(site(SourceKind::HashOrder, "ptr::hash()".to_string()));
+            }
+            name if hash_names.contains(&name) => {
+                let iter_call = t2 == "." && HASH_ITERS.contains(&t3);
+                let for_header = i >= 1
+                    && (text(i.wrapping_sub(1)) == "in"
+                        || (text(i.wrapping_sub(1)) == "&" && text(i.wrapping_sub(2)) == "in"))
+                    && t2 == "{";
+                if iter_call || for_header {
+                    out.push(site(
+                        SourceKind::HashOrder,
+                        format!("hash-order iteration over `{name}`"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Extracts lock acquisitions from one function body.
+fn extract_locks(body: &[Token<'_>]) -> Vec<LockSite> {
+    let mut out = Vec::new();
+    let text = |k: usize| body.get(k).map_or("", |t| t.text);
+    for (i, tok) in body.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        match tok.text {
+            // `recv.lock()` / `recv.read()` / `recv.write()` with zero
+            // arguments (io `read(buf)` / `write(buf)` take arguments).
+            "lock" | "read" | "write"
+                if i >= 1 && text(i - 1) == "." && text(i + 1) == "(" && text(i + 2) == ")" =>
+            {
+                if let Some(receiver) = dotted_receiver(body, i - 1) {
+                    out.push(LockSite { receiver, line: tok.line, col: tok.col });
+                }
+            }
+            // Unpoisoned-guard helpers: `read_unpoisoned(&self.truth)`.
+            _ if tok.text.ends_with("_unpoisoned") && text(i + 1) == "(" => {
+                let mut j = i + 2;
+                if text(j) == "&" {
+                    j += 1;
+                }
+                let mut segs: Vec<&str> = Vec::new();
+                while body.get(j).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    segs.push(body[j].text);
+                    if text(j + 1) != "." {
+                        j += 1;
+                        break;
+                    }
+                    j += 2;
+                }
+                if !segs.is_empty() && text(j) == ")" {
+                    out.push(LockSite { receiver: segs.join("."), line: tok.line, col: tok.col });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Walks a dotted receiver path left from the `.` at `dot`, returning
+/// `a.b.c` when every hop is a plain ident (field/variable chain).
+fn dotted_receiver(body: &[Token<'_>], dot: usize) -> Option<String> {
+    let mut segs: Vec<&str> = Vec::new();
+    let mut j = dot; // points at a `.`
+    loop {
+        let prev = j.checked_sub(1)?;
+        if body[prev].kind != TokenKind::Ident {
+            return None;
+        }
+        segs.push(body[prev].text);
+        match prev.checked_sub(1) {
+            Some(p) if body[p].text == "." => j = p,
+            _ => break,
+        }
+    }
+    segs.reverse();
+    Some(segs.join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileKind;
+
+    fn ctx(path: &str, simulation: bool) -> FileContext {
+        FileContext { path: path.to_string(), kind: FileKind::Lib, simulation, crate_root: false }
+    }
+
+    fn graph(files: &[(&str, &str, bool, &str)]) -> WorkspaceGraph {
+        let mut g = WorkspaceGraph::default();
+        for (crate_name, path, simulation, src) in files {
+            g.add_file(src, &ctx(path, *simulation), crate_name);
+        }
+        g
+    }
+
+    fn fn_idx(g: &WorkspaceGraph, qual: &str) -> usize {
+        g.fns
+            .iter()
+            .position(|f| f.qual == qual)
+            .unwrap_or_else(|| panic!("no fn {qual} in {:?}", qs(g)))
+    }
+
+    fn qs(g: &WorkspaceGraph) -> Vec<&str> {
+        g.fns.iter().map(|f| f.qual.as_str()).collect()
+    }
+
+    #[test]
+    fn sources_are_attributed_to_functions() {
+        let g = graph(&[(
+            "helper",
+            "crates/helper/src/lib.rs",
+            false,
+            r#"
+                use std::time::Instant;
+                use std::collections::HashMap;
+                pub fn stamp() -> Instant { Instant::now() }
+                pub fn tally(m: &HashMap<u32, u32>) -> u32 {
+                    let mut acc = 0;
+                    for (k, v) in m.iter() { acc += k + v; }
+                    acc
+                }
+                pub fn pure(x: u32) -> u32 { x + 1 }
+            "#,
+        )]);
+        let stamp = &g.fns[fn_idx(&g, "helper::stamp")];
+        assert_eq!(stamp.sources.len(), 1);
+        assert_eq!(stamp.sources[0].kind, SourceKind::Clock);
+        let tally = &g.fns[fn_idx(&g, "helper::tally")];
+        assert_eq!(tally.sources.len(), 1);
+        assert_eq!(tally.sources[0].kind, SourceKind::HashOrder);
+        assert!(g.fns[fn_idx(&g, "helper::pure")].sources.is_empty());
+    }
+
+    #[test]
+    fn bare_and_path_calls_resolve_within_and_across_crates() {
+        let g = graph(&[
+            (
+                "sim-app",
+                "crates/sim/src/lib.rs",
+                true,
+                r#"
+                    use util_helpers::stamp_ms;
+                    pub fn run() -> u64 { local() + stamp_ms() + util_helpers::direct() }
+                    fn local() -> u64 { 1 }
+                "#,
+            ),
+            (
+                "util-helpers",
+                "crates/util/src/lib.rs",
+                false,
+                r#"
+                    pub fn stamp_ms() -> u64 { 2 }
+                    pub fn direct() -> u64 { 3 }
+                "#,
+            ),
+        ]);
+        let adj = g.resolve_edges();
+        let run = fn_idx(&g, "sim-app::run");
+        let callees: Vec<&str> = adj[run].iter().map(|&j| g.fns[j].qual.as_str()).collect();
+        assert_eq!(
+            callees,
+            vec!["sim-app::local", "util-helpers::stamp_ms", "util-helpers::direct"]
+        );
+    }
+
+    #[test]
+    fn method_calls_need_a_type_import_to_cross_crates() {
+        let src_import = r#"
+            use cachecrate::Cache;
+            pub fn uses(c: &Cache) -> u8 { c.get() }
+        "#;
+        let src_no_import = r#"
+            pub fn uses(c: &SomethingElse) -> u8 { c.get() }
+        "#;
+        let cache = r#"
+            pub struct Cache;
+            impl Cache { pub fn get(&self) -> u8 { 0 } }
+        "#;
+        let g = graph(&[
+            ("sim-a", "a/src/lib.rs", true, src_import),
+            ("sim-b", "b/src/lib.rs", true, src_no_import),
+            ("cachecrate", "c/src/lib.rs", false, cache),
+        ]);
+        let adj = g.resolve_edges();
+        let get = fn_idx(&g, "cachecrate::Cache::get");
+        assert!(adj[fn_idx(&g, "sim-a::uses")].contains(&get));
+        assert!(!adj[fn_idx(&g, "sim-b::uses")].contains(&get));
+    }
+
+    #[test]
+    fn self_and_type_qualified_methods_resolve() {
+        let g = graph(&[(
+            "one",
+            "one/src/lib.rs",
+            true,
+            r#"
+                pub struct S;
+                impl S {
+                    pub fn entry(&self) -> u8 { Self::helper() + S::other() }
+                    fn helper() -> u8 { 1 }
+                    fn other() -> u8 { 2 }
+                }
+            "#,
+        )]);
+        let adj = g.resolve_edges();
+        let entry = fn_idx(&g, "one::S::entry");
+        assert!(adj[entry].contains(&fn_idx(&g, "one::S::helper")));
+        assert!(adj[entry].contains(&fn_idx(&g, "one::S::other")));
+    }
+
+    #[test]
+    fn test_module_fns_stay_out_of_the_graph() {
+        let g = graph(&[(
+            "one",
+            "one/src/lib.rs",
+            true,
+            r#"
+                pub fn real() {}
+                #[cfg(test)]
+                mod tests {
+                    fn helper() { super::real(); }
+                }
+            "#,
+        )]);
+        assert_eq!(qs(&g), vec!["one::real"]);
+    }
+
+    #[test]
+    fn locks_are_extracted_with_receivers() {
+        let g = graph(&[(
+            "one",
+            "one/src/lib.rs",
+            true,
+            r#"
+                pub fn a(&self) {
+                    let g = self.truth.write();
+                    let h = read_unpoisoned(&self.published);
+                    reader.read(&mut buf);
+                }
+            "#,
+        )]);
+        let recv: Vec<&str> = g.fns[0].locks.iter().map(|l| l.receiver.as_str()).collect();
+        assert_eq!(recv, vec!["self.truth", "self.published"]);
+    }
+
+    #[test]
+    fn turbofish_calls_are_still_calls() {
+        let g = graph(&[(
+            "one",
+            "one/src/lib.rs",
+            true,
+            r#"
+                pub fn entry(xs: &[u8]) -> Vec<u8> { helper::<u8>(xs) }
+                fn helper<T>(xs: &[T]) -> Vec<T> { xs.to_vec() }
+            "#,
+        )]);
+        let adj = g.resolve_edges();
+        assert!(adj[fn_idx(&g, "one::entry")].contains(&fn_idx(&g, "one::helper")));
+    }
+}

@@ -5,22 +5,36 @@
 //! the simulation — and §7 promises documented, panic-free library code.
 //! The compiler checks none of that, so this crate does. It ships its own
 //! minimal lexer (no `syn`, no `clippy`; the offline dependency policy
-//! forbids both) and a token-stream rule engine with three rule families:
+//! forbids both), a token-stream rule engine, and a workspace-level
+//! static analyzer (item parser → call graph → interprocedural taint):
 //!
 //! * **D-series (determinism)** — entropy sources, wall-clock reads, and
 //!   hash-order iteration in simulation crates;
 //! * **P-series (panic-safety)** — `unwrap`/`expect`/`panic!` and friends
 //!   in library code;
 //! * **Q-series (quality)** — float `==`, missing `#![warn(missing_docs)]`
-//!   crate attributes, and leftover debug printing in library code.
+//!   crate attributes, and leftover debug printing in library code;
+//! * **C-series (concurrency)** — order-sensitive accumulation in spawn
+//!   closures, inconsistent lock order, non-counter `Ordering::Relaxed`;
+//! * **U-series (unsafety)** — simulation crate roots must carry
+//!   `#![forbid(unsafe_code)]`;
+//! * **X-series (taint)** — determinism sources in non-simulation code
+//!   transitively reachable from simulation crates, found by walking the
+//!   cross-crate call graph ([`graph`], [`taint`]) and reported with the
+//!   full call chain.
 //!
 //! Findings can be suppressed, one site at a time, with
 //! `// starlint: allow(CODE, reason = "...")` on the offending line or the
-//! line above it; the reason string must be non-empty.
+//! line above it; the reason string must be non-empty. For X-series
+//! findings the directive goes at the *source* line and suppresses every
+//! call chain through it.
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod taint;
 pub mod workspace;
 
 pub use lexer::{lex, Token, TokenKind};

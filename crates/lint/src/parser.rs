@@ -1,0 +1,486 @@
+//! Lightweight item parser on top of the [`crate::lexer`].
+//!
+//! The cross-crate determinism analyzer needs to know *which function* a
+//! token belongs to and *what that function calls* — not full Rust
+//! semantics. This module extracts exactly that from a comment-filtered
+//! token stream: `fn` items (with their `impl`/`trait`/`mod` context and
+//! body token range), and `use` declarations (flattened, with aliases and
+//! globs). It is not an AST: generics, patterns, and expressions are
+//! skipped over with balanced-delimiter scanning, and anything the parser
+//! does not understand is ignored rather than failed on. The property
+//! suite holds it to one invariant only: **never panic**, on any token
+//! stream, however malformed.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One `fn` item (free function, inherent/trait-impl method, or trait
+/// default method) found in a file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` self-type name (`PropagationCache`,
+    /// `Rng`, …) when the fn is a method; `None` for free functions.
+    pub self_type: Option<String>,
+    /// Names of the enclosing inline `mod` blocks, outermost first.
+    pub module_path: Vec<String>,
+    /// Token-index range `[start, end)` of the body (the braces included)
+    /// within the significant-token stream the parser was handed.
+    pub body: (usize, usize),
+    /// Byte offset of the `fn` keyword in the source.
+    pub start: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+}
+
+/// One flattened `use` entry: `use a::b::{c, d as e};` yields two items.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UseItem {
+    /// Path segments as written (`["a", "b", "c"]`); for a glob import
+    /// the trailing `*` is dropped and [`UseItem::glob`] is set.
+    pub segments: Vec<String>,
+    /// Local rename from `as`, when present.
+    pub alias: Option<String>,
+    /// True for `use path::*`.
+    pub glob: bool,
+}
+
+impl UseItem {
+    /// The name this import binds locally: the alias if renamed, the last
+    /// path segment otherwise (empty for globs).
+    pub fn local_name(&self) -> &str {
+        match &self.alias {
+            Some(a) => a,
+            None => self.segments.last().map(String::as_str).unwrap_or(""),
+        }
+    }
+}
+
+/// Items extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// Every `fn` with a body, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every flattened `use` entry, in source order.
+    pub uses: Vec<UseItem>,
+}
+
+/// Scope context maintained while walking the token stream.
+#[derive(Clone, Debug)]
+enum Scope {
+    /// Inline `mod name { … }`.
+    Mod(String),
+    /// `impl [Trait for] Type { … }` or `trait Name { … }`; the string is
+    /// the self-type (the `Type` of a trait impl, the trait name itself
+    /// for trait blocks).
+    Item(Option<String>),
+    /// Any other brace group (fn bodies, match arms, struct literals, …).
+    Other,
+}
+
+/// Extracts items from a significant-token stream (comments already
+/// filtered out, as produced by the rule engine). Never panics; malformed
+/// streams simply yield fewer items.
+pub fn parse_items(sig: &[Token<'_>]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    // Stack of open brace scopes, pushed at `{`, popped at `}`.
+    let mut scopes: Vec<Scope> = Vec::new();
+    // Scope to assign to the *next* `{` encountered (set by mod/impl/fn
+    // headers, cleared once consumed or invalidated by a `;`).
+    let mut pending: Option<Scope> = None;
+    let mut i = 0usize;
+    while i < sig.len() {
+        let tok = sig[i];
+        match (tok.kind, tok.text) {
+            (TokenKind::Punct, "{") => {
+                scopes.push(pending.take().unwrap_or(Scope::Other));
+                i += 1;
+            }
+            (TokenKind::Punct, "}") => {
+                scopes.pop();
+                i += 1;
+            }
+            (TokenKind::Punct, ";") => {
+                // `mod name;` / trait method declarations: drop any header.
+                pending = None;
+                i += 1;
+            }
+            (TokenKind::Ident, "mod") => {
+                if let Some(name) = sig.get(i + 1).filter(|t| t.kind == TokenKind::Ident) {
+                    pending = Some(Scope::Mod(name.text.to_string()));
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            (TokenKind::Ident, "impl" | "trait") => {
+                let (ty, next) = parse_impl_header(sig, i + 1);
+                pending = Some(Scope::Item(ty));
+                i = next;
+            }
+            (TokenKind::Ident, "use") => {
+                let next = parse_use(sig, i + 1, &mut out.uses);
+                i = next;
+            }
+            (TokenKind::Ident, "fn") => {
+                if let Some(item) = parse_fn(sig, i, &scopes) {
+                    // Do not skip the body: nested fns inside it must be
+                    // found too. The body `{` will push Scope::Other.
+                    out.fns.push(item);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parses the header after `impl`/`trait` up to (not including) the body
+/// `{` or a terminating `;`/EOF. Returns the self-type name and the index
+/// to resume from.
+fn parse_impl_header<'a>(sig: &[Token<'a>], mut i: usize) -> (Option<String>, usize) {
+    let mut angle = 0i64;
+    let mut last_ident: Option<&'a str> = None;
+    let mut after_for: Option<&'a str> = None;
+    let mut seen_for = false;
+    while i < sig.len() {
+        let t = sig[i];
+        match (t.kind, t.text) {
+            (TokenKind::Punct, "{") | (TokenKind::Punct, ";") => break,
+            (TokenKind::Punct, "<") | (TokenKind::Punct, "<<") => {
+                angle += if t.text == "<<" { 2 } else { 1 }
+            }
+            (TokenKind::Punct, ">") | (TokenKind::Punct, ">>") => {
+                angle -= if t.text == ">>" { 2 } else { 1 }
+            }
+            (TokenKind::Ident, "where") if angle <= 0 => {
+                // Bounds after `where` are not part of the type path.
+                while i < sig.len() && sig[i].text != "{" && sig[i].text != ";" {
+                    i += 1;
+                }
+                break;
+            }
+            (TokenKind::Ident, "for") if angle <= 0 => seen_for = true,
+            (TokenKind::Ident, name) if angle <= 0 => {
+                // Skip keywords that can precede the path.
+                if !matches!(name, "dyn" | "unsafe" | "const" | "mut") {
+                    last_ident = Some(name);
+                    if seen_for {
+                        after_for = Some(name);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let ty = after_for.or(last_ident).map(str::to_string);
+    (ty, i)
+}
+
+/// Parses one `fn` item starting at the `fn` keyword. Returns `None` for
+/// bodyless declarations (trait signatures, extern blocks).
+fn parse_fn(sig: &[Token<'_>], at: usize, scopes: &[Scope]) -> Option<FnItem> {
+    let kw = sig[at];
+    let name = sig.get(at + 1).filter(|t| t.kind == TokenKind::Ident)?;
+    // Scan to the body `{` or a `;`, skipping balanced (), [] and <> (the
+    // signature may contain parenthesized types, defaults, and where
+    // clauses, but no braces before the body in practice).
+    let mut j = at + 2;
+    let mut paren = 0i64;
+    let mut angle = 0i64;
+    let body_open = loop {
+        let t = sig.get(j)?;
+        match t.text {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "<<" => angle += 2,
+            ">>" => angle -= 2,
+            "->" => {}
+            "{" if paren <= 0 && angle <= 0 => break j,
+            ";" if paren <= 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    };
+    // Match the body braces.
+    let mut depth = 0i64;
+    let mut end = sig.len();
+    let mut k = body_open;
+    while k < sig.len() {
+        match sig[k].text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    end = k + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let self_type = scopes
+        .iter()
+        .rev()
+        .find_map(|s| match s {
+            Scope::Item(ty) => Some(ty.clone()),
+            _ => None,
+        })
+        .flatten();
+    let module_path = scopes
+        .iter()
+        .filter_map(|s| match s {
+            Scope::Mod(m) => Some(m.clone()),
+            _ => None,
+        })
+        .collect();
+    Some(FnItem {
+        name: name.text.to_string(),
+        self_type,
+        module_path,
+        body: (body_open, end),
+        start: kw.start,
+        line: kw.line,
+        col: kw.col,
+    })
+}
+
+/// Parses a `use` declaration starting after the `use` keyword; appends
+/// flattened entries to `out` and returns the index past the closing `;`.
+fn parse_use(sig: &[Token<'_>], start: usize, out: &mut Vec<UseItem>) -> usize {
+    // Find the terminating `;` (bounded by EOF).
+    let mut end = start;
+    let mut depth = 0i64;
+    while end < sig.len() {
+        match sig[end].text {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            ";" if depth <= 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    flatten_use(&sig[start..end.min(sig.len())], &[], out, 0);
+    end + 1
+}
+
+/// Recursively flattens one use-tree token slice, prefixed by `prefix`.
+fn flatten_use(toks: &[Token<'_>], prefix: &[String], out: &mut Vec<UseItem>, depth: u32) {
+    if depth > 16 {
+        return; // pathological nesting: give up rather than recurse forever
+    }
+    let mut segs: Vec<String> = prefix.to_vec();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = toks[i];
+        match (t.kind, t.text) {
+            (TokenKind::Ident, "as") => {
+                if let Some(alias) = toks.get(i + 1).filter(|t| t.kind == TokenKind::Ident) {
+                    out.push(UseItem {
+                        segments: segs,
+                        alias: Some(alias.text.to_string()),
+                        glob: false,
+                    });
+                    return;
+                }
+                i += 1;
+            }
+            (TokenKind::Ident, name) => {
+                segs.push(name.to_string());
+                i += 1;
+            }
+            (TokenKind::Punct, "*") => {
+                out.push(UseItem { segments: segs, alias: None, glob: true });
+                return;
+            }
+            (TokenKind::Punct, "::") => i += 1,
+            (TokenKind::Punct, "{") => {
+                // Split the balanced group on top-level commas; each part
+                // recurses with the accumulated prefix.
+                let mut d = 0i64;
+                let mut j = i;
+                let mut part_start = i + 1;
+                while j < toks.len() {
+                    match toks[j].text {
+                        "{" => d += 1,
+                        "}" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        "," if d == 1 => {
+                            flatten_use(&toks[part_start..j], &segs, out, depth + 1);
+                            part_start = j + 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                flatten_use(&toks[part_start..j.min(toks.len())], &segs, out, depth + 1);
+                return;
+            }
+            _ => i += 1,
+        }
+    }
+    if segs.len() > prefix.len() {
+        out.push(UseItem { segments: segs, alias: None, glob: false });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        let toks = lex(src);
+        let sig: Vec<Token<'_>> = toks
+            .into_iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+                )
+            })
+            .collect();
+        parse_items(&sig)
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_found() {
+        let src = r#"
+            pub fn alpha(x: u8) -> u8 { x + 1 }
+            struct S;
+            impl S {
+                pub fn beta(&self) -> u8 { 2 }
+            }
+            impl std::fmt::Display for S {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+            }
+            trait T {
+                fn declared(&self);
+                fn defaulted(&self) -> u8 { 3 }
+            }
+        "#;
+        let p = parse(src);
+        let names: Vec<(&str, Option<&str>)> =
+            p.fns.iter().map(|f| (f.name.as_str(), f.self_type.as_deref())).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("alpha", None),
+                ("beta", Some("S")),
+                ("fmt", Some("S")),
+                ("defaulted", Some("T")),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_self_type() {
+        let src = r#"
+            impl<'a, T: Clone> Cache<'a, T> where T: Send {
+                fn get(&self) -> u8 { 0 }
+            }
+            impl<T> From<T> for Wrapper<T> {
+                fn from(t: T) -> Self { Wrapper(t) }
+            }
+        "#;
+        let p = parse(src);
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Cache"));
+        assert_eq!(p.fns[1].self_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn inline_mods_contribute_to_the_module_path() {
+        let src = "mod outer { mod inner { fn deep() {} } fn shallow() {} }";
+        let p = parse(src);
+        assert_eq!(p.fns[0].module_path, vec!["outer", "inner"]);
+        assert_eq!(p.fns[1].module_path, vec!["outer"]);
+    }
+
+    #[test]
+    fn nested_fns_are_both_found() {
+        let src = "fn outer() { fn inner() { } inner(); }";
+        let p = parse(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        // inner's body range nests inside outer's.
+        assert!(p.fns[1].body.0 > p.fns[0].body.0 && p.fns[1].body.1 < p.fns[0].body.1);
+    }
+
+    #[test]
+    fn bodyless_declarations_are_skipped() {
+        let src = "trait T { fn sig(&self); } extern \"C\" { fn c_fn(); }";
+        let p = parse(src);
+        assert!(p.fns.is_empty());
+    }
+
+    #[test]
+    fn use_trees_flatten_with_aliases_and_globs() {
+        let src = r#"
+            use std::collections::HashMap;
+            use crate::rules::{check_file, Finding as F};
+            use starsense_astro::time::*;
+            pub use a::b;
+        "#;
+        let p = parse(src);
+        let rendered: Vec<String> = p
+            .uses
+            .iter()
+            .map(|u| {
+                format!(
+                    "{}{}{}",
+                    u.segments.join("::"),
+                    if u.glob { "::*" } else { "" },
+                    u.alias.as_deref().map(|a| format!(" as {a}")).unwrap_or_default()
+                )
+            })
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "std::collections::HashMap",
+                "crate::rules::check_file",
+                "crate::rules::Finding as F",
+                "starsense_astro::time::*",
+                "a::b",
+            ]
+        );
+        assert_eq!(p.uses[2].local_name(), "F");
+        assert_eq!(p.uses[0].local_name(), "HashMap");
+    }
+
+    #[test]
+    fn fn_signature_with_generics_and_where_clause_finds_its_body() {
+        let src = r#"
+            fn tricky<T: Into<Vec<u8>>>(x: T, f: impl Fn(u8) -> u8) -> Vec<u8>
+            where
+                T: Clone,
+            {
+                f(1);
+                x.into()
+            }
+        "#;
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "tricky");
+    }
+
+    #[test]
+    fn malformed_streams_do_not_panic() {
+        for src in
+            ["fn", "fn (", "impl", "use ::{{{", "mod", "fn f(", "impl X { fn }", "use a::{b,"]
+        {
+            let _ = parse(src);
+        }
+    }
+}

@@ -16,12 +16,22 @@
 //! | Q101 | `==` / `!=` with a float operand |
 //! | Q201 | `println!`/`print!`/`eprintln!`/`eprint!`/`dbg!` in library code |
 //! | Q301 | crate root missing `#![warn(missing_docs)]` |
+//! | C101 | order-sensitive accumulation in a spawned-thread closure |
+//! | C102 | inconsistent two-lock acquisition order across functions |
+//! | C103 | `Ordering::Relaxed` outside counter-only atomic operations |
+//! | U101 | simulation crate root missing `#![forbid(unsafe_code)]` |
+//! | X101 | clock read transitively reachable from simulation code |
+//! | X102 | entropy RNG transitively reachable from simulation code |
+//! | X103 | hash-order source transitively reachable from simulation code |
 //! | A001 | `starlint: allow` directive without a non-empty reason |
 //! | A002 | `starlint: allow` directive naming an unknown rule code |
 //!
 //! A finding is suppressed by `// starlint: allow(CODE, reason = "...")`
 //! placed on the same line or the line directly above. A-series findings
-//! (directive hygiene) are never suppressible.
+//! (directive hygiene) are never suppressible. The C102 and X-series
+//! findings come from the workspace-level call-graph pass
+//! ([`crate::taint`]); an allow directive at the flagged *source* site
+//! suppresses every call chain through it.
 
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -66,10 +76,17 @@ pub struct Finding {
     pub line: u32,
     /// 1-based column of the finding.
     pub col: u32,
+    /// For X-series (taint) findings: the call chain from the simulation
+    /// entry point to the flagged source, rendered as
+    /// `crate::path::fn (file:line)` entries. Empty for per-file findings.
+    pub chain: Vec<String>,
 }
 
 /// The canonical crate-root attribute Q301 demands.
 pub const CRATE_ROOT_ATTR: &str = "#![warn(missing_docs)]";
+
+/// The crate-root attribute U101 demands of simulation crates.
+pub const UNSAFE_ROOT_ATTR: &str = "#![forbid(unsafe_code)]";
 
 /// All known rule codes with one-line descriptions (drives `A002`
 /// validation, `--explain`, and the README table).
@@ -86,6 +103,37 @@ pub const RULES: &[(&str, &str)] = &[
     ("Q101", "== or != comparison with a float operand"),
     ("Q201", "debug printing (println!/print!/eprintln!/eprint!/dbg!) in library code"),
     ("Q301", "crate root missing #![warn(missing_docs)]"),
+    (
+        "C101",
+        "order-sensitive accumulation (push / +=) on a captured binding inside a \
+         thread::spawn / scope.spawn closure without an indexed merge",
+    ),
+    (
+        "C102",
+        "two locks acquired in opposite orders by different functions of one crate \
+         (deadlock and merge-order nondeterminism risk)",
+    ),
+    (
+        "C103",
+        "Ordering::Relaxed on a non-counter atomic operation (only fetch_add/fetch_sub/load \
+         counters may be relaxed)",
+    ),
+    ("U101", "simulation crate root missing #![forbid(unsafe_code)]"),
+    (
+        "X101",
+        "clock read (SystemTime::now / Instant::now) transitively reachable from simulation \
+         code through the workspace call graph",
+    ),
+    (
+        "X102",
+        "entropy-seeded RNG (thread_rng / rand::rng / from_entropy) transitively reachable \
+         from simulation code through the workspace call graph",
+    ),
+    (
+        "X103",
+        "hash-order iteration or pointer-identity hashing transitively reachable from \
+         simulation code through the workspace call graph",
+    ),
     ("A001", "starlint allow directive without a non-empty reason"),
     ("A002", "starlint allow directive naming an unknown rule code"),
 ];
@@ -158,8 +206,42 @@ fn parse_directive(tok: &Token<'_>) -> Option<Directive> {
     Some(Directive { code, has_reason, line: tok.line, end_line, col: tok.col })
 }
 
+/// A validated `starlint: allow` directive, exposed so the workspace-level
+/// call-graph pass ([`crate::taint`]) can honor suppressions placed at a
+/// taint source or a lock-acquisition site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// The (known) rule code the directive names.
+    pub code: String,
+    /// First line of the carrying comment.
+    pub line: u32,
+    /// Last line the directive suppresses findings on (one past the
+    /// carrying comment's last line).
+    pub end_line: u32,
+}
+
+impl AllowDirective {
+    /// Whether this directive suppresses `code` findings on `line`.
+    pub fn covers(&self, code: &str, line: u32) -> bool {
+        self.code == code && line >= self.line && line <= self.end_line
+    }
+}
+
+/// Extracts every *valid* allow directive (known code, non-empty reason)
+/// from a source file. Invalid directives are reported by [`check_file`]
+/// as A-series findings and never suppress anything.
+pub fn allow_directives(src: &str) -> Vec<AllowDirective> {
+    lex(src)
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .filter_map(parse_directive)
+        .filter(|d| d.has_reason && known_code(&d.code).is_some())
+        .map(|d| AllowDirective { code: d.code, line: d.line, end_line: d.end_line + 1 })
+        .collect()
+}
+
 /// Byte ranges covered by `#[cfg(test)] mod … { … }` blocks.
-fn test_regions(sig: &[Token<'_>]) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(sig: &[Token<'_>]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i + 4 < sig.len() {
@@ -212,10 +294,23 @@ fn test_regions(sig: &[Token<'_>]) -> Vec<(usize, usize)> {
     regions
 }
 
+/// Iterator-producing methods on hash collections (order-observable).
+pub(crate) const HASH_ITERS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
 /// Names bound to `HashMap`/`HashSet` values in this file (heuristic:
 /// `name: HashMap<...>` annotations/fields and `name = HashMap::new()`
 /// style initializers, looking through `&` and `mut`).
-fn hash_bound_names<'a>(sig: &[Token<'a>]) -> Vec<&'a str> {
+pub(crate) fn hash_bound_names<'a>(sig: &[Token<'a>]) -> Vec<&'a str> {
     let mut names = Vec::new();
     for (i, t) in sig.iter().enumerate() {
         if !(t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet")) {
@@ -264,6 +359,7 @@ impl<'a> Engine<'a> {
             path: self.ctx.path.clone(),
             line: tok.line,
             col: tok.col,
+            chain: Vec::new(),
         });
     }
 
@@ -278,6 +374,7 @@ impl<'a> Engine<'a> {
         self.check_determinism();
         self.check_panics();
         self.check_quality();
+        self.check_concurrency();
         self.check_crate_root_attr();
     }
 
@@ -327,18 +424,7 @@ impl<'a> Engine<'a> {
                     ),
                 name if hash_names.contains(&name) => {
                     // Iterator-producing method call on a hash collection.
-                    const ITERS: &[&str] = &[
-                        "iter",
-                        "iter_mut",
-                        "keys",
-                        "values",
-                        "values_mut",
-                        "into_iter",
-                        "into_keys",
-                        "into_values",
-                        "drain",
-                    ];
-                    if t2 == "." && ITERS.contains(&t3) {
+                    if t2 == "." && HASH_ITERS.contains(&t3) {
                         self.emit(
                             "D201",
                             &tok,
@@ -470,29 +556,207 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// C101 + C103: per-file concurrency determinism rules, simulation
+    /// library code only (the cross-function C102 lock-order rule runs in
+    /// the workspace pass, [`crate::taint`]).
+    fn check_concurrency(&mut self) {
+        // C101: order-sensitive accumulation inside spawned closures.
+        let mut i = 0usize;
+        while i < self.sig.len() {
+            let tok = self.sig[i];
+            if tok.kind == TokenKind::Ident
+                && tok.text == "spawn"
+                && self.text(i + 1) == "("
+                && self.sim_code(&tok)
+            {
+                if let Some(close) = self.matching_paren(i + 1) {
+                    self.check_spawn_region(i + 2, close);
+                }
+            }
+            i += 1;
+        }
+        // C103: Relaxed atomics outside counter-only operations.
+        const RELAXED_OK: &[&str] = &["fetch_add", "fetch_sub", "load"];
+        for i in 2..self.sig.len() {
+            let tok = self.sig[i];
+            if !(tok.kind == TokenKind::Ident
+                && tok.text == "Relaxed"
+                && self.text(i - 1) == "::"
+                && self.sig[i - 2].text == "Ordering"
+                && self.sim_code(&tok))
+            {
+                continue;
+            }
+            let method = self.enclosing_call_name(i);
+            if !method.as_deref().is_some_and(|m| RELAXED_OK.contains(&m)) {
+                self.emit(
+                    "C103",
+                    &tok,
+                    format!(
+                        "Ordering::Relaxed on `{}` is not a counter-only use; relaxed \
+                         ordering is reserved for fetch_add/fetch_sub/load counters — use \
+                         Acquire/Release (or SeqCst) where the value gates control flow",
+                        method.as_deref().unwrap_or("<non-call context>")
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Finds the name of the call whose argument list encloses token `i`
+    /// (the ident directly before the nearest unmatched `(` scanning left).
+    fn enclosing_call_name(&self, i: usize) -> Option<String> {
+        let mut depth = 0i64;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            match self.sig[j].text {
+                ")" => depth += 1,
+                "(" => {
+                    if depth == 0 {
+                        let name = self.sig.get(j.checked_sub(1)?)?;
+                        if name.kind == TokenKind::Ident {
+                            return Some(name.text.to_string());
+                        }
+                        return None;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Index of the `)` matching the `(` at `open`, if any.
+    fn matching_paren(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for (k, t) in self.sig.iter().enumerate().skip(open) {
+            match t.text {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Scans one spawn-argument region `[start, end)` for accumulation on
+    /// bindings captured from the enclosing scope: `x.push(..)` and
+    /// `x += ..` where `x` is neither `let`-bound, a closure parameter,
+    /// nor a loop variable inside the region. Such writes merge in thread
+    /// completion order unless the caller reassembles by index, so they
+    /// are flagged for an explicit sorted/indexed merge (or an allow).
+    fn check_spawn_region(&mut self, start: usize, end: usize) {
+        let end = end.min(self.sig.len());
+        let mut bound: Vec<&str> = Vec::new();
+        let mut k = start;
+        while k < end {
+            match self.sig[k].text {
+                "let" => {
+                    // `let [mut] name`; tuple/struct patterns bind every
+                    // ident up to `=` or `:`.
+                    let mut m = k + 1;
+                    while m < end && !matches!(self.sig[m].text, "=" | ":" | ";") {
+                        if self.sig[m].kind == TokenKind::Ident && self.sig[m].text != "mut" {
+                            bound.push(self.sig[m].text);
+                        }
+                        m += 1;
+                    }
+                    k = m;
+                }
+                "for" => {
+                    // Loop pattern idents up to `in`.
+                    let mut m = k + 1;
+                    while m < end && self.sig[m].text != "in" && self.sig[m].text != "{" {
+                        if self.sig[m].kind == TokenKind::Ident {
+                            bound.push(self.sig[m].text);
+                        }
+                        m += 1;
+                    }
+                    k = m;
+                }
+                "|" => {
+                    // Closure parameter list `|a, (b, c)|`.
+                    let mut m = k + 1;
+                    while m < end && self.sig[m].text != "|" {
+                        if self.sig[m].kind == TokenKind::Ident && self.sig[m].text != "mut" {
+                            bound.push(self.sig[m].text);
+                        }
+                        m += 1;
+                    }
+                    k = m + 1;
+                }
+                _ => k += 1,
+            }
+        }
+        for k in start..end {
+            let tok = self.sig[k];
+            if tok.kind != TokenKind::Ident || bound.contains(&tok.text) {
+                continue;
+            }
+            let push_call =
+                self.text(k + 1) == "." && self.text(k + 2) == "push" && self.text(k + 3) == "(";
+            let add_assign = self.text(k + 1) == "+=";
+            if push_call || add_assign {
+                let how = if push_call { ".push(..)" } else { "+=" };
+                self.emit(
+                    "C101",
+                    &tok,
+                    format!(
+                        "`{} {how}` on a binding captured by a spawned closure accumulates \
+                         in thread completion order; collect (index, value) pairs and merge \
+                         sorted/indexed outside the parallel region",
+                        tok.text
+                    ),
+                );
+            }
+        }
+    }
+
     fn check_crate_root_attr(&mut self) {
         if !self.ctx.crate_root {
             return;
         }
-        let has = self.sig.windows(8).any(|w| {
-            w[0].text == "#"
-                && w[1].text == "!"
-                && w[2].text == "["
-                && w[3].text == "warn"
-                && w[4].text == "("
-                && w[5].text == "missing_docs"
-                && w[6].text == ")"
-                && w[7].text == "]"
-        });
-        if !has {
+        if !self.has_inner_attr("warn", "missing_docs") {
             self.findings.push(Finding {
                 code: "Q301",
                 message: format!("crate root lacks `{CRATE_ROOT_ATTR}`"),
                 path: self.ctx.path.clone(),
                 line: 1,
                 col: 1,
+                chain: Vec::new(),
             });
         }
+        if self.ctx.simulation && !self.has_inner_attr("forbid", "unsafe_code") {
+            self.findings.push(Finding {
+                code: "U101",
+                message: format!("simulation crate root lacks `{UNSAFE_ROOT_ATTR}`"),
+                path: self.ctx.path.clone(),
+                line: 1,
+                col: 1,
+                chain: Vec::new(),
+            });
+        }
+    }
+
+    /// Whether the file carries the inner attribute `#![outer(inner)]`.
+    fn has_inner_attr(&self, outer: &str, inner: &str) -> bool {
+        self.sig.windows(8).any(|w| {
+            w[0].text == "#"
+                && w[1].text == "!"
+                && w[2].text == "["
+                && w[3].text == outer
+                && w[4].text == "("
+                && w[5].text == inner
+                && w[6].text == ")"
+                && w[7].text == "]"
+        })
     }
 }
 
@@ -514,6 +778,7 @@ pub fn check_file(src: &str, ctx: &FileContext) -> Vec<Finding> {
                         path: ctx.path.clone(),
                         line: d.line,
                         col: d.col,
+                        chain: Vec::new(),
                     });
                 } else if !d.has_reason {
                     findings.push(Finding {
@@ -525,6 +790,7 @@ pub fn check_file(src: &str, ctx: &FileContext) -> Vec<Finding> {
                         path: ctx.path.clone(),
                         line: d.line,
                         col: d.col,
+                        chain: Vec::new(),
                     });
                 } else {
                     directives.push(d);
@@ -558,6 +824,9 @@ pub fn check_file(src: &str, ctx: &FileContext) -> Vec<Finding> {
         }
     }
     findings.sort_by_key(|f| (f.line, f.col, f.code));
+    // Nested spawn regions are scanned once per enclosing region; identical
+    // findings collapse to one.
+    findings.dedup();
     findings
 }
 
@@ -887,8 +1156,117 @@ mod tests {
     #[test]
     fn missing_docs_attr_required_in_crate_roots() {
         let ctx = FileContext { crate_root: true, ..lib_ctx() };
-        assert_eq!(codes("pub fn f() {}", &ctx), vec!["Q301"]);
-        assert!(codes("#![warn(missing_docs)]\npub fn f() {}", &ctx).is_empty());
+        assert_eq!(codes("pub fn f() {}", &ctx), vec!["Q301", "U101"]);
+        assert_eq!(codes("#![warn(missing_docs)]\npub fn f() {}", &ctx), vec!["U101"]);
+        let both = "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\npub fn f() {}";
+        assert!(codes(both, &ctx).is_empty());
+    }
+
+    // ---- U101 -------------------------------------------------------
+
+    #[test]
+    fn forbid_unsafe_required_in_simulation_roots_only() {
+        let sim = FileContext { crate_root: true, ..lib_ctx() };
+        let tooling = FileContext { crate_root: true, simulation: false, ..lib_ctx() };
+        let src = "#![warn(missing_docs)]\npub fn f() {}";
+        assert_eq!(codes(src, &sim), vec!["U101"]);
+        assert!(codes(src, &tooling).is_empty());
+    }
+
+    // ---- C101: accumulation in spawned closures ---------------------
+
+    #[test]
+    fn captured_push_inside_spawn_closure_is_flagged() {
+        let src = r#"
+            fn f(scope: &S, out: &mut Vec<u8>) {
+                scope.spawn(move || { out.push(1); });
+            }
+        "#;
+        assert_eq!(codes(src, &lib_ctx()), vec!["C101"]);
+    }
+
+    #[test]
+    fn captured_float_accumulation_inside_spawn_closure_is_flagged() {
+        let src = r#"
+            fn f(scope: &S, total: &mut f64) {
+                scope.spawn(move || { *total += 0.1; });
+            }
+        "#;
+        assert_eq!(codes(src, &lib_ctx()), vec!["C101"]);
+    }
+
+    #[test]
+    fn local_accumulators_inside_spawn_closures_are_fine() {
+        // The workspace's own idiom: per-worker locals, indexed reassembly
+        // outside the closure.
+        let src = r#"
+            fn f(scope: &S, items: &[u8]) {
+                let handle = scope.spawn(move || {
+                    let mut part = Vec::new();
+                    for (k, v) in items.iter().enumerate() {
+                        part.push((k, v));
+                    }
+                    part
+                });
+            }
+        "#;
+        assert!(codes(src, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn closure_parameters_are_not_captures() {
+        let src = r#"
+            fn f(scope: &S, items: &[u8]) {
+                scope.spawn(move || items.iter().map(|(k, acc)| acc.min(k)).count());
+            }
+        "#;
+        assert!(codes(src, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn push_outside_the_spawn_argument_is_fine() {
+        let src = r#"
+            fn f(scope: &S, handles: &mut Vec<H>) {
+                handles.push(scope.spawn(move || 1));
+            }
+        "#;
+        assert!(codes(src, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn spawn_rules_skip_non_simulation_crates() {
+        let src = r#"
+            fn f(scope: &S, out: &mut Vec<u8>) {
+                scope.spawn(move || { out.push(1); });
+            }
+        "#;
+        let ctx = FileContext { simulation: false, ..lib_ctx() };
+        assert!(codes(src, &ctx).is_empty());
+    }
+
+    // ---- C103: relaxed atomics --------------------------------------
+
+    #[test]
+    fn relaxed_counters_are_fine_but_stores_are_not() {
+        let ok = r#"
+            fn f(c: &AtomicUsize) -> usize {
+                c.fetch_add(1, Ordering::Relaxed);
+                c.load(Ordering::Relaxed)
+            }
+        "#;
+        assert!(codes(ok, &lib_ctx()).is_empty());
+        let bad = r#"
+            fn f(c: &AtomicUsize) {
+                c.store(7, Ordering::Relaxed);
+            }
+        "#;
+        assert_eq!(codes(bad, &lib_ctx()), vec!["C103"]);
+        let cas = r#"
+            fn f(c: &AtomicUsize) {
+                let _ = c.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
+            }
+        "#;
+        assert_eq!(codes(cas, &lib_ctx()), vec!["C103", "C103"]);
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! Interprocedural determinism taint pass and cross-function lock-order
+//! analysis over the [`crate::graph`] call graph.
+//!
+//! **Taint (X-series).** Every simulation-crate library function is a
+//! root. A breadth-first walk over the resolved call edges finds every
+//! function transitively reachable from a root; any *non-simulation*
+//! function in that set that touches a determinism source directly (a
+//! clock read, entropy-seeded RNG, or hash-order iteration) yields an
+//! `X101`–`X103` finding at the source site, carrying the full call chain
+//! from the root. Sources inside simulation crates themselves are not
+//! re-reported here — the per-file D-series already flags those at the
+//! line that commits them.
+//!
+//! **Lock order (C102).** Within one crate, two functions that acquire
+//! the same pair of locks in opposite orders can deadlock — and, worse
+//! for this workspace, make merge order depend on the thread schedule.
+//! Each function's lock-acquisition sequence is reduced to ordered
+//! receiver pairs; a pair observed both ways yields `C102` at every
+//! acquisition site involved, each naming a function that disagrees.
+//!
+//! Both passes honor `// starlint: allow(CODE, reason = "...")` placed at
+//! the flagged line (the taint *source* or the lock acquisition), which
+//! suppresses every chain or pairing through that site.
+
+use std::collections::BTreeMap;
+
+use crate::graph::WorkspaceGraph;
+use crate::rules::{AllowDirective, Finding};
+
+/// Valid allow directives per workspace-relative file path.
+pub type AllowMap = BTreeMap<String, Vec<AllowDirective>>;
+
+fn suppressed(allows: &AllowMap, path: &str, code: &str, line: u32) -> bool {
+    allows.get(path).is_some_and(|ds| ds.iter().any(|d| d.covers(code, line)))
+}
+
+/// Runs the taint pass: X-series findings for determinism sources in
+/// non-simulation code reachable from simulation entry points.
+pub fn taint_findings(graph: &WorkspaceGraph, allows: &AllowMap) -> Vec<Finding> {
+    let adj = graph.resolve_edges();
+    let n = graph.fns.len();
+    // Multi-source BFS from every simulation fn, in index order, with
+    // parent pointers: each reachable fn gets exactly one (deterministic,
+    // shortest) chain back to a root.
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for i in 0..n {
+        if graph.is_simulation(i) {
+            visited[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for &j in &adj[i] {
+            if !visited[j] {
+                visited[j] = true;
+                parent[j] = Some(i);
+                queue.push_back(j);
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for i in 0..n {
+        if !visited[i] || graph.is_simulation(i) {
+            continue;
+        }
+        let f = &graph.fns[i];
+        if f.sources.is_empty() {
+            continue;
+        }
+        // Render the chain root → … → this fn, as `qual (path:line)`.
+        let mut chain_ids = vec![i];
+        let mut cur = i;
+        while let Some(p) = parent[cur] {
+            chain_ids.push(p);
+            cur = p;
+        }
+        chain_ids.reverse();
+        let chain: Vec<String> = chain_ids
+            .iter()
+            .map(|&k| {
+                let g = &graph.fns[k];
+                format!("{} ({}:{})", g.qual, graph.files[g.file].path, g.line)
+            })
+            .collect();
+        let root = &graph.fns[chain_ids[0]].qual;
+        let path = &graph.files[f.file].path;
+        for s in &f.sources {
+            let code = s.kind.code();
+            if suppressed(allows, path, code, s.line) {
+                continue;
+            }
+            findings.push(Finding {
+                code,
+                message: format!(
+                    "{} in `{}` is reachable from simulation entry `{}` \
+                     ({} call(s) away); determinism sources must not leak into \
+                     simulation call chains",
+                    s.what,
+                    f.qual,
+                    root,
+                    chain_ids.len() - 1
+                ),
+                path: path.clone(),
+                line: s.line,
+                col: s.col,
+                chain: chain.clone(),
+            });
+        }
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.code).cmp(&(&b.path, b.line, b.col, b.code)));
+    findings.dedup();
+    findings
+}
+
+/// One recorded ordered lock pair occurrence.
+#[derive(Clone, Debug)]
+struct PairSite {
+    fn_idx: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Runs the lock-order pass: C102 findings for lock pairs acquired in
+/// opposite orders by different functions of the same crate.
+pub fn lock_order_findings(graph: &WorkspaceGraph, allows: &AllowMap) -> Vec<Finding> {
+    // (crate, first receiver, second receiver) → acquisition sites of the
+    // *first* lock of the pair, one per function.
+    let mut pairs: BTreeMap<(String, String, String), Vec<PairSite>> = BTreeMap::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        let crate_name = &graph.files[f.file].crate_name;
+        let mut seen: Vec<(String, String)> = Vec::new();
+        for (a_idx, a) in f.locks.iter().enumerate() {
+            for b in f.locks.iter().skip(a_idx + 1) {
+                if a.receiver == b.receiver {
+                    continue;
+                }
+                let key = (a.receiver.clone(), b.receiver.clone());
+                if seen.contains(&key) {
+                    continue; // one record per (fn, ordered pair)
+                }
+                seen.push(key);
+                pairs
+                    .entry((crate_name.clone(), a.receiver.clone(), b.receiver.clone()))
+                    .or_default()
+                    .push(PairSite { fn_idx: i, line: a.line, col: a.col });
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for ((crate_name, a, b), sites) in &pairs {
+        if a >= b {
+            continue; // visit each unordered pair once, via its sorted key
+        }
+        let Some(rev_sites) = pairs.get(&(crate_name.clone(), b.clone(), a.clone())) else {
+            continue;
+        };
+        let mut emit = |here: &[PairSite], there: &[PairSite], first: &str, second: &str| {
+            for s in here {
+                let f = &graph.fns[s.fn_idx];
+                let path = &graph.files[f.file].path;
+                if suppressed(allows, path, "C102", s.line) {
+                    continue;
+                }
+                let other = &graph.fns[there[0].fn_idx];
+                findings.push(Finding {
+                    code: "C102",
+                    message: format!(
+                        "`{}` acquires lock `{}` before `{}`, but `{}` ({}:{}) acquires \
+                         them in the opposite order; pick one order crate-wide",
+                        f.qual,
+                        first,
+                        second,
+                        other.qual,
+                        graph.files[other.file].path,
+                        there[0].line
+                    ),
+                    path: path.clone(),
+                    line: s.line,
+                    col: s.col,
+                    chain: Vec::new(),
+                });
+            }
+        };
+        emit(sites, rev_sites, a, b);
+        emit(rev_sites, sites, b, a);
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.code).cmp(&(&b.path, b.line, b.col, b.code)));
+    findings.dedup();
+    findings
+}
+
+/// Convenience: both workspace-level passes, concatenated.
+pub fn workspace_findings(graph: &WorkspaceGraph, allows: &AllowMap) -> Vec<Finding> {
+    let mut out = taint_findings(graph, allows);
+    out.extend(lock_order_findings(graph, allows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{allow_directives, FileContext, FileKind};
+
+    fn ctx(path: &str, simulation: bool) -> FileContext {
+        FileContext { path: path.to_string(), kind: FileKind::Lib, simulation, crate_root: false }
+    }
+
+    fn graph_and_allows(files: &[(&str, &str, bool, &str)]) -> (WorkspaceGraph, AllowMap) {
+        let mut g = WorkspaceGraph::default();
+        let mut allows = AllowMap::new();
+        for (crate_name, path, simulation, src) in files {
+            g.add_file(src, &ctx(path, *simulation), crate_name);
+            allows.insert(path.to_string(), allow_directives(src));
+        }
+        (g, allows)
+    }
+
+    const SIM: &str = r#"
+        use util_helpers::stamp_ms;
+        pub fn step() -> u64 { stamp_ms() }
+    "#;
+
+    #[test]
+    fn cross_crate_clock_chain_is_reported_with_the_full_chain() {
+        let helper = r#"
+            pub fn stamp_ms() -> u64 { now_raw() }
+            fn now_raw() -> u64 { Instant::now().elapsed().as_millis() as u64 }
+        "#;
+        let (g, allows) = graph_and_allows(&[
+            ("sim-app", "crates/sim_app/src/lib.rs", true, SIM),
+            ("util-helpers", "crates/util_helpers/src/lib.rs", false, helper),
+        ]);
+        let fs = taint_findings(&g, &allows);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].code, "X101");
+        assert_eq!(fs[0].path, "crates/util_helpers/src/lib.rs");
+        let chain = fs[0].chain.join(" -> ");
+        assert!(chain.contains("sim-app::step"), "{chain}");
+        assert!(chain.contains("util-helpers::stamp_ms"), "{chain}");
+        assert!(chain.contains("util-helpers::now_raw"), "{chain}");
+    }
+
+    #[test]
+    fn unreachable_sources_and_sim_internal_sources_are_not_x_findings() {
+        let helper = r#"
+            pub fn never_called() -> u64 { Instant::now().elapsed().as_millis() as u64 }
+        "#;
+        let sim_with_source = r#"
+            pub fn step() -> u64 { Instant::now().elapsed().as_millis() as u64 }
+        "#;
+        let (g, allows) = graph_and_allows(&[
+            ("sim-app", "crates/sim_app/src/lib.rs", true, sim_with_source),
+            ("util-helpers", "crates/util_helpers/src/lib.rs", false, helper),
+        ]);
+        // The sim-internal clock is D-series territory; the helper is
+        // unreachable. Neither produces an X finding.
+        assert!(taint_findings(&g, &allows).is_empty());
+    }
+
+    #[test]
+    fn an_allow_at_the_source_suppresses_every_chain_through_it() {
+        let helper = r#"
+            pub fn stamp_ms() -> u64 {
+                // starlint: allow(X101, reason = "log timestamps only, never in sim state")
+                Instant::now().elapsed().as_millis() as u64
+            }
+        "#;
+        let (g, allows) = graph_and_allows(&[
+            ("sim-app", "crates/sim_app/src/lib.rs", true, SIM),
+            ("util-helpers", "crates/util_helpers/src/lib.rs", false, helper),
+        ]);
+        assert!(taint_findings(&g, &allows).is_empty());
+    }
+
+    #[test]
+    fn opposite_lock_orders_raise_c102_both_ways() {
+        let src = r#"
+            impl Cache {
+                pub fn publish(&self) {
+                    let a = self.truth.write();
+                    let b = self.published.write();
+                }
+                pub fn refresh(&self) {
+                    let b = self.published.write();
+                    let a = self.truth.write();
+                }
+            }
+        "#;
+        let (g, allows) = graph_and_allows(&[("sim-app", "crates/a/src/lib.rs", true, src)]);
+        let fs = lock_order_findings(&g, &allows);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().all(|f| f.code == "C102"));
+        assert!(fs[0].message.contains("opposite order"));
+    }
+
+    #[test]
+    fn consistent_lock_orders_are_fine() {
+        let src = r#"
+            impl Cache {
+                pub fn publish(&self) {
+                    let a = self.truth.write();
+                    let b = self.published.write();
+                }
+                pub fn refresh(&self) {
+                    let a = self.truth.read();
+                    let b = self.published.read();
+                }
+            }
+        "#;
+        let (g, allows) = graph_and_allows(&[("sim-app", "crates/a/src/lib.rs", true, src)]);
+        assert!(lock_order_findings(&g, &allows).is_empty());
+    }
+
+    #[test]
+    fn lock_pairs_do_not_conflict_across_crates() {
+        let one = r#"
+            pub fn f(&self) { let a = self.x.lock(); let b = self.y.lock(); }
+        "#;
+        let two = r#"
+            pub fn g(&self) { let b = self.y.lock(); let a = self.x.lock(); }
+        "#;
+        let (g, allows) = graph_and_allows(&[
+            ("crate-one", "a/src/lib.rs", true, one),
+            ("crate-two", "b/src/lib.rs", true, two),
+        ]);
+        assert!(lock_order_findings(&g, &allows).is_empty());
+    }
+}

@@ -8,7 +8,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{check_file, FileContext, FileKind, Finding};
+use crate::graph::WorkspaceGraph;
+use crate::rules::{allow_directives, check_file, FileContext, FileKind, Finding};
+use crate::taint::{self, AllowMap};
 
 /// How a crate is classified for rule scoping.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,7 +24,13 @@ pub enum CrateRole {
 
 /// Crates whose *job* is nondeterministic-by-nature tooling. Everything
 /// else — including every future crate — defaults to `Simulation`, so new
-/// code is held to the strict rules unless this list says otherwise.
+/// code is held to the strict rules unless this list says otherwise. A
+/// crate can also opt out explicitly in its own manifest:
+///
+/// ```toml
+/// [package.metadata.starlint]
+/// role = "tooling"
+/// ```
 const TOOLING_CRATES: &[&str] =
     &["starsense-lint", "starsense-bench", "rand", "proptest", "criterion"];
 
@@ -49,11 +57,15 @@ pub struct LintReport {
 }
 
 impl LintReport {
-    /// Renders findings one per line as `path:line:col CODE message`.
+    /// Renders findings one per line as `path:line:col CODE message`,
+    /// followed by indented `via` lines for X-series call chains.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
             out.push_str(&format!("{}:{}:{} {} {}\n", f.path, f.line, f.col, f.code, f.message));
+            for hop in &f.chain {
+                out.push_str(&format!("    via {hop}\n"));
+            }
         }
         out.push_str(&format!(
             "starlint: {} finding(s) in {} file(s) across {} crate(s)\n",
@@ -86,13 +98,17 @@ impl LintReport {
             if i > 0 {
                 out.push(',');
             }
+            let chain =
+                f.chain.iter().map(|hop| format!("\"{}\"", esc(hop))).collect::<Vec<_>>().join(",");
             out.push_str(&format!(
-                "{{\"path\":\"{}\",\"line\":{},\"col\":{},\"code\":\"{}\",\"message\":\"{}\"}}",
+                "{{\"path\":\"{}\",\"line\":{},\"col\":{},\"code\":\"{}\",\"message\":\"{}\",\
+                 \"chain\":[{}]}}",
                 esc(&f.path),
                 f.line,
                 f.col,
                 f.code,
-                esc(&f.message)
+                esc(&f.message),
+                chain
             ));
         }
         out.push_str(&format!(
@@ -180,7 +196,7 @@ pub fn discover_crates(root: &Path) -> std::io::Result<Vec<CrateInfo>> {
     let mut crates = Vec::new();
     // The root manifest may also declare a package (this workspace does).
     if let Some(name) = toml_string_value(&manifest, "package", "name") {
-        crates.push(CrateInfo { role: role_of(&name), name, dir: root.to_path_buf() });
+        crates.push(CrateInfo { role: role_of(&name, &manifest), name, dir: root.to_path_buf() });
     }
     for pattern in workspace_members(&manifest) {
         for dir in expand_member(root, &pattern) {
@@ -190,17 +206,18 @@ pub fn discover_crates(root: &Path) -> std::io::Result<Vec<CrateInfo>> {
             let Some(name) = toml_string_value(&member_toml, "package", "name") else {
                 continue;
             };
-            crates.push(CrateInfo { role: role_of(&name), name, dir });
+            crates.push(CrateInfo { role: role_of(&name, &member_toml), name, dir });
         }
     }
     Ok(crates)
 }
 
-fn role_of(name: &str) -> CrateRole {
-    if TOOLING_CRATES.contains(&name) {
-        CrateRole::Tooling
-    } else {
-        CrateRole::Simulation
+fn role_of(name: &str, manifest: &str) -> CrateRole {
+    match toml_string_value(manifest, "package.metadata.starlint", "role").as_deref() {
+        Some("tooling") => CrateRole::Tooling,
+        Some("simulation") => CrateRole::Simulation,
+        _ if TOOLING_CRATES.contains(&name) => CrateRole::Tooling,
+        _ => CrateRole::Simulation,
     }
 }
 
@@ -242,10 +259,14 @@ fn classify(rel: &Path) -> (FileKind, bool) {
     }
 }
 
-/// Lints every crate of the workspace rooted at `root`.
+/// Lints every crate of the workspace rooted at `root`: the per-file rule
+/// engine on every `.rs` file, then the call-graph passes (X-series
+/// taint, C102 lock order) over all library code together.
 pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
     let crates = discover_crates(root)?;
     let mut report = LintReport::default();
+    let mut graph = WorkspaceGraph::default();
+    let mut allows = AllowMap::new();
     for info in &crates {
         report.crates.push(info.name.clone());
         let mut files = Vec::new();
@@ -265,10 +286,15 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
                 simulation: info.role == CrateRole::Simulation,
                 crate_root,
             };
+            if kind == FileKind::Lib {
+                graph.add_file(&src, &ctx, &info.name);
+                allows.insert(ctx.path.clone(), allow_directives(&src));
+            }
             report.files_scanned += 1;
             report.findings.extend(check_file(&src, &ctx));
         }
     }
+    report.findings.extend(taint::workspace_findings(&graph, &allows));
     report
         .findings
         .sort_by(|a, b| (&a.path, a.line, a.col, a.code).cmp(&(&b.path, b.line, b.col, b.code)));
@@ -309,30 +335,59 @@ mod tests {
 
     #[test]
     fn tooling_roles_cover_the_shims_and_linter() {
-        assert_eq!(role_of("starsense-lint"), CrateRole::Tooling);
-        assert_eq!(role_of("criterion"), CrateRole::Tooling);
-        assert_eq!(role_of("starsense-scheduler"), CrateRole::Simulation);
-        assert_eq!(role_of("a-brand-new-crate"), CrateRole::Simulation);
+        assert_eq!(role_of("starsense-lint", ""), CrateRole::Tooling);
+        assert_eq!(role_of("criterion", ""), CrateRole::Tooling);
+        assert_eq!(role_of("starsense-scheduler", ""), CrateRole::Simulation);
+        assert_eq!(role_of("a-brand-new-crate", ""), CrateRole::Simulation);
+    }
+
+    #[test]
+    fn manifest_metadata_overrides_the_role_list() {
+        let tooling =
+            "[package]\nname = \"helpers\"\n[package.metadata.starlint]\nrole = \"tooling\"\n";
+        assert_eq!(role_of("helpers", tooling), CrateRole::Tooling);
+        let sim =
+            "[package]\nname = \"rand\"\n[package.metadata.starlint]\nrole = \"simulation\"\n";
+        assert_eq!(role_of("rand", sim), CrateRole::Simulation);
+        let junk = "[package.metadata.starlint]\nrole = \"whatever\"\n";
+        assert_eq!(role_of("rand", junk), CrateRole::Tooling);
     }
 
     #[test]
     fn report_renders_text_and_json() {
         let report = LintReport {
-            findings: vec![crate::rules::Finding {
-                code: "P101",
-                message: "msg with \"quotes\"".to_string(),
-                path: "a/b.rs".to_string(),
-                line: 3,
-                col: 7,
-            }],
+            findings: vec![
+                crate::rules::Finding {
+                    code: "P101",
+                    message: "msg with \"quotes\"".to_string(),
+                    path: "a/b.rs".to_string(),
+                    line: 3,
+                    col: 7,
+                    chain: Vec::new(),
+                },
+                crate::rules::Finding {
+                    code: "X101",
+                    message: "clock read".to_string(),
+                    path: "c/d.rs".to_string(),
+                    line: 9,
+                    col: 1,
+                    chain: vec![
+                        "sim::step (a/b.rs:2)".to_string(),
+                        "util::now (c/d.rs:8)".to_string(),
+                    ],
+                },
+            ],
             files_scanned: 1,
             crates: vec!["demo".to_string()],
         };
         let text = report.to_text();
         assert!(text.contains("a/b.rs:3:7 P101"));
-        assert!(text.contains("1 finding(s)"));
+        assert!(text.contains("    via sim::step (a/b.rs:2)\n    via util::now (c/d.rs:8)\n"));
+        assert!(text.contains("2 finding(s)"));
         let json = report.to_json();
         assert!(json.contains("\"code\":\"P101\""));
         assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"chain\":[]"));
+        assert!(json.contains("\"chain\":[\"sim::step (a/b.rs:2)\",\"util::now (c/d.rs:8)\"]"));
     }
 }

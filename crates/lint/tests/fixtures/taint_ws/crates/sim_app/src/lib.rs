@@ -1,0 +1,22 @@
+//! Fixture simulation crate: never touches a determinism source itself,
+//! but calls into `util_helpers`, which does. The cross-crate taint pass
+//! must attribute the helper's sources to these entry points.
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// One simulation step; transitively reaches a wall-clock read two calls
+/// away (`util_helpers::stamp_ms` → `util_helpers::now_raw`).
+pub fn step(tick: u64) -> u64 {
+    util_helpers::stamp_ms() + tick
+}
+
+/// Tallies values through the helper's hash-order iteration.
+pub fn tally(xs: &[u64]) -> u64 {
+    util_helpers::spread(xs)
+}
+
+/// Logging path: the helper justifies its clock read at the source with
+/// an allow directive, so no finding may surface here.
+pub fn trace(tick: u64) -> u64 {
+    util_helpers::logged_at(tick)
+}

@@ -1,0 +1,40 @@
+//! Fixture helper crate, opted out of the simulation role via
+//! `[package.metadata.starlint] role = "tooling"`: its determinism
+//! sources escape the per-file D-series and must be caught by the
+//! interprocedural taint pass when simulation code calls in.
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Milliseconds since an arbitrary epoch — two hops from the caller to
+/// the clock read, exercising multi-hop chain reporting.
+pub fn stamp_ms() -> u64 {
+    now_raw()
+}
+
+fn now_raw() -> u64 {
+    Instant::now().elapsed().as_millis() as u64
+}
+
+/// Spreads values through a `HashMap` and folds them in iteration order —
+/// the classic order-nondeterminism the X103 rule exists for.
+pub fn spread(xs: &[u64]) -> u64 {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    for (i, x) in xs.iter().enumerate() {
+        m.insert(i as u64, *x);
+    }
+    let mut acc = 0u64;
+    for (k, v) in m.iter() {
+        acc = acc.wrapping_mul(31).wrapping_add(k ^ v);
+    }
+    acc
+}
+
+/// A clock read justified where it happens: the allow directive at the
+/// source suppresses every call chain through it.
+pub fn logged_at(tick: u64) -> u64 {
+    // starlint: allow(X101, reason = "diagnostic timestamp; never fed back into simulation state")
+    let _wall = Instant::now();
+    tick
+}

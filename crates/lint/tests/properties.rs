@@ -13,7 +13,9 @@
 
 use proptest::prelude::*;
 
-use starsense_lint::lexer::{lex, TokenKind};
+use starsense_lint::graph::WorkspaceGraph;
+use starsense_lint::lexer::{lex, Token, TokenKind};
+use starsense_lint::parser::parse_items;
 use starsense_lint::rules::{check_file, FileContext, FileKind};
 
 /// A lib-file context in a simulation crate: the strictest configuration,
@@ -271,5 +273,69 @@ proptest! {
                 t.text, t.start, t.line, expected_line - 1
             );
         }
+    }
+
+    /// The item parser and graph builder accept *any* token stream without
+    /// panicking: malformed streams just yield fewer items. This is the one
+    /// invariant the parser promises (it has no error path at all).
+    #[test]
+    fn parser_and_graph_never_panic(parts in prop::collection::vec(fragments(), 0..60)) {
+        let src: String = parts.join(" ");
+        let tokens = lex(&src);
+        let sig: Vec<Token<'_>> = tokens
+            .into_iter()
+            .filter(|t| !matches!(
+                t.kind,
+                TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+            ))
+            .collect();
+        let _ = parse_items(&sig);
+        let mut g = WorkspaceGraph::default();
+        g.add_file(&src, &strict_ctx(), "fuzz-crate");
+        let _ = g.resolve_edges();
+    }
+}
+
+/// Base sources for the perturbation property: each pairs a snippet with
+/// the finding codes it must always produce (comments and whitespace must
+/// never change *what* is found, only where).
+const PERTURBATION_BASES: &[(&str, &[&str])] = &[
+    ("fn f() -> u64 { let mut rng = rand::thread_rng(); rng.next_u64() }", &["D103"]),
+    ("fn f(x: Option<u8>) -> u8 { x.unwrap() }", &["P101"]),
+    ("fn f(a: f64) -> bool { a == 0.3 }", &["Q101"]),
+    ("fn f(x: u8) -> u8 { x + 1 }", &[]),
+];
+
+/// Token separators that are pure noise to the rule engine: whitespace and
+/// comments that are not allow directives.
+fn noise_separators() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![" ", "  ", "\n", "\n\n", "\t", " /* note */ ", " /* a /* b */ c */ "])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Re-spacing a file and sprinkling comments between its tokens must
+    /// leave the finding codes exactly unchanged: rules see significant
+    /// tokens, never layout.
+    #[test]
+    fn findings_are_invariant_under_comment_and_whitespace_perturbation(
+        base in 0usize..PERTURBATION_BASES.len(),
+        seps in prop::collection::vec(noise_separators(), 64),
+    ) {
+        let (src, expected) = PERTURBATION_BASES[base];
+        let tokens = lex(src);
+        let mut perturbed = String::new();
+        for (i, t) in tokens.iter().enumerate() {
+            perturbed.push_str(seps[i % seps.len()]);
+            perturbed.push_str(t.text);
+        }
+        perturbed.push_str(seps[tokens.len() % seps.len()]);
+        let codes: Vec<&str> =
+            check_file(&perturbed, &strict_ctx()).iter().map(|f| f.code).collect();
+        prop_assert_eq!(
+            &codes[..], expected,
+            "perturbation changed findings for {:?}:\n{}", src, perturbed
+        );
     }
 }

@@ -1,0 +1,77 @@
+//! End-to-end checks of the cross-crate taint pass against the fixture
+//! workspace in `tests/fixtures/taint_ws`: a simulation crate (`sim_app`)
+//! calling into a helper crate (`util_helpers`) whose manifest opts it
+//! out of the simulation role, so only the interprocedural pass can see
+//! its clock reads and hash-order iteration.
+
+use std::path::{Path, PathBuf};
+
+use starsense_lint::lint_workspace;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures").join("taint_ws")
+}
+
+#[test]
+fn cross_crate_taint_chains_are_detected_with_full_chains() {
+    let report = lint_workspace(&fixture_root()).expect("fixture workspace lints");
+    let codes: Vec<&str> = report.findings.iter().map(|f| f.code).collect();
+    assert_eq!(codes, ["X101", "X103"], "unexpected findings: {:#?}", report.findings);
+
+    let x101 = &report.findings[0];
+    assert_eq!(x101.path, "crates/util_helpers/src/lib.rs");
+    assert!(x101.message.contains("Instant::now()"), "{}", x101.message);
+    assert!(x101.message.contains("sim_app::step"), "{}", x101.message);
+    let chain = x101.chain.join(" -> ");
+    assert!(chain.contains("sim_app::step (crates/sim_app/src/lib.rs:"), "{chain}");
+    assert!(chain.contains("util_helpers::stamp_ms"), "{chain}");
+    assert!(chain.contains("util_helpers::now_raw"), "{chain}");
+    assert_eq!(x101.chain.len(), 3, "{chain}");
+
+    let x103 = &report.findings[1];
+    assert!(x103.message.contains("hash-order iteration"), "{}", x103.message);
+    assert!(x103.chain.join(" -> ").contains("sim_app::tally"), "{:?}", x103.chain);
+}
+
+#[test]
+fn allow_at_the_source_suppresses_every_chain_through_it() {
+    let report = lint_workspace(&fixture_root()).expect("fixture workspace lints");
+    // `sim_app::trace` reaches `util_helpers::logged_at`'s clock read, but
+    // the allow directive at the source kills the whole chain.
+    assert!(
+        report.findings.iter().all(|f| !f.message.contains("logged_at")),
+        "suppressed source leaked: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn manifest_role_override_disables_the_per_file_d_series() {
+    let report = lint_workspace(&fixture_root()).expect("fixture workspace lints");
+    // `util_helpers` reads Instant::now and iterates a HashMap in library
+    // code; were it classified as a simulation crate, D102/D201 would
+    // fire. Only X-series findings may appear.
+    assert!(
+        report.findings.iter().all(|f| f.code.starts_with('X')),
+        "per-file D-series leaked into the tooling crate: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn chains_appear_in_both_output_formats() {
+    let report = lint_workspace(&fixture_root()).expect("fixture workspace lints");
+    let text = report.to_text();
+    assert!(text.contains("    via sim_app::step"), "{text}");
+    let json = report.to_json();
+    assert!(json.contains("\"code\":\"X101\""), "{json}");
+    assert!(json.contains("\"chain\":[\"sim_app::step"), "{json}");
+}
+
+#[test]
+fn fixture_reports_are_byte_identical_across_runs() {
+    let a = lint_workspace(&fixture_root()).expect("fixture workspace lints");
+    let b = lint_workspace(&fixture_root()).expect("fixture workspace lints");
+    assert_eq!(a.to_text(), b.to_text());
+    assert_eq!(a.to_json(), b.to_json());
+}

@@ -1,0 +1,20 @@
+//! The linter must hold itself to its own standard: two runs over the
+//! real workspace produce byte-identical reports (finding order, text and
+//! JSON rendering all deterministic), and the workspace dogfoods to zero
+//! unsuppressed findings under the full rule set — per-file families plus
+//! the call-graph taint and lock-order passes.
+
+use std::path::Path;
+
+use starsense_lint::lint_workspace;
+
+#[test]
+fn real_workspace_runs_are_byte_identical_and_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let a = lint_workspace(&root).expect("workspace lints");
+    let b = lint_workspace(&root).expect("workspace lints");
+    assert_eq!(a.to_text(), b.to_text(), "text report differs between runs");
+    assert_eq!(a.to_json(), b.to_json(), "json report differs between runs");
+    assert!(a.files_scanned > 0, "workspace walk found no files");
+    assert!(a.findings.is_empty(), "workspace must dogfood clean:\n{}", a.to_text());
+}

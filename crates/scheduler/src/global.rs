@@ -33,7 +33,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use starsense_astro::time::JulianDate;
 use starsense_constellation::{Constellation, PropagationCache, Snapshot, VisibleSat};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tunable preferences of the hidden scheduler. Zeroing a weight removes
 /// the corresponding preference — the knobs the ablation benches turn.
@@ -146,7 +146,9 @@ pub struct GlobalScheduler {
     gso: Vec<GsoExclusion>,
     load: LoadModel,
     rng: StdRng,
-    previous: HashMap<usize, u32>,
+    // Ordered map: access today is keyed-only, but any future iteration
+    // (snapshotting, sharded merges) must not depend on hash order.
+    previous: BTreeMap<usize, u32>,
     scratch: AllocScratch,
 }
 
@@ -166,7 +168,7 @@ impl GlobalScheduler {
             gso,
             load: LoadModel::new(seed ^ 0x10AD, 0.5),
             rng: StdRng::seed_from_u64(seed),
-            previous: HashMap::new(),
+            previous: BTreeMap::new(),
             scratch: AllocScratch::default(),
         }
     }
