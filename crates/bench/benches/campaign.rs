@@ -13,21 +13,27 @@
 //!   an agreement check (the pruned winner must always equal the
 //!   exhaustive winner);
 //! * **terminal scaling** — scheduler-tick throughput (slot·terminals per
-//!   second) at 4/64/256 terminals, for the visibility-indexed
-//!   field-of-view path against the reference full-catalog linear scan.
+//!   second) across the [`SCALING_SWEEP`] list: 4/64/256 terminals on the
+//!   mini constellation with the reference full-catalog linear scan for
+//!   comparison, then 1 000 and 10 000 terminals on the 4 236-satellite
+//!   multi-shell gen1 constellation (indexed path only — the linear
+//!   reference is priced out exactly where the index matters most).
 //!
 //! `--test` (as in `cargo bench -- --test`) runs a smoke pass: tiny
-//! workload (the 256-terminal sweep point drops to a single slot), no
-//! JSON written.
+//! workload (the large sweep points drop to a single slot), no JSON
+//! written.
 //!
 //! `--check-baseline` compares the freshly measured serial throughputs
-//! (oracle, identified, 256-terminal indexed sweep) against the committed
-//! `BENCH_campaign.json` before it is overwritten, and exits non-zero on a
-//! >20% regression on any of them. The check only scores hosts comparable
-//! to the baseline (same recorded `host_threads`); otherwise it degrades
-//! to a warning, so CI runners of any width can run it. In smoke mode it
-//! degrades to a structural check: the committed JSON must still carry
-//! every guarded number (the tiny workload measures nothing).
+//! (oracle, identified, 256- and 1 000-terminal indexed sweeps) against
+//! the committed `BENCH_campaign.json` before it is overwritten, and exits
+//! non-zero on a >20% regression on any of them. On hosts with at least
+//! [`SPEEDUP_HOST_THREADS`] CPUs it also demands an identified-mode
+//! parallel speedup of ≥ [`MIN_PARALLEL_SPEEDUP`]×. The regression check
+//! only scores hosts comparable to the baseline (same recorded
+//! `host_threads`); otherwise it degrades to a warning, so CI runners of
+//! any width can run it. In smoke mode it degrades to a structural check:
+//! the committed JSON must still carry every guarded number and the
+//! speedup fields (the tiny workload measures nothing).
 
 use starsense_astro::frames::Geodetic;
 use starsense_astro::time::JulianDate;
@@ -112,12 +118,89 @@ fn time_terminal_sweep(c: &Constellation, n: usize, slots: usize, linear: bool) 
     (slots * n) as f64 / elapsed
 }
 
+/// Which catalog a sweep point schedules against.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SweepCatalog {
+    /// 384-satellite single-shell `starlink_mini`.
+    Mini,
+    /// 4 236-satellite four-shell `starlink_gen1`.
+    Gen1,
+}
+
+impl SweepCatalog {
+    fn label(self) -> &'static str {
+        match self {
+            SweepCatalog::Mini => "starlink_mini_384sats",
+            SweepCatalog::Gen1 => "starlink_gen1_4236sats",
+        }
+    }
+}
+
+/// One declared entry of the terminal-scaling sweep. The list is data, not
+/// code: adding a point means adding a line here — the measurement loop,
+/// the JSON emission (`"t{terminals}"` keys, kept `json_number`-parsable
+/// for the gated entries), and the console report all follow.
+struct SweepSpec {
+    terminals: usize,
+    /// Scheduler ticks in the full run.
+    slots: usize,
+    /// Scheduler ticks in smoke mode.
+    smoke_slots: usize,
+    /// Run the reference full-catalog linear scan too. Affordable only at
+    /// small terminal counts; the large points report the indexed path
+    /// alone.
+    linear: bool,
+    catalog: SweepCatalog,
+}
+
+/// The terminal-scaling sweep: the historical 4/64/256 mini-constellation
+/// points (with the linear reference), then the 1k/10k terminal points on
+/// the multi-shell gen1 catalog.
+const SCALING_SWEEP: &[SweepSpec] = &[
+    SweepSpec {
+        terminals: 4,
+        slots: 48,
+        smoke_slots: 2,
+        linear: true,
+        catalog: SweepCatalog::Mini,
+    },
+    SweepSpec {
+        terminals: 64,
+        slots: 32,
+        smoke_slots: 2,
+        linear: true,
+        catalog: SweepCatalog::Mini,
+    },
+    SweepSpec {
+        terminals: 256,
+        slots: 16,
+        smoke_slots: 1,
+        linear: true,
+        catalog: SweepCatalog::Mini,
+    },
+    SweepSpec {
+        terminals: 1_000,
+        slots: 8,
+        smoke_slots: 1,
+        linear: false,
+        catalog: SweepCatalog::Gen1,
+    },
+    SweepSpec {
+        terminals: 10_000,
+        slots: 2,
+        smoke_slots: 1,
+        linear: false,
+        catalog: SweepCatalog::Gen1,
+    },
+];
+
 /// One measured point of the terminal-scaling sweep.
 struct SweepPoint {
-    terminals: usize,
+    spec: &'static SweepSpec,
     slots: usize,
     indexed: f64,
-    linear: f64,
+    /// `None` where the spec skips the linear reference.
+    linear: Option<f64>,
 }
 
 struct DtwSweep {
@@ -190,6 +273,10 @@ fn json_f(v: f64) -> String {
     }
 }
 
+fn json_opt(v: Option<f64>) -> String {
+    v.map(json_f).unwrap_or_else(|| "null".to_string())
+}
+
 const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
 
 /// Maximum tolerated throughput loss on any guarded metric versus the
@@ -197,14 +284,28 @@ const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_
 const MAX_REGRESSION: f64 = 0.20;
 
 /// The JSON paths `--check-baseline` guards, with human-readable labels.
-const GUARDED_METRICS: [(&[&str], &str); 3] = [
+const GUARDED_METRICS: [(&[&str], &str); 4] = [
     (&["oracle", "serial_slots_per_sec"], "oracle serial slots/s"),
     (&["identified", "serial_slots_per_sec"], "identified serial slots/s"),
     (
         &["terminal_scaling", "t256", "indexed_slot_terminals_per_sec"],
         "256-terminal indexed slot·terminals/s",
     ),
+    (
+        &["terminal_scaling", "t1000", "indexed_slot_terminals_per_sec"],
+        "1000-terminal gen1 indexed slot·terminals/s",
+    ),
 ];
+
+/// Identified-mode parallel speedup demanded by `--check-baseline` on
+/// hosts with at least [`SPEEDUP_HOST_THREADS`] CPUs. Below that width a
+/// 1.5× gain is not physically available, so the check degrades to a
+/// warning (and smoke mode validates the baseline's speedup fields
+/// structurally instead).
+const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
+
+/// Minimum host width for the parallel-speedup assertion to be scored.
+const SPEEDUP_HOST_THREADS: usize = 4;
 
 /// Scores each freshly measured guarded metric against the committed
 /// baseline document. Returns the first >20% regression as an error, and
@@ -269,6 +370,21 @@ fn validate_baseline_structure(baseline: Option<&str>) -> Result<String, String>
             missing.push(path.join("."));
         }
     }
+    // The parallel-speedup fields the multi-thread assertion scores, and
+    // every declared sweep point: a sweep entry silently dropped from the
+    // emitter should fail CI even on narrow smoke hosts.
+    for path in [&["oracle", "speedup"][..], &["identified", "speedup"][..]] {
+        if starsense_bench::json_number(doc, path).is_none() {
+            missing.push(path.join("."));
+        }
+    }
+    for spec in SCALING_SWEEP {
+        let key = format!("t{}", spec.terminals);
+        let path = ["terminal_scaling", key.as_str(), "indexed_slot_terminals_per_sec"];
+        if starsense_bench::json_number(doc, &path).is_none() {
+            missing.push(path.join("."));
+        }
+    }
     if missing.is_empty() {
         Ok("baseline structure ok: all guarded metrics present".to_string())
     } else {
@@ -304,28 +420,48 @@ fn main() {
         ident_parallel / ident_serial
     );
 
-    // Terminal scaling: the 256-terminal point gets fewer slots (and a
-    // single one in smoke mode) so the linear reference stays affordable.
-    let scaling_points: &[(usize, usize)] =
-        if smoke { &[(4, 2), (64, 2), (256, 1)] } else { &[(4, 48), (64, 32), (256, 16)] };
-    let scaling: Vec<SweepPoint> = scaling_points
+    // Terminal scaling: the declared sweep list, with the large points on
+    // the multi-shell gen1 catalog (built once, only when needed).
+    let gen1 = SCALING_SWEEP
         .iter()
-        .map(|&(terminals, slots)| SweepPoint {
-            terminals,
-            slots,
-            indexed: time_terminal_sweep(&constellation, terminals, slots, false),
-            linear: time_terminal_sweep(&constellation, terminals, slots, true),
+        .any(|s| s.catalog == SweepCatalog::Gen1)
+        .then(|| ConstellationBuilder::starlink_gen1().seed(SEED).build());
+    let scaling: Vec<SweepPoint> = SCALING_SWEEP
+        .iter()
+        .map(|spec| {
+            let catalog = match spec.catalog {
+                SweepCatalog::Mini => &constellation,
+                SweepCatalog::Gen1 => gen1.as_ref().expect("gen1 catalog built above"),
+            };
+            let slots = if smoke { spec.smoke_slots } else { spec.slots };
+            SweepPoint {
+                spec,
+                slots,
+                indexed: time_terminal_sweep(catalog, spec.terminals, slots, false),
+                linear: spec
+                    .linear
+                    .then(|| time_terminal_sweep(catalog, spec.terminals, slots, true)),
+            }
         })
         .collect();
     for p in &scaling {
-        println!(
-            "scaling/allocate_{}terms_{}slots        indexed {:9.0} slot·terms/s   linear {:9.0} slot·terms/s   speedup {:.2}x",
-            p.terminals,
-            p.slots,
-            p.indexed,
-            p.linear,
-            p.indexed / p.linear
-        );
+        match p.linear {
+            Some(linear) => println!(
+                "scaling/allocate_{}terms_{}slots        indexed {:9.0} slot·terms/s   linear {:9.0} slot·terms/s   speedup {:.2}x",
+                p.spec.terminals,
+                p.slots,
+                p.indexed,
+                linear,
+                p.indexed / linear
+            ),
+            None => println!(
+                "scaling/allocate_{}terms_{}slots ({})  indexed {:9.0} slot·terms/s",
+                p.spec.terminals,
+                p.slots,
+                p.spec.catalog.label(),
+                p.indexed
+            ),
+        }
     }
 
     let sweep = dtw_sweep(&constellation, sweep_slots);
@@ -361,15 +497,17 @@ fn main() {
             format!(
                 r#"    "t{}": {{
       "slots": {},
+      "constellation": "{}",
       "indexed_slot_terminals_per_sec": {},
       "linear_slot_terminals_per_sec": {},
       "speedup": {}
     }}"#,
-                p.terminals,
+                p.spec.terminals,
                 p.slots,
+                p.spec.catalog.label(),
                 json_f(p.indexed),
-                json_f(p.linear),
-                json_f(p.indexed / p.linear),
+                json_opt(p.linear),
+                json_opt(p.linear.map(|l| p.indexed / l)),
             )
         })
         .collect();
@@ -426,8 +564,10 @@ fn main() {
     println!("wrote {BENCH_JSON_PATH}");
 
     if check_baseline {
-        let t256_indexed = scaling.last().map(|p| p.indexed).unwrap_or(0.0);
-        let fresh = [oracle_serial, ident_serial, t256_indexed];
+        let indexed_at = |terminals: usize| {
+            scaling.iter().find(|p| p.spec.terminals == terminals).map(|p| p.indexed).unwrap_or(0.0)
+        };
+        let fresh = [oracle_serial, ident_serial, indexed_at(256), indexed_at(1_000)];
         match check_against_baseline(committed_baseline.as_deref(), &fresh, host_threads) {
             Ok(verdicts) => {
                 for v in verdicts {
@@ -438,6 +578,28 @@ fn main() {
                 eprintln!("{regression}");
                 std::process::exit(1);
             }
+        }
+
+        // The point of the sharded engine: on a genuinely multi-core host
+        // the identified campaign must beat its own serial run by 1.5x.
+        // Narrower hosts cannot score this, so they say so instead.
+        let speedup = ident_parallel / ident_serial;
+        if host_threads >= SPEEDUP_HOST_THREADS {
+            if speedup < MIN_PARALLEL_SPEEDUP {
+                eprintln!(
+                    "identified parallel speedup {speedup:.2}x below the required \
+                     {MIN_PARALLEL_SPEEDUP:.1}x on a {host_threads}-thread host"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "identified parallel speedup: ok, {speedup:.2}x >= {MIN_PARALLEL_SPEEDUP:.1}x"
+            );
+        } else {
+            println!(
+                "identified parallel speedup check skipped: host_threads={host_threads} < \
+                 {SPEEDUP_HOST_THREADS} (measured {speedup:.2}x)"
+            );
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Shared per-epoch propagation cache.
+//! Two-tier per-epoch propagation cache.
 //!
 //! A measurement campaign asks for the same instants over and over: every
 //! terminal's field-of-view query hits the slot's epoch, and every
@@ -8,43 +8,60 @@
 //! side) per exact epoch, so the constellation is SGP4-propagated once per
 //! instant no matter how many terminals — or worker threads — observe it.
 //!
-//! The cache is read-through and thread-safe (`RwLock` around plain maps),
-//! which makes it the natural rendezvous point for the parallel campaign
-//! engine: phase-A workers pre-warm slot epochs concurrently, and the
-//! serial scheduler pass plus the per-terminal observation workers all hit
-//! warm entries. Values are returned as `Arc`s so readers never hold a
-//! lock while using a snapshot.
+//! The cache has two tiers:
+//!
+//! 1. **Prepared table** — an immutable, sorted epoch table built once by
+//!    [`PropagationCache::prepare`] (a single batched, optionally parallel
+//!    fill through the struct-of-arrays SGP4 path). Lookups against it are
+//!    a binary search over a frozen `Vec` behind a `OnceLock`: **no lock,
+//!    no write, no contention** on the hot read path, which is what lets
+//!    the sharded campaign workers scale with cores. The campaign engine
+//!    prepares every slot epoch (and, in identified mode, every slot
+//!    boundary epoch) up front.
+//! 2. **Fallback maps** — `RwLock<HashMap>` read-through maps for epochs
+//!    nobody prepared (ad-hoc queries, benches, misaligned slots). This is
+//!    the cold path; correctness never depends on reaching it.
+//!
+//! Per-(satellite, epoch) sparse lookups moved out of the shared cache
+//! entirely: [`SparseMemo`] is a plain single-owner memo a caller (one
+//! identification track cache, one shard worker) holds privately, so sparse
+//! traffic never crosses threads and never takes a lock.
 //!
 //! Determinism: an epoch is keyed by the exact bit pattern of its Julian
 //! date, and the cached value is a pure function of (catalog, epoch), so a
 //! cache hit is bit-identical to recomputation and results cannot depend
-//! on which thread populated an entry first.
+//! on which thread populated an entry first — nor on whether an epoch was
+//! served by the prepared table, a fallback map, or a sparse memo.
 
 use crate::catalog::{Constellation, Snapshot};
 use starsense_astro::time::JulianDate;
 use starsense_astro::vec3::Vec3;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Hit/miss counters, for benches and capacity planning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from a warm entry.
+    /// Lookups answered from a warm entry (prepared table or fallback map).
     pub hits: usize,
     /// Lookups that had to propagate (a full catalog row or snapshot).
     pub misses: usize,
-    /// True-snapshot entries currently cached.
+    /// True-snapshot entries currently cached (prepared + fallback).
     pub truth_entries: usize,
-    /// Published-position entries currently cached.
+    /// Published-position entries currently cached (prepared + fallback).
     pub published_entries: usize,
-    /// Single-satellite lookups answered from a warm entry (full row or
-    /// sparse memo).
-    pub sparse_hits: usize,
-    /// Single-satellite lookups that had to propagate one satellite.
-    pub sparse_misses: usize,
-    /// Per-(satellite, epoch) entries currently memoized.
-    pub sparse_entries: usize,
+}
+
+/// The immutable tier-1 epoch table: sorted epoch keys with their
+/// propagated rows, built once and never mutated, so readers need no
+/// synchronization beyond the `OnceLock` publication.
+#[derive(Debug, Default)]
+struct PreparedEpochs {
+    truth_keys: Vec<u64>,
+    truth_rows: Vec<Arc<Snapshot>>,
+    published_keys: Vec<u64>,
+    published_rows: Vec<Arc<Vec<Option<Vec3>>>>,
 }
 
 /// A thread-safe, read-through memo of per-epoch propagation results for
@@ -52,21 +69,18 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct PropagationCache<'a> {
     constellation: &'a Constellation,
-    // Determinism audit: these maps are accessed by key only — `get`,
-    // `entry().or_insert`, `len`, `clear`. Hash order is never observed,
-    // so `HashMap`'s O(1) lookups are safe on the terminal-scale hot
-    // path. Any future iteration over them must switch to `BTreeMap` or
-    // sort the keys first (starlint D201/X103 will flag it).
+    /// Tier 1: immutable prepared epoch table (see module docs).
+    prepared: OnceLock<PreparedEpochs>,
+    // Tier 2 fallback. Determinism audit: these maps are accessed by key
+    // only — `get`, `entry().or_insert`, `len`, `clear`. Hash order is
+    // never observed, so `HashMap`'s O(1) lookups are safe on the
+    // terminal-scale hot path. Any future iteration over them must switch
+    // to `BTreeMap` or sort the keys first (starlint D201/X103 will flag
+    // it).
     truth: RwLock<HashMap<u64, Arc<Snapshot>>>,
     published: RwLock<HashMap<u64, Arc<Vec<Option<Vec3>>>>>,
-    /// Per-(epoch, satellite) published positions, for callers — like the
-    /// identification track cache — that only need a pruned subset of the
-    /// catalog at an epoch and should not pay for a full row.
-    sparse: RwLock<HashMap<(u64, u32), Option<Vec3>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
-    sparse_hits: AtomicUsize,
-    sparse_misses: AtomicUsize,
 }
 
 /// Locks can only be poisoned by a panicking writer; the cached values are
@@ -80,18 +94,60 @@ fn write_unpoisoned<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Sorted, deduplicated bit-pattern keys for a list of epochs.
+fn sorted_keys(epochs: &[JulianDate]) -> Vec<u64> {
+    let mut keys: Vec<u64> = epochs.iter().map(|at| at.0.to_bits()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Computes `rows[i] = make(keys[i])` across up to `threads` scoped
+/// workers. Workers take interleaved indices and return `(index, row)`
+/// pairs that are merged by index, so the output order — and therefore
+/// everything downstream — is independent of scheduling.
+fn fill_rows<R: Send>(
+    keys: &[u64],
+    threads: usize,
+    make: impl Fn(JulianDate) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(keys.len().max(1));
+    if threads <= 1 {
+        return keys.iter().map(|&k| make(JulianDate(f64::from_bits(k)))).collect();
+    }
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(keys.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..threads {
+            let make = &make;
+            handles.push(scope.spawn(move || {
+                keys.iter()
+                    .enumerate()
+                    .skip(worker)
+                    .step_by(threads)
+                    .map(|(i, &k)| (i, make(JulianDate(f64::from_bits(k)))))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            let part = handle.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            indexed.extend(part);
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
 impl<'a> PropagationCache<'a> {
     /// Creates an empty cache over `constellation`.
     pub fn new(constellation: &'a Constellation) -> PropagationCache<'a> {
         PropagationCache {
             constellation,
+            prepared: OnceLock::new(),
             truth: RwLock::new(HashMap::new()),
             published: RwLock::new(HashMap::new()),
-            sparse: RwLock::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
-            sparse_hits: AtomicUsize::new(0),
-            sparse_misses: AtomicUsize::new(0),
         }
     }
 
@@ -100,10 +156,57 @@ impl<'a> PropagationCache<'a> {
         self.constellation
     }
 
+    /// Builds the immutable tier-1 epoch table: true snapshots for every
+    /// epoch in `truth_epochs` and published-TLE rows for every epoch in
+    /// `published_epochs`, filled by one batched pass fanned across up to
+    /// `threads` scoped workers (≤ 1 fills serially).
+    ///
+    /// Returns `false` (and changes nothing) if the table was already
+    /// built — the table is write-once by design, so callers prepare every
+    /// epoch they need in one call before the hot loops start. Epochs are
+    /// deduplicated; later lookups of a prepared epoch touch no lock.
+    pub fn prepare(
+        &self,
+        truth_epochs: &[JulianDate],
+        published_epochs: &[JulianDate],
+        threads: usize,
+    ) -> bool {
+        if self.prepared.get().is_some() {
+            return false;
+        }
+        let truth_keys = sorted_keys(truth_epochs);
+        let published_keys = sorted_keys(published_epochs);
+        let truth_rows =
+            fill_rows(&truth_keys, threads, |at| Arc::new(self.constellation.snapshot(at)));
+        let published_rows = fill_rows(&published_keys, threads, |at| {
+            Arc::new(self.constellation.published_row(at))
+        });
+        let table = PreparedEpochs { truth_keys, truth_rows, published_keys, published_rows };
+        self.prepared.set(table).is_ok()
+    }
+
+    /// Tier-1 lookup of a prepared true snapshot (no locks).
+    fn prepared_truth(&self, key: u64) -> Option<&Arc<Snapshot>> {
+        let p = self.prepared.get()?;
+        let i = p.truth_keys.binary_search(&key).ok()?;
+        Some(&p.truth_rows[i])
+    }
+
+    /// Tier-1 lookup of a prepared published row (no locks).
+    fn prepared_published(&self, key: u64) -> Option<&Arc<Vec<Option<Vec3>>>> {
+        let p = self.prepared.get()?;
+        let i = p.published_keys.binary_search(&key).ok()?;
+        Some(&p.published_rows[i])
+    }
+
     /// True-position snapshot at `at`, computed at most once per distinct
-    /// epoch (bit-exact key).
+    /// epoch (bit-exact key). Prepared epochs are answered lock-free.
     pub fn snapshot(&self, at: JulianDate) -> Arc<Snapshot> {
         let key = at.0.to_bits();
+        if let Some(hit) = self.prepared_truth(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
         if let Some(hit) = read_unpoisoned(&self.truth).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
@@ -119,49 +222,32 @@ impl<'a> PropagationCache<'a> {
 
     /// Published-TLE TEME positions of every catalog satellite at `at`
     /// (`None` where propagation fails), computed at most once per epoch.
-    /// Indexed like [`Constellation::sats`].
+    /// Indexed like [`Constellation::sats`]. Prepared epochs are answered
+    /// lock-free.
     pub fn published_positions(&self, at: JulianDate) -> Arc<Vec<Option<Vec3>>> {
         let key = at.0.to_bits();
+        if let Some(hit) = self.prepared_published(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
         if let Some(hit) = read_unpoisoned(&self.published).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
-        let positions: Vec<Option<Vec3>> =
-            self.constellation.sats().iter().map(|s| s.published_position(at)).collect();
+        let positions = self.constellation.published_row(at);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = write_unpoisoned(&self.published);
         Arc::clone(map.entry(key).or_insert(Arc::new(positions)))
-    }
-
-    /// Published-TLE TEME position of the satellite at catalog index `si`
-    /// at `at`, memoized per (satellite, epoch) pair. Bit-identical to
-    /// `published_positions(at)[si]` — both are
-    /// [`crate::Satellite::published_position`] verbatim — but a cold
-    /// lookup propagates one satellite instead of the whole catalog, which
-    /// is what the identification track cache wants for the few dozen
-    /// candidates that survive its elevation prefilter. A full row already
-    /// cached for `at` answers without touching the sparse memo.
-    pub fn published_position_of(&self, si: usize, at: JulianDate) -> Option<Vec3> {
-        let key = at.0.to_bits();
-        if let Some(row) = read_unpoisoned(&self.published).get(&key) {
-            self.sparse_hits.fetch_add(1, Ordering::Relaxed);
-            return row[si];
-        }
-        let sparse_key = (key, si as u32);
-        if let Some(hit) = read_unpoisoned(&self.sparse).get(&sparse_key) {
-            self.sparse_hits.fetch_add(1, Ordering::Relaxed);
-            return *hit;
-        }
-        let pos = self.constellation.sats()[si].published_position(at);
-        self.sparse_misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = write_unpoisoned(&self.sparse);
-        *map.entry(sparse_key).or_insert(pos)
     }
 
     /// Pre-propagates true snapshots for every epoch in `epochs`, fanning
     /// the work across up to `threads` scoped workers (values ≤ 1 warm the
     /// cache serially). Epochs are interleaved across workers so chunks
     /// cost the same regardless of ordering.
+    ///
+    /// This fills the tier-2 fallback maps; prefer
+    /// [`PropagationCache::prepare`] when the epoch set is known up front,
+    /// which makes later reads lock-free.
     pub fn prewarm(&self, epochs: &[JulianDate], threads: usize) {
         let threads = threads.max(1).min(epochs.len().max(1));
         if threads <= 1 {
@@ -181,24 +267,96 @@ impl<'a> PropagationCache<'a> {
         });
     }
 
-    /// Drops every cached entry (counters are kept).
+    /// Drops every cached fallback entry (counters and the immutable
+    /// prepared table are kept).
     pub fn clear(&self) {
         write_unpoisoned(&self.truth).clear();
         write_unpoisoned(&self.published).clear();
-        write_unpoisoned(&self.sparse).clear();
     }
 
     /// Current hit/miss/occupancy counters.
     pub fn stats(&self) -> CacheStats {
+        let (prepared_truth, prepared_published) = match self.prepared.get() {
+            Some(p) => (p.truth_keys.len(), p.published_keys.len()),
+            None => (0, 0),
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            truth_entries: read_unpoisoned(&self.truth).len(),
-            published_entries: read_unpoisoned(&self.published).len(),
-            sparse_hits: self.sparse_hits.load(Ordering::Relaxed),
-            sparse_misses: self.sparse_misses.load(Ordering::Relaxed),
-            sparse_entries: read_unpoisoned(&self.sparse).len(),
+            truth_entries: prepared_truth + read_unpoisoned(&self.truth).len(),
+            published_entries: prepared_published + read_unpoisoned(&self.published).len(),
         }
+    }
+}
+
+/// A single-owner per-(satellite, epoch) published-position memo.
+///
+/// This is the shard-local tier of the cache design: each consumer that
+/// needs pruned single-satellite lookups — one identification track cache,
+/// inside one campaign shard worker — owns its own `SparseMemo`. The memo
+/// never crosses threads, so lookups take no lock and sparse traffic from
+/// one shard cannot contend with another. Values are bit-identical to
+/// `cache.published_positions(at)[si]` regardless of which tier answers.
+#[derive(Debug, Default)]
+pub struct SparseMemo {
+    map: HashMap<(u64, u32), Option<Vec3>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl SparseMemo {
+    /// Creates an empty memo.
+    pub fn new() -> SparseMemo {
+        SparseMemo::default()
+    }
+
+    /// Published-TLE TEME position of the satellite at catalog index `si`
+    /// at `at`. A prepared full row answers lock-free; otherwise the local
+    /// memo answers, then the shared fallback row map, and only then is
+    /// one satellite propagated (and memoized locally).
+    pub fn published_position_of(
+        &mut self,
+        cache: &PropagationCache<'_>,
+        si: usize,
+        at: JulianDate,
+    ) -> Option<Vec3> {
+        let key = at.0.to_bits();
+        if let Some(row) = cache.prepared_published(key) {
+            self.hits += 1;
+            return row[si];
+        }
+        let sparse_key = (key, si as u32);
+        if let Some(hit) = self.map.get(&sparse_key) {
+            self.hits += 1;
+            return *hit;
+        }
+        if let Some(row) = read_unpoisoned(&cache.published).get(&key) {
+            self.hits += 1;
+            return row[si];
+        }
+        let pos = cache.constellation().sats()[si].published_position(at);
+        self.misses += 1;
+        *self.map.entry(sparse_key).or_insert(pos)
+    }
+
+    /// Lookups answered without propagating (any tier).
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookups that propagated one satellite.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Entries currently memoized locally.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memo holds no local entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
@@ -268,6 +426,75 @@ mod tests {
     }
 
     #[test]
+    fn prepared_epochs_answer_without_touching_fallback_maps() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let t0 = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let truth: Vec<JulianDate> = (0..6).map(|k| t0.plus_seconds(15.0 * k as f64)).collect();
+        let published: Vec<JulianDate> = (0..3).map(|k| t0.plus_seconds(5.0 * k as f64)).collect();
+        assert!(cache.prepare(&truth, &published, 3));
+
+        let s = cache.stats();
+        assert_eq!((s.truth_entries, s.published_entries), (6, 3));
+
+        for &at in &truth {
+            let snap = cache.snapshot(at);
+            assert_eq!(snap.len(), c.len());
+        }
+        for &at in &published {
+            let row = cache.published_positions(at);
+            for (sat, pos) in c.sats().iter().zip(row.iter()) {
+                assert_eq!(*pos, sat.published_position(at));
+            }
+        }
+        let s = cache.stats();
+        // Every lookup above was a prepared hit: no misses, and the
+        // fallback maps stayed empty.
+        assert_eq!(s.misses, 0);
+        assert_eq!(read_unpoisoned(&cache.truth).len(), 0);
+        assert_eq!(read_unpoisoned(&cache.published).len(), 0);
+    }
+
+    #[test]
+    fn prepare_is_write_once() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let t0 = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        assert!(cache.prepare(&[t0], &[], 1));
+        assert!(!cache.prepare(&[t0.plus_seconds(15.0)], &[], 1));
+        // The second call changed nothing: the extra epoch is a miss.
+        let _ = cache.snapshot(t0.plus_seconds(15.0));
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn prepare_deduplicates_epochs_and_matches_direct_propagation() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let t0 = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let epochs = [t0, t0.plus_seconds(15.0), t0, t0.plus_seconds(15.0)];
+        assert!(cache.prepare(&epochs, &epochs, 2));
+        let s = cache.stats();
+        assert_eq!((s.truth_entries, s.published_entries), (2, 2));
+
+        // Prepared rows are bit-identical to direct propagation.
+        let direct = c.snapshot(t0);
+        let prepared = cache.snapshot(t0);
+        assert_eq!(direct.len(), prepared.len());
+        for (a, b) in direct.entries().iter().zip(prepared.entries()) {
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.teme.x.to_bits(), b.teme.x.to_bits());
+                    assert_eq!(a.ecef.y.to_bits(), b.ecef.y.to_bits());
+                    assert_eq!(a.sunlit, b.sunlit);
+                }
+                other => panic!("entry mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn prewarm_fills_every_epoch_in_parallel() {
         let c = mini();
         let cache = PropagationCache::new(&c);
@@ -284,33 +511,41 @@ mod tests {
     }
 
     #[test]
-    fn clear_empties_the_cache() {
+    fn clear_empties_the_fallback_maps_but_keeps_prepared_entries() {
         let c = mini();
         let cache = PropagationCache::new(&c);
         let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let prepared_at = at.plus_seconds(30.0);
+        assert!(cache.prepare(&[prepared_at], &[], 1));
         let _ = cache.snapshot(at);
         let _ = cache.published_positions(at);
-        let _ = cache.published_position_of(0, at.plus_seconds(1.0));
         cache.clear();
         let s = cache.stats();
-        assert_eq!((s.truth_entries, s.published_entries, s.sparse_entries), (0, 0, 0));
+        assert_eq!((s.truth_entries, s.published_entries), (1, 0));
+        // The prepared epoch still answers without a miss.
+        let misses = cache.stats().misses;
+        let _ = cache.snapshot(prepared_at);
+        assert_eq!(cache.stats().misses, misses);
     }
 
     #[test]
-    fn sparse_lookup_matches_direct_propagation_and_memoizes() {
+    fn sparse_memo_matches_direct_propagation_and_memoizes() {
         let c = mini();
         let cache = PropagationCache::new(&c);
+        let mut memo = SparseMemo::new();
         let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
         for si in [0usize, 7, c.len() - 1] {
-            assert_eq!(cache.published_position_of(si, at), c.sats()[si].published_position(at));
+            assert_eq!(
+                memo.published_position_of(&cache, si, at),
+                c.sats()[si].published_position(at)
+            );
         }
-        let s = cache.stats();
-        assert_eq!((s.sparse_hits, s.sparse_misses, s.sparse_entries), (0, 3, 3));
-        // Re-asking is a sparse hit and adds no entries.
-        let _ = cache.published_position_of(7, at);
-        let s = cache.stats();
-        assert_eq!((s.sparse_hits, s.sparse_misses, s.sparse_entries), (1, 3, 3));
+        assert_eq!((memo.hits(), memo.misses(), memo.len()), (0, 3, 3));
+        // Re-asking is a memo hit and adds no entries.
+        let _ = memo.published_position_of(&cache, 7, at);
+        assert_eq!((memo.hits(), memo.misses(), memo.len()), (1, 3, 3));
         // Full-row counters are untouched by sparse traffic.
+        let s = cache.stats();
         assert_eq!((s.hits, s.misses), (0, 0));
     }
 
@@ -318,13 +553,30 @@ mod tests {
     fn warm_full_row_answers_sparse_lookups_without_new_entries() {
         let c = mini();
         let cache = PropagationCache::new(&c);
+        let mut memo = SparseMemo::new();
         let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
         let row = cache.published_positions(at);
         for si in 0..c.len() {
-            assert_eq!(cache.published_position_of(si, at), row[si]);
+            assert_eq!(memo.published_position_of(&cache, si, at), row[si]);
         }
-        let s = cache.stats();
-        assert_eq!((s.sparse_hits, s.sparse_misses, s.sparse_entries), (c.len(), 0, 0));
+        assert_eq!((memo.hits(), memo.misses(), memo.len()), (c.len(), 0, 0));
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn prepared_row_answers_sparse_lookups_lock_free() {
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        assert!(cache.prepare(&[], &[at], 1));
+        let mut memo = SparseMemo::new();
+        for si in 0..c.len() {
+            assert_eq!(
+                memo.published_position_of(&cache, si, at),
+                c.sats()[si].published_position(at)
+            );
+        }
+        assert_eq!((memo.hits(), memo.misses(), memo.len()), (c.len(), 0, 0));
     }
 
     #[test]
@@ -343,5 +595,37 @@ mod tests {
         });
         assert_eq!(cache.stats().truth_entries, 1);
         assert!(Arc::ptr_eq(&warm, &cache.snapshot(at)));
+    }
+
+    #[test]
+    fn poisoned_writer_does_not_wedge_readers() {
+        // A panicking thread holding the write lock poisons it; the
+        // `read_unpoisoned`/`write_unpoisoned` helpers must recover, so a
+        // campaign survives a worker panic without deadlocking or
+        // propagating the poison to unrelated readers.
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let _ = cache.snapshot(at);
+
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = cache.truth.write().expect("first writer sees no poison");
+                    panic!("poison the truth map while holding the write lock");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the writer thread must have panicked");
+        assert!(cache.truth.is_poisoned(), "the panic must actually poison the lock");
+
+        // Reads (warm and cold) and writes still work.
+        let warm = cache.snapshot(at);
+        assert_eq!(warm.len(), c.len());
+        let cold = cache.snapshot(at.plus_seconds(15.0));
+        assert_eq!(cold.len(), c.len());
+        assert_eq!(cache.stats().truth_entries, 2);
+        cache.clear();
+        assert_eq!(cache.stats().truth_entries, 0);
     }
 }

@@ -5,7 +5,7 @@ use starsense_astro::frames::{look_angles, teme_to_ecef, Geodetic, LookAngles};
 use starsense_astro::sun::{is_sunlit_given_sun, sun_position_teme};
 use starsense_astro::time::JulianDate;
 use starsense_astro::vec3::Vec3;
-use starsense_sgp4::{Elements, Sgp4, Tle};
+use starsense_sgp4::{Elements, Sgp4, Sgp4Batch, Tle};
 use std::sync::OnceLock;
 
 /// A launch batch: satellites launched together share a date, as Starlink
@@ -89,6 +89,16 @@ impl Satellite {
     /// Age of the satellite at `at`, in days since launch.
     pub fn age_days(&self, at: JulianDate) -> f64 {
         at.seconds_since(self.launch.date) / 86_400.0
+    }
+
+    /// The initialized **truth** propagator (operator-side state).
+    ///
+    /// Exposed so operator-side engines — the netemu slot-cohort loop —
+    /// can transpose the serving set into an [`Sgp4Batch`] instead of
+    /// propagating satellite-by-satellite. Measurement-side code must keep
+    /// using [`Satellite::published_position`].
+    pub fn truth_propagator(&self) -> &Sgp4 {
+        &self.truth
     }
 }
 
@@ -178,6 +188,12 @@ impl Snapshot {
 #[derive(Debug, Clone)]
 pub struct Constellation {
     sats: Vec<Satellite>,
+    /// Struct-of-arrays transposes of every satellite's propagators, built
+    /// once at construction so whole-catalog propagation (snapshots,
+    /// published rows) runs through the batched SGP4 path. Lane `i`
+    /// corresponds to `sats[i]`.
+    truth_batch: Sgp4Batch,
+    published_batch: Sgp4Batch,
 }
 
 impl Constellation {
@@ -191,7 +207,9 @@ impl Constellation {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), sats.len(), "duplicate NORAD ids in catalog");
-        Constellation { sats }
+        let truth_batch = Sgp4Batch::from_propagators(sats.iter().map(|s| &s.truth));
+        let published_batch = Sgp4Batch::from_propagators(sats.iter().map(|s| &s.published_sgp4));
+        Constellation { sats, truth_batch, published_batch }
     }
 
     /// All satellites.
@@ -234,16 +252,23 @@ impl Constellation {
     /// Propagates the whole catalog once at `at` (true positions), so that
     /// several field-of-view queries at the same instant — one per terminal
     /// every slot — share the propagation work.
+    ///
+    /// Runs through the struct-of-arrays [`Sgp4Batch`] path; each entry is
+    /// bit-identical to what per-satellite [`Satellite::true_position`]
+    /// calls would produce (the batch propagator's contract).
     pub fn snapshot(&self, at: JulianDate) -> Snapshot {
         let sun = sun_position_teme(at);
+        let mut teme = Vec::new();
+        self.truth_batch.positions_into(at, &mut teme);
         let positions = self
             .sats
             .iter()
-            .map(|sat| {
+            .zip(&teme)
+            .map(|(sat, lane)| {
                 if sat.launch.date > at {
                     return None; // not yet in orbit
                 }
-                let teme = sat.true_position(at)?;
+                let teme = (*lane)?;
                 Some(SnapshotEntry {
                     teme,
                     ecef: teme_to_ecef(teme, at),
@@ -252,6 +277,14 @@ impl Constellation {
             })
             .collect();
         Snapshot { at, positions, index: OnceLock::new() }
+    }
+
+    /// Published-TLE TEME positions of the whole catalog at `at`, through
+    /// the batched path — bit-identical, entry for entry, to calling
+    /// [`Satellite::published_position`] per satellite. Indexed like
+    /// [`Constellation::sats`].
+    pub fn published_row(&self, at: JulianDate) -> Vec<Option<Vec3>> {
+        self.published_batch.positions_at(at)
     }
 
     /// Field-of-view query against a prepared [`Snapshot`].

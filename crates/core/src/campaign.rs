@@ -21,22 +21,30 @@
 //! A campaign runs in three phases around a shared
 //! [`PropagationCache`]:
 //!
-//! 1. **Propagate + visibility** (parallel) — every slot epoch is
-//!    SGP4-propagated once into the cache and each terminal's
-//!    field-of-view list is derived from the cached snapshot;
-//! 2. **Schedule** (serial) — the hidden scheduler consumes the
-//!    precomputed visibility slot by slot. This phase is stateful
-//!    (hysteresis and the allocation RNG depend on slot order) and stays
-//!    serial by design;
+//! 1. **Prepare** (parallel) — every epoch the run will touch at full
+//!    catalog width (each slot's truth snapshot, plus — in identified
+//!    mode — each slot's two published-TLE boundary rows) is batch-
+//!    propagated once into the cache's immutable epoch table. Every later
+//!    read of those epochs is a lock-free binary search;
+//! 2. **Schedule** (sharded, parallel) — the terminals are split into
+//!    contiguous shards (see [`CampaignConfig::shards`]) and each worker
+//!    replays the hidden scheduler over just its shard's terminals,
+//!    deriving fields of view, applying the fault mask, and allocating
+//!    slot by slot. Per-terminal RNG streams and hysteresis keys make a
+//!    terminal's allocation a function of `(seed, terminal id, sky)`
+//!    alone, so the merged shard outputs are bit-identical to one
+//!    monolithic scheduler walking all terminals;
 //! 3. **Observe** (parallel) — each terminal independently replays its
 //!    allocations: dish painting, XOR isolation, and DTW identification,
-//!    with published-TLE propagation read through the same cache.
+//!    with published-TLE propagation read through the prepared table and
+//!    a per-worker sparse memo — no locks on the hot path.
 //!
 //! The phase split is bit-transparent: every phase consumes exactly the
 //! inputs the old slot-by-slot loop produced, so observations are
-//! byte-identical for any worker-thread count (see
-//! [`CampaignConfig::threads`]), and the determinism tests hold a
-//! multi-threaded run to the single-threaded stream field by field.
+//! byte-identical for any worker-thread count and any shard count (see
+//! [`CampaignConfig::threads`]), and the determinism tests hold
+//! multi-threaded, multi-shard runs to the single-threaded stream field
+//! by field.
 
 use crate::degrade::{DegradationStats, DegradeReason, SlotOutcome};
 use crate::vantage;
@@ -44,8 +52,8 @@ use starsense_astro::time::JulianDate;
 use starsense_constellation::{Constellation, PropagationCache, VisibleSat};
 use starsense_faults::{FaultPlan, PropagationSchedule};
 use starsense_ident::{
-    verdict_slot_tracked, DishSimulator, FrameStatus, IdentVerdict, NoDataReason, SlotCapture,
-    TrackCache, CANDIDATE_SAMPLES_PER_SLOT, MIN_CANDIDATE_ELEVATION_DEG,
+    slot_boundary_epochs, verdict_slot_tracked, DishSimulator, FrameStatus, IdentVerdict,
+    NoDataReason, SlotCapture, TrackCache, CANDIDATE_SAMPLES_PER_SLOT, MIN_CANDIDATE_ELEVATION_DEG,
 };
 use starsense_scheduler::slots::{slot_index, slot_start, SLOT_PERIOD_SECONDS};
 use starsense_scheduler::{Allocation, GlobalScheduler, SchedulerPolicy, Terminal};
@@ -115,11 +123,17 @@ pub struct CampaignConfig {
     /// Observe through the §4 identification pipeline instead of reading
     /// the scheduler directly.
     pub identified: bool,
-    /// Worker threads for the parallel phases (propagation/visibility and
-    /// per-terminal observation). `0` means auto-detect from the host;
-    /// `1` runs everything inline with no threads spawned. Results are
-    /// byte-identical for every value.
+    /// Worker threads for the parallel phases (epoch preparation, sharded
+    /// scheduling, and per-terminal observation). `0` means auto-detect
+    /// from the host; `1` runs everything inline with no threads spawned.
+    /// Results are byte-identical for every value.
     pub threads: usize,
+    /// Terminal shards for the scheduling phase. Each shard owns a
+    /// contiguous run of terminals and replays the hidden scheduler over
+    /// just those; per-terminal RNG streams and hysteresis keys make the
+    /// merged output bit-identical for every shard count. `0` derives the
+    /// shard count from the worker-thread count.
+    pub shards: usize,
     /// Deterministic fault-injection plan. The default
     /// ([`FaultPlan::none`]) keeps every output bit-identical to a
     /// fault-unaware campaign: fault decisions are counter-based hashes
@@ -144,6 +158,7 @@ impl Default for CampaignConfig {
             policy: SchedulerPolicy::default(),
             identified: false,
             threads: 0,
+            shards: 0,
             faults: FaultPlan::none(),
             min_margin: 0.0,
             frame_retries: 2,
@@ -209,6 +224,17 @@ impl<'a> Campaign<'a> {
         }
     }
 
+    /// Shard count for the scheduling phase, resolved from the config:
+    /// explicit counts are clamped to the terminal count, and the `0`
+    /// default gives each worker thread one shard.
+    fn shard_count(&self) -> usize {
+        let terminals = self.terminals.len().max(1);
+        match self.config.shards {
+            0 => self.worker_threads().min(terminals),
+            n => n.min(terminals),
+        }
+    }
+
     /// Runs `slots` consecutive slots starting at the slot containing
     /// `from`. Returns observations slot-major, terminal-minor.
     ///
@@ -228,8 +254,6 @@ impl<'a> Campaign<'a> {
         from: JulianDate,
         slots: usize,
     ) -> (Vec<SlotObservation>, DegradationStats) {
-        let mut scheduler =
-            GlobalScheduler::new(self.config.policy.clone(), self.terminals.clone(), self.seed);
         let threads = self.worker_threads();
         let cache = PropagationCache::new(self.constellation);
 
@@ -257,22 +281,27 @@ impl<'a> Campaign<'a> {
             (schedule, ids)
         });
 
-        // Phase 1 (parallel): propagate each slot epoch once into the
-        // shared cache and derive every terminal's visibility list from the
-        // cached snapshot.
-        let availability =
-            self.visibility_phase(&scheduler, &cache, &mids, threads, schedule.as_ref());
+        // Phase 1 (parallel): batch-propagate every full-width epoch the
+        // run will touch into the cache's immutable table — each slot's
+        // truth snapshot, and in identified mode each slot's two published
+        // boundary rows. Everything after this reads lock-free.
+        let starts: Vec<JulianDate> = mids.iter().map(|&at| slot_start(at)).collect();
+        let boundaries: Vec<JulianDate> = if self.config.identified {
+            starts
+                .iter()
+                .flat_map(|&s| slot_boundary_epochs(s, CANDIDATE_SAMPLES_PER_SLOT))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        cache.prepare(&starts, &boundaries, threads);
 
-        // Phase 2 (serial): the hidden scheduler walks the slots in order —
-        // hysteresis and its allocation RNG make this pass order-dependent,
-        // so it is the one part that must not be parallelized.
-        let mut per_terminal: Vec<Vec<Allocation>> =
-            (0..self.terminals.len()).map(|_| Vec::with_capacity(slots)).collect();
-        for (&at, available) in mids.iter().zip(availability) {
-            for alloc in scheduler.allocate_from_available(at, available) {
-                per_terminal[alloc.terminal_id].push(alloc);
-            }
-        }
+        // Phase 2 (sharded, parallel): each shard's worker owns a
+        // sub-scheduler over a contiguous run of terminals and replays it
+        // slot by slot. Hysteresis and the allocation RNG are per-terminal
+        // state, so the shard outputs merge bit-identically to one
+        // monolithic scheduler walking all terminals in slot order.
+        let per_terminal = self.schedule_phase(&cache, &mids, threads, schedule.as_ref());
 
         // Phase 3 (parallel): each terminal replays its own allocation
         // stream — dish painting and DTW identification are per-terminal
@@ -300,49 +329,68 @@ impl<'a> Campaign<'a> {
         (out, stats)
     }
 
-    /// Phase 1: per-slot snapshots and per-terminal visibility, fanned over
-    /// `threads` scoped workers (inline when `threads <= 1`). Slot indices
-    /// are interleaved across workers; results are reassembled in slot
-    /// order, so the output is independent of scheduling.
-    fn visibility_phase(
+    /// Phase 2: sharded visibility + scheduling. The terminals are split
+    /// into [`Campaign::shard_count`] contiguous shards; each shard's
+    /// worker builds a sub-[`GlobalScheduler`] over just its terminals
+    /// and replays the slots in order — fields of view from the prepared
+    /// snapshot table, the fault-mask bitset, then allocation. Shards are
+    /// fanned over `threads` scoped workers (inline when either count is
+    /// 1) and reassembled in shard order, so the returned per-terminal
+    /// columns are independent of scheduling *and* of the shard count:
+    /// a terminal's allocation stream depends only on `(seed, terminal
+    /// id, sky)`.
+    fn schedule_phase(
         &self,
-        scheduler: &GlobalScheduler,
         cache: &PropagationCache<'_>,
         mids: &[JulianDate],
         threads: usize,
         schedule: Option<&(PropagationSchedule, Vec<u32>)>,
-    ) -> Vec<Vec<Vec<VisibleSat>>> {
-        let per_slot = |k: usize, &at: &JulianDate| {
-            let snapshot = cache.snapshot(slot_start(at));
-            let mut fov = scheduler.fields_of_view(self.constellation, &snapshot);
-            // A satellite whose propagation failed this slot (or that is
-            // quarantined) is invisible to the whole pipeline: the bitset
-            // is pure data, so filtering here is thread-order invariant.
-            if let Some((schedule, ids)) = schedule {
-                for list in &mut fov {
-                    list.retain(|v| match ids.binary_search(&v.norad_id) {
-                        Ok(sat) => !schedule.masked(sat, k),
-                        Err(_) => true,
-                    });
+    ) -> Vec<Vec<Allocation>> {
+        let ranges = shard_ranges(self.terminals.len(), self.shard_count());
+        let run_shard = |terminals: &[Terminal]| -> Vec<Vec<Allocation>> {
+            let mut scheduler =
+                GlobalScheduler::new(self.config.policy.clone(), terminals.to_vec(), self.seed);
+            // Keyed lookup only (never iterated), so the map is exempt
+            // from the hash-order determinism rules.
+            let column_of: std::collections::HashMap<usize, usize> =
+                terminals.iter().enumerate().map(|(j, t)| (t.id, j)).collect();
+            let mut columns: Vec<Vec<Allocation>> =
+                terminals.iter().map(|_| Vec::with_capacity(mids.len())).collect();
+            for (k, &at) in mids.iter().enumerate() {
+                let snapshot = cache.snapshot(slot_start(at));
+                let mut fov = scheduler.fields_of_view(self.constellation, &snapshot);
+                // A satellite whose propagation failed this slot (or that
+                // is quarantined) is invisible to the whole pipeline: the
+                // bitset is pure data, so filtering here is invariant to
+                // thread and shard scheduling.
+                if let Some((schedule, ids)) = schedule {
+                    for list in &mut fov {
+                        list.retain(|v| match ids.binary_search(&v.norad_id) {
+                            Ok(sat) => !schedule.masked(sat, k),
+                            Err(_) => true,
+                        });
+                    }
+                }
+                for alloc in scheduler.allocate_from_available(at, fov) {
+                    columns[column_of[&alloc.terminal_id]].push(alloc);
                 }
             }
-            fov
+            columns
         };
-        let threads = threads.min(mids.len().max(1));
-        if threads <= 1 {
-            return mids.iter().enumerate().map(|(k, at)| per_slot(k, at)).collect();
+        let workers = threads.min(ranges.len()).max(1);
+        if workers <= 1 {
+            return ranges.into_iter().flat_map(|r| run_shard(&self.terminals[r])).collect();
         }
-        let mut indexed: Vec<(usize, Vec<Vec<VisibleSat>>)> = Vec::with_capacity(mids.len());
+        let mut work: Vec<Option<std::ops::Range<usize>>> = ranges.into_iter().map(Some).collect();
+        let mut indexed: Vec<(usize, Vec<Vec<Allocation>>)> = Vec::with_capacity(work.len());
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for worker in 0..threads {
-                let per_slot = &per_slot;
+            let mut handles = Vec::with_capacity(workers);
+            for chunk in chunk_interleaved(&mut work, workers) {
+                let run_shard = &run_shard;
                 handles.push(scope.spawn(move || {
-                    mids.iter()
-                        .enumerate()
-                        .skip(worker)
-                        .step_by(threads)
-                        .map(|(k, at)| (k, per_slot(k, at)))
+                    chunk
+                        .into_iter()
+                        .map(|(s, range)| (s, run_shard(&self.terminals[range])))
                         .collect::<Vec<_>>()
                 }));
             }
@@ -351,8 +399,8 @@ impl<'a> Campaign<'a> {
                 indexed.extend(part);
             }
         });
-        indexed.sort_by_key(|(k, _)| *k);
-        indexed.into_iter().map(|(_, v)| v).collect()
+        indexed.sort_by_key(|(s, _)| *s);
+        indexed.into_iter().flat_map(|(_, columns)| columns).collect()
     }
 
     /// Phase 3: per-terminal observation streams, fanned over `threads`
@@ -529,6 +577,24 @@ impl<'a> Campaign<'a> {
     }
 }
 
+/// Splits `0..len` into `shards` contiguous ranges whose lengths differ
+/// by at most one (the first `len % shards` ranges take the extra
+/// element). Contiguity keeps the concatenation of shard outputs in
+/// global terminal order with no re-sorting.
+fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.clamp(1, len.max(1));
+    let base = len / shards;
+    let extra = len % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
 /// Splits `work` into `threads` interleaved (index, item) chunks, taking
 /// the items out of their slots. Interleaving balances load when cost
 /// varies smoothly across indices.
@@ -644,13 +710,14 @@ mod tests {
         )
     }
 
-    fn threaded_run(identified: bool, threads: usize) -> Vec<SlotObservation> {
+    fn threaded_run(identified: bool, threads: usize, shards: usize) -> Vec<SlotObservation> {
         let c = ConstellationBuilder::starlink_gen1().seed(33).build();
         let terminals = vec![
             Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2)),
             Terminal::new(1, "Seattle", Geodetic::new(47.61, -122.33, 0.1)),
+            Terminal::new(2, "Austin", Geodetic::new(30.27, -97.74, 0.15)),
         ];
-        let config = CampaignConfig { threads, ..CampaignConfig::default() };
+        let config = CampaignConfig { threads, shards, ..CampaignConfig::default() };
         let campaign = if identified {
             Campaign::identified(&c, terminals, config, 33)
         } else {
@@ -661,16 +728,162 @@ mod tests {
 
     #[test]
     fn oracle_campaign_is_thread_count_invariant() {
-        let serial = threaded_run(false, 1);
-        assert_streams_identical(&serial, &threaded_run(false, 4));
-        assert_streams_identical(&serial, &threaded_run(false, 0));
+        let serial = threaded_run(false, 1, 1);
+        assert_streams_identical(&serial, &threaded_run(false, 4, 1));
+        assert_streams_identical(&serial, &threaded_run(false, 0, 1));
     }
 
     #[test]
     fn identified_campaign_is_thread_count_invariant() {
-        let serial = threaded_run(true, 1);
-        assert_streams_identical(&serial, &threaded_run(true, 4));
-        assert_streams_identical(&serial, &threaded_run(true, 0));
+        let serial = threaded_run(true, 1, 1);
+        assert_streams_identical(&serial, &threaded_run(true, 4, 1));
+        assert_streams_identical(&serial, &threaded_run(true, 0, 1));
+    }
+
+    #[test]
+    fn oracle_campaign_is_shard_count_invariant() {
+        // The full matrix: every (threads, shards) combination — including
+        // auto-detect on both axes and shard counts past the terminal
+        // count — must reproduce the single-thread single-shard stream
+        // bit for bit.
+        let serial = threaded_run(false, 1, 1);
+        for threads in [1, 2, 4, 0] {
+            for shards in [1, 2, 3, 5, 0] {
+                assert_streams_identical(&serial, &threaded_run(false, threads, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn identified_campaign_is_shard_count_invariant() {
+        let serial = threaded_run(true, 1, 1);
+        for (threads, shards) in [(1, 2), (2, 3), (4, 5), (0, 0), (2, 1)] {
+            assert_streams_identical(&serial, &threaded_run(true, threads, shards));
+        }
+    }
+
+    #[test]
+    fn faulted_campaign_is_shard_count_invariant() {
+        // The fault mask is applied inside each shard worker; the bitset
+        // is pure data, so degradation patterns must not move with the
+        // partition either.
+        use starsense_faults::FaultRates;
+        let rates = FaultRates { frame_drop: 0.15, propagation_fail: 0.2, ..FaultRates::none() };
+        let run = |threads: usize, shards: usize| {
+            let c = ConstellationBuilder::starlink_mini().seed(33).build();
+            let terminals = vec![
+                Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2)),
+                Terminal::new(1, "Seattle", Geodetic::new(47.61, -122.33, 0.1)),
+            ];
+            let config = CampaignConfig {
+                threads,
+                shards,
+                faults: FaultPlan::new(5, rates),
+                quarantine_after: 2,
+                ..CampaignConfig::default()
+            };
+            Campaign::identified(&c, terminals, config, 33)
+                .run(JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 0.0), 25)
+        };
+        let serial = run(1, 1);
+        assert_streams_identical(&serial, &run(2, 2));
+        assert_streams_identical(&serial, &run(4, 0));
+    }
+
+    #[test]
+    fn shard_ranges_partition_contiguously() {
+        for len in [0usize, 1, 2, 3, 7, 10, 64] {
+            for shards in [0usize, 1, 2, 3, 5, 64, 100] {
+                let ranges = shard_ranges(len, shards);
+                assert!(!ranges.is_empty());
+                // Contiguous cover of 0..len with near-equal sizes.
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "len {len} shards {shards}: sizes {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_interleaved_empty_work_yields_empty_chunks() {
+        let mut work: Vec<Option<u32>> = Vec::new();
+        let chunks = chunk_interleaved(&mut work, 4);
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn chunk_interleaved_with_more_threads_than_items() {
+        let mut work: Vec<Option<&str>> = vec![Some("a"), Some("b")];
+        let chunks = chunk_interleaved(&mut work, 5);
+        assert_eq!(chunks.len(), 5);
+        assert_eq!(chunks[0], vec![(0, "a")]);
+        assert_eq!(chunks[1], vec![(1, "b")]);
+        assert!(chunks[2..].iter().all(Vec::is_empty));
+        assert!(work.iter().all(Option::is_none), "items must be moved out");
+    }
+
+    #[test]
+    fn chunk_interleaved_skips_empty_slots() {
+        let mut work = vec![Some(10), None, Some(30), None, Some(50)];
+        let chunks = chunk_interleaved(&mut work, 2);
+        // Chunk membership follows the original index, not a compacted one.
+        assert_eq!(chunks[0], vec![(0, 10), (2, 30), (4, 50)]);
+        assert!(chunks[1].is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn chunk_interleaved_partitions_every_index_exactly_once(
+            len in 0usize..80,
+            threads in 1usize..12,
+        ) {
+            let mut work: Vec<Option<usize>> = (0..len).map(Some).collect();
+            let chunks = chunk_interleaved(&mut work, threads);
+            proptest::prop_assert_eq!(chunks.len(), threads);
+            let mut seen: Vec<(usize, usize)> =
+                chunks.into_iter().flatten().collect();
+            seen.sort_by_key(|(i, _)| *i);
+            // Every index appears exactly once, paired with its own item.
+            proptest::prop_assert_eq!(seen.len(), len);
+            for (k, (i, item)) in seen.iter().enumerate() {
+                proptest::prop_assert_eq!(k, *i);
+                proptest::prop_assert_eq!(i, item);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_threads_resolves_zero_to_at_least_one() {
+        let c = ConstellationBuilder::starlink_mini().seed(1).build();
+        let terminals = vec![Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2))];
+        let auto = Campaign::oracle(&c, terminals.clone(), CampaignConfig::default(), 1);
+        // Auto-detect can never resolve to zero workers, even on a
+        // single-CPU host where available_parallelism() returns 1.
+        assert!(auto.worker_threads() >= 1);
+        let config = CampaignConfig { threads: 7, ..CampaignConfig::default() };
+        let explicit = Campaign::oracle(&c, terminals, config, 1);
+        assert_eq!(explicit.worker_threads(), 7);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_terminals() {
+        let c = ConstellationBuilder::starlink_mini().seed(1).build();
+        let terminals = vec![
+            Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2)),
+            Terminal::new(1, "Seattle", Geodetic::new(47.61, -122.33, 0.1)),
+        ];
+        let config = CampaignConfig { shards: 100, ..CampaignConfig::default() };
+        let campaign = Campaign::oracle(&c, terminals.clone(), config, 1);
+        assert_eq!(campaign.shard_count(), 2);
+        let config = CampaignConfig { threads: 3, shards: 0, ..CampaignConfig::default() };
+        let auto = Campaign::oracle(&c, terminals, config, 1);
+        assert_eq!(auto.shard_count(), 2, "auto shards follow threads, clamped to terminals");
     }
 
     #[test]

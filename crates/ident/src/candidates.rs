@@ -103,6 +103,18 @@ pub fn candidate_tracks_through(
     out
 }
 
+/// The two boundary instants of a slot's sample grid — bit-identical to
+/// the first and last entries of [`sample_epochs`], which are the only
+/// epochs [`crate::TrackCache`] reads as full catalog rows. Campaign
+/// engines prepare exactly these into the propagation cache's immutable
+/// epoch table so the observation phase never takes a lock for a boundary
+/// row.
+pub fn slot_boundary_epochs(slot_start: JulianDate, samples_per_slot: u32) -> [JulianDate; 2] {
+    let n = samples_per_slot.max(2);
+    let epochs = sample_epochs(slot_start, n);
+    [epochs[0], epochs[n as usize - 1]]
+}
+
 /// The sample instants inside a slot: `n` points spanning the slot period,
 /// endpoints included. Every candidate generator (including the
 /// [`crate::TrackCache`]) uses this exact expression, so their epochs are

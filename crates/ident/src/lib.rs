@@ -30,7 +30,9 @@ pub mod pipeline;
 pub mod track_cache;
 pub mod validate;
 
-pub use candidates::{candidate_tracks, candidate_tracks_through, CandidateTrack};
+pub use candidates::{
+    candidate_tracks, candidate_tracks_through, slot_boundary_epochs, CandidateTrack,
+};
 pub use dish::{DishSimulator, FrameFetch, FrameStatus, SlotCapture};
 pub use pipeline::{
     classify_identification, identify_from_trajectory, identify_from_trajectory_counted,

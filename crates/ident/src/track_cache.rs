@@ -50,7 +50,7 @@
 use crate::candidates::{finish_track, sample_epochs, CandidateTrack};
 use starsense_astro::frames::{geodetic_to_ecef, look_angles_teme, Geodetic};
 use starsense_astro::time::JulianDate;
-use starsense_constellation::PropagationCache;
+use starsense_constellation::{PropagationCache, SparseMemo};
 use starsense_obstruction::PolarSample;
 use starsense_sgp4::wgs72;
 
@@ -87,6 +87,11 @@ pub struct TrackCacheStats {
     /// Slots whose start-boundary looks were reused from the previous
     /// slot's end boundary (bit-identical epoch).
     pub boundary_rows_reused: usize,
+    /// Interior single-satellite lookups answered without propagating
+    /// (prepared row, local memo, or shared fallback row).
+    pub interior_hits: usize,
+    /// Interior single-satellite lookups that propagated one satellite.
+    pub interior_propagations: usize,
 }
 
 /// One satellite's look angles and orbital radius at a boundary epoch
@@ -114,6 +119,10 @@ pub struct TrackCache<'a, 'c> {
     discard_below_deg: f64,
     /// The previous slot's end-boundary row, keyed by the epoch's bits.
     last_end: Option<(u64, Vec<Option<BoundaryLook>>)>,
+    /// Single-owner interior-position memo: this track cache's sparse
+    /// lookups never cross threads and never take a lock, so shard workers
+    /// running one `TrackCache` each cannot contend with one another.
+    memo: SparseMemo,
     stats: TrackCacheStats,
 }
 
@@ -149,6 +158,7 @@ impl<'a, 'c> TrackCache<'a, 'c> {
             samples_per_slot,
             discard_below_deg: min_elevation_deg - margin,
             last_end: None,
+            memo: SparseMemo::new(),
             stats: TrackCacheStats::default(),
         }
     }
@@ -160,7 +170,10 @@ impl<'a, 'c> TrackCache<'a, 'c> {
 
     /// Work counters accumulated since construction.
     pub fn stats(&self) -> TrackCacheStats {
-        self.stats
+        let mut s = self.stats;
+        s.interior_hits = self.memo.hits();
+        s.interior_propagations = self.memo.misses();
+        s
     }
 
     /// Candidate set for the slot starting at `slot_start` — bit-identical
@@ -199,14 +212,18 @@ impl<'a, 'c> TrackCache<'a, 'c> {
             let mut any_above = false;
             for (k, &t) in epochs.iter().enumerate() {
                 // Boundary looks were already computed for the prefilter;
-                // interior epochs go through the sparse per-satellite memo
-                // so discarded satellites never get propagated there.
+                // interior epochs go through this cache's own sparse memo
+                // (lock-free; prepared epochs answer from the shared
+                // immutable table) so discarded satellites never get
+                // propagated there.
                 let (elevation_deg, azimuth_deg) = if k == 0 || k == n - 1 {
                     let row = if k == 0 { &row0 } else { &row1 };
                     let Some(look) = row[si] else { continue };
                     (look.elevation_deg, look.azimuth_deg)
                 } else {
-                    let Some(teme) = self.cache.published_position_of(si, t) else { continue };
+                    let Some(teme) = self.memo.published_position_of(self.cache, si, t) else {
+                        continue;
+                    };
                     let look = look_angles_teme(self.observer, teme, t);
                     (look.elevation_deg, look.azimuth_deg)
                 };
@@ -343,14 +360,14 @@ mod tests {
         let mut tracks = TrackCache::new(&cache, loc, 25.0, 16);
         let start = slot_start(JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 13.0));
         let _ = tracks.candidate_tracks(start);
-        let s = cache.stats();
         // Only the two boundary epochs took full catalog rows; interior
-        // epochs propagated survivors alone, through the sparse memo.
-        assert_eq!(s.published_entries, 2);
+        // epochs propagated survivors alone, through the local memo.
+        assert_eq!(cache.stats().published_entries, 2);
+        let s = tracks.stats();
         assert!(
-            s.sparse_misses < c.len() * 14,
+            s.interior_propagations < c.len() * 14,
             "interior propagation should cover survivors only: {} of {}",
-            s.sparse_misses,
+            s.interior_propagations,
             c.len() * 14
         );
     }

@@ -13,6 +13,7 @@ use starsense_constellation::{Constellation, Satellite};
 use starsense_faults::{BurstKind, FaultPlan};
 use starsense_scheduler::slots::slot_index;
 use starsense_scheduler::{Allocation, GlobalScheduler, MacScheduler};
+use starsense_sgp4::Sgp4Batch;
 
 /// Emulator tunables.
 #[derive(Debug, Clone, PartialEq)]
@@ -147,7 +148,7 @@ impl<'a> Emulator<'a> {
             allocations: Vec::new(),
             macs: Vec::new(),
             serving: Vec::new(),
-            sats: Vec::new(),
+            batch: Sgp4Batch::default(),
         };
         // Reusable per-probe buffer: this instant's TEME position of each
         // cohort satellite.
@@ -162,10 +163,10 @@ impl<'a> Emulator<'a> {
             }
 
             // Serving satellites move ~150 km within a slot, so positions
-            // are per-probe — but one SGP4 propagation per *distinct*
-            // satellite now serves every terminal it carries.
-            teme.clear();
-            teme.extend(cohort.sats.iter().map(|s| s.true_position(at)));
+            // are per-probe — but the cohort's distinct satellites are
+            // propagated as one SoA batch per probe instant, bit-identical
+            // to satellite-by-satellite [`Satellite::true_position`] calls.
+            cohort.batch.positions_into(at, &mut teme);
 
             for t in 0..n_terminals {
                 let record = self.probe_in_cohort(t, seq, at, &cohort, &teme);
@@ -251,7 +252,7 @@ impl<'a> Emulator<'a> {
     /// of every distinct serving satellite. The per-probe
     /// `Constellation::get` linear scans this replaces dominated the old
     /// engine's probe loop at terminal scale.
-    fn build_cohort(&mut self, at: JulianDate) -> SlotCohort<'a> {
+    fn build_cohort(&mut self, at: JulianDate) -> SlotCohort {
         let allocations = self.scheduler.allocate(self.constellation, at);
         let mut macs = Vec::with_capacity(allocations.len());
         let mut serving = Vec::with_capacity(allocations.len());
@@ -269,7 +270,11 @@ impl<'a> Emulator<'a> {
                 }
             }));
         }
-        SlotCohort { allocations, macs, serving, sats }
+        // Transpose the distinct serving set into an SoA batch once per
+        // slot; every probe instant then propagates all cohort satellites
+        // in one 3-pass sweep.
+        let batch = Sgp4Batch::from_propagators(sats.iter().map(|s| s.truth_propagator()));
+        SlotCohort { allocations, macs, serving, batch }
     }
 
     /// Emulates one probe from one terminal against its slot cohort.
@@ -283,7 +288,7 @@ impl<'a> Emulator<'a> {
         terminal_id: usize,
         seq: u64,
         at: JulianDate,
-        cohort: &SlotCohort<'_>,
+        cohort: &SlotCohort,
         teme: &[Option<Vec3>],
     ) -> ProbeRecord {
         let alloc = &cohort.allocations[terminal_id];
@@ -380,16 +385,19 @@ impl<'a> Emulator<'a> {
 
 /// Per-slot cohort state: everything about a slot that is shared by all of
 /// its probes, hoisted out of the per-probe loop.
-struct SlotCohort<'c> {
+struct SlotCohort {
     /// The slot's allocations, in terminal order.
     allocations: Vec<Allocation>,
     /// MAC cycle (and the terminal's marker in it) per terminal.
     macs: Vec<Option<(MacScheduler, usize)>>,
-    /// For each terminal, index into `sats` of its serving satellite
+    /// For each terminal, lane in `batch` of its serving satellite
     /// (`None` = outage, or a catalog id the constellation does not know).
     serving: Vec<Option<usize>>,
-    /// The slot's distinct serving satellites, catalog-resolved once.
-    sats: Vec<&'c Satellite>,
+    /// The slot's distinct serving satellites' truth propagators,
+    /// catalog-resolved once and transposed to struct-of-arrays:
+    /// `batch.positions_into(at, ..)` fills one lane per satellite,
+    /// bit-identical to per-satellite propagation.
+    batch: Sgp4Batch,
 }
 
 fn mix(a: u64, b: u64) -> u64 {

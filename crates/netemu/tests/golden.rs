@@ -76,14 +76,15 @@ fn fingerprint(traces: &[RttTrace]) -> u64 {
     h
 }
 
-/// Fingerprint of the 3-terminal, 90-second, seed-77 workload under the
-/// original per-probe loop (the state at the time this test was added).
-/// The slot-cohort engine must reproduce it exactly.
-const GOLDEN_MINI_SEED77: u64 = 0xe627_e398_2a8e_4456;
+/// Fingerprint of the 3-terminal, 90-second, seed-77 workload, captured
+/// from the serial per-satellite engine at the time the per-terminal RNG
+/// streams landed. The batched slot-cohort engine must reproduce it
+/// exactly.
+const GOLDEN_MINI_SEED77: u64 = 0xf9ce_b828_7756_c463;
 
 /// Same workload, different seed: a distinct RNG stream must change the
 /// fingerprint (guards against a fingerprint that ignores its input).
-const GOLDEN_MINI_SEED78: u64 = 0x7d46_fe4f_d568_bea0;
+const GOLDEN_MINI_SEED78: u64 = 0xb475_597d_8fc8_a805;
 
 #[test]
 fn probe_all_matches_checked_in_golden_fingerprint() {

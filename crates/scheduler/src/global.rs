@@ -24,6 +24,18 @@
 //! model, and the paper's measured distributions (e.g. "80% of picks from
 //! the 45–90° band", not 100%) show exactly the graded preference a
 //! temperature parameter captures.
+//!
+//! # Per-terminal randomness and shard invariance
+//!
+//! Every terminal draws from its **own** RNG stream, seeded from
+//! `(scheduler seed, terminal id)` by a splitmix-style mix. Combined with
+//! per-terminal hysteresis state and the pure-hash [`LoadModel`], one
+//! terminal's allocation sequence is a function of `(seed, terminal id,
+//! sky)` alone — independent of which other terminals are co-scheduled.
+//! That is what lets the campaign engine split the terminal population
+//! into contiguous shards, run one sub-scheduler per shard in parallel,
+//! and merge results bit-identical to a single serial scheduler over all
+//! terminals (tested below in `sharded_sub_schedulers_match_monolith`).
 
 use crate::gso::GsoExclusion;
 use crate::load::LoadModel;
@@ -137,23 +149,72 @@ struct AllocScratch {
     scores: Vec<f64>,
 }
 
+/// Derives the per-terminal RNG stream seed from the scheduler seed and a
+/// terminal's stable id (a splitmix64-style finalizer — the same family
+/// the [`LoadModel`] hashes with). Using the terminal *id* rather than its
+/// position makes the stream a property of the terminal itself, so any
+/// partition of the terminal set into sub-schedulers reproduces it.
+fn stream_seed(seed: u64, terminal_id: u64) -> u64 {
+    let mut z = seed ^ terminal_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Softmax draw over candidate scores; returns the winning index.
+///
+/// Overwrites `scores` with the softmax weights in place — exp and the
+/// weight total fold into one pass over the buffer, with no intermediate
+/// weight vector. Consumes one RNG draw when there is at least one
+/// candidate, none otherwise.
+fn sample_in_place(rng: &mut StdRng, temperature: f64, scores: &mut [f64]) -> Option<usize> {
+    if scores.is_empty() {
+        return None;
+    }
+    let tau = temperature.max(1e-6);
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut total = 0.0;
+    for s in scores.iter_mut() {
+        *s = ((*s - max) / tau).exp();
+        total += *s;
+    }
+    let mut draw = rng.random_range(0.0..total);
+    for (i, w) in scores.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            return Some(i);
+        }
+    }
+    Some(scores.len() - 1)
+}
+
 /// The global scheduler: owns per-terminal GSO geometry, the background
-/// load model, the softmax RNG and the previous-assignment state.
+/// load model, one softmax RNG stream per terminal and the
+/// previous-assignment state.
 #[derive(Debug, Clone)]
 pub struct GlobalScheduler {
     policy: SchedulerPolicy,
     terminals: Vec<Terminal>,
     gso: Vec<GsoExclusion>,
     load: LoadModel,
-    rng: StdRng,
-    // Ordered map: access today is keyed-only, but any future iteration
-    // (snapshotting, sharded merges) must not depend on hash order.
+    /// One independent RNG stream per terminal (same order as
+    /// `terminals`), each seeded from `(seed, terminal id)` — see the
+    /// module docs on shard invariance.
+    rngs: Vec<StdRng>,
+    // Ordered map keyed by terminal id: access today is keyed-only, but
+    // any future iteration (snapshotting, sharded merges) must not depend
+    // on hash order.
     previous: BTreeMap<usize, u32>,
     scratch: AllocScratch,
 }
 
 impl GlobalScheduler {
     /// Creates a scheduler for a set of terminals.
+    ///
+    /// Terminal ids seed the per-terminal RNG streams and key the
+    /// hysteresis state, so a scheduler over any subset of a terminal
+    /// population allocates for those terminals exactly as a scheduler
+    /// over the whole population would (given the same `seed`).
     pub fn new(policy: SchedulerPolicy, terminals: Vec<Terminal>, seed: u64) -> GlobalScheduler {
         let gso = terminals
             .iter()
@@ -162,12 +223,16 @@ impl GlobalScheduler {
                 None => GsoExclusion::disabled(),
             })
             .collect();
+        let rngs = terminals
+            .iter()
+            .map(|t| StdRng::seed_from_u64(stream_seed(seed, t.id as u64)))
+            .collect();
         GlobalScheduler {
             policy,
             terminals,
             gso,
             load: LoadModel::new(seed ^ 0x10AD, 0.5),
-            rng: StdRng::seed_from_u64(seed),
+            rngs,
             previous: BTreeMap::new(),
             scratch: AllocScratch::default(),
         }
@@ -264,8 +329,8 @@ impl GlobalScheduler {
 
     /// The stateful half of `allocate`: scoring, the softmax draw and the
     /// hysteresis update, consuming per-terminal availability lists that
-    /// were computed elsewhere (in slot order — the RNG stream and the
-    /// previous-assignment state advance per call).
+    /// were computed elsewhere (in slot order — each terminal's RNG stream
+    /// and previous-assignment state advance per call).
     ///
     /// # Panics
     ///
@@ -286,6 +351,7 @@ impl GlobalScheduler {
 
         for (ti, available) in available.into_iter().enumerate() {
             let terminal = &self.terminals[ti];
+            let tid = terminal.id;
 
             scratch.eligible.clear();
             scratch.eligible.extend(available.iter().enumerate().filter_map(|(i, v)| {
@@ -302,23 +368,23 @@ impl GlobalScheduler {
                 scratch
                     .eligible
                     .iter()
-                    .map(|&i| self.score(ti, slot, &available[i], &self.gso[ti])),
+                    .map(|&i| self.score(tid, slot, &available[i], &self.gso[ti])),
             );
-            let chosen = self
-                .sample_in_place(&mut scratch.scores)
-                .map(|i| available[scratch.eligible[i]].clone());
+            let chosen =
+                sample_in_place(&mut self.rngs[ti], self.policy.temperature, &mut scratch.scores)
+                    .map(|i| available[scratch.eligible[i]].clone());
 
             match chosen.as_ref() {
                 Some(c) => {
-                    self.previous.insert(ti, c.norad_id);
+                    self.previous.insert(tid, c.norad_id);
                 }
                 None => {
-                    self.previous.remove(&ti);
+                    self.previous.remove(&tid);
                 }
             }
 
             out.push(Allocation {
-                terminal_id: ti,
+                terminal_id: tid,
                 slot,
                 slot_start: start,
                 available,
@@ -370,35 +436,6 @@ impl GlobalScheduler {
             + p.w_load * (1.0 - load)
             + p.w_gso_margin * gso_margin
             + hyst
-    }
-
-    /// Softmax draw over candidate scores; returns the winning index.
-    ///
-    /// Overwrites `scores` with the softmax weights in place — exp and the
-    /// weight total fold into one pass over the buffer, with no
-    /// intermediate weight vector. The float operations and their order
-    /// are exactly those of the historical two-vector version (exp per
-    /// element, then a left-fold sum), so the RNG draw and the winner are
-    /// bit-identical.
-    fn sample_in_place(&mut self, scores: &mut [f64]) -> Option<usize> {
-        if scores.is_empty() {
-            return None;
-        }
-        let tau = self.policy.temperature.max(1e-6);
-        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut total = 0.0;
-        for s in scores.iter_mut() {
-            *s = ((*s - max) / tau).exp();
-            total += *s;
-        }
-        let mut draw = self.rng.random_range(0.0..total);
-        for (i, w) in scores.iter().enumerate() {
-            draw -= w;
-            if draw <= 0.0 {
-                return Some(i);
-            }
-        }
-        Some(scores.len() - 1)
     }
 }
 
@@ -634,6 +671,72 @@ mod tests {
                 assert_eq!(x.chosen_id(), y.chosen_id(), "slot {k}");
                 assert_eq!(x.eligible_ids, y.eligible_ids, "slot {k}");
             }
+        }
+    }
+
+    #[test]
+    fn sharded_sub_schedulers_match_monolith() {
+        // A scheduler over any partition of the terminal population must
+        // allocate for each terminal exactly as the monolithic scheduler
+        // does: per-terminal RNG streams, hysteresis and load are all
+        // functions of (seed, terminal id) alone.
+        let c = constellation();
+        let pop = vec![
+            Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2)),
+            Terminal::new(1, "Ithaca", Geodetic::new(42.44, -76.50, 0.3))
+                .with_mask(SkyMask::ithaca_trees()),
+            Terminal::new(2, "Austin", Geodetic::new(30.27, -97.74, 0.15)),
+            Terminal::new(3, "Berlin", Geodetic::new(52.52, 13.40, 0.03)),
+        ];
+        let seed = 3;
+        let mut whole = GlobalScheduler::new(SchedulerPolicy::default(), pop.clone(), seed);
+
+        for split in [1usize, 2, 3] {
+            let (left, right) = pop.split_at(split);
+            let mut a = GlobalScheduler::new(SchedulerPolicy::default(), left.to_vec(), seed);
+            let mut b = GlobalScheduler::new(SchedulerPolicy::default(), right.to_vec(), seed);
+            let mut whole_run = GlobalScheduler::new(SchedulerPolicy::default(), pop.clone(), seed);
+            for k in 0..6 {
+                let t = at().plus_seconds(15.0 * k as f64);
+                let mut merged = a.allocate(&c, t);
+                merged.extend(b.allocate(&c, t));
+                let mono = whole_run.allocate(&c, t);
+                assert_eq!(merged.len(), mono.len());
+                for (x, y) in merged.iter().zip(&mono) {
+                    assert_eq!(x.terminal_id, y.terminal_id, "split {split} slot {k}");
+                    assert_eq!(x.chosen_id(), y.chosen_id(), "split {split} slot {k}");
+                    assert_eq!(x.eligible_ids, y.eligible_ids, "split {split} slot {k}");
+                }
+            }
+        }
+
+        // And the monolith agrees with itself across runs (sanity).
+        let again = whole.allocate(&c, at());
+        let mut fresh = GlobalScheduler::new(SchedulerPolicy::default(), pop, seed);
+        let fresh_run = fresh.allocate(&c, at());
+        for (x, y) in again.iter().zip(&fresh_run) {
+            assert_eq!(x.chosen_id(), y.chosen_id());
+        }
+    }
+
+    #[test]
+    fn terminal_stream_is_independent_of_coscheduled_terminals() {
+        // Dropping every other terminal must not change a terminal's
+        // allocation sequence.
+        let c = constellation();
+        let seed = 9;
+        let solo = vec![Terminal::new(1, "Ithaca", Geodetic::new(42.44, -76.50, 0.3))
+            .with_mask(SkyMask::ithaca_trees())];
+        let mut alone = GlobalScheduler::new(SchedulerPolicy::default(), solo, seed);
+        let mut crowd = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), seed);
+        for k in 0..8 {
+            let t = at().plus_seconds(15.0 * k as f64);
+            let a = alone.allocate(&c, t);
+            let b = crowd.allocate(&c, t);
+            let b_ithaca =
+                b.iter().find(|x| x.terminal_id == 1).expect("Ithaca allocated every slot");
+            assert_eq!(a[0].chosen_id(), b_ithaca.chosen_id(), "slot {k}");
+            assert_eq!(a[0].eligible_ids, b_ithaca.eligible_ids, "slot {k}");
         }
     }
 

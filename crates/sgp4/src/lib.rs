@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod elements;
 mod error;
 mod propagator;
 mod tle;
 
+pub use batch::{propagate_batch, Sgp4Batch};
 pub use elements::Elements;
 pub use error::Sgp4Error;
 pub use propagator::{Sgp4, State};

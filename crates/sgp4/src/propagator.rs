@@ -29,43 +29,45 @@ pub struct State {
 /// Initialization is the expensive part of SGP4; one `Sgp4` can then be
 /// propagated to any number of instants. The struct is immutable and
 /// therefore freely shareable across threads.
+// Coefficient fields are crate-visible so `batch::Sgp4Batch` can transpose
+// them into a struct-of-arrays layout without re-running initialization.
 #[derive(Debug, Clone)]
 pub struct Sgp4 {
-    epoch: JulianDate,
+    pub(crate) epoch: JulianDate,
     // Elements retained for propagation.
-    ecco: f64,
-    inclo: f64,
-    nodeo: f64,
-    argpo: f64,
-    mo: f64,
-    bstar: f64,
+    pub(crate) ecco: f64,
+    pub(crate) inclo: f64,
+    pub(crate) nodeo: f64,
+    pub(crate) argpo: f64,
+    pub(crate) mo: f64,
+    pub(crate) bstar: f64,
     // Derived at initialization.
-    no_unkozai: f64,
-    isimp: bool,
-    con41: f64,
-    x1mth2: f64,
-    x7thm1: f64,
-    cc1: f64,
-    cc4: f64,
-    cc5: f64,
-    d2: f64,
-    d3: f64,
-    d4: f64,
-    delmo: f64,
-    eta: f64,
-    sinmao: f64,
-    mdot: f64,
-    argpdot: f64,
-    nodedot: f64,
-    nodecf: f64,
-    omgcof: f64,
-    xmcof: f64,
-    t2cof: f64,
-    t3cof: f64,
-    t4cof: f64,
-    t5cof: f64,
-    xlcof: f64,
-    aycof: f64,
+    pub(crate) no_unkozai: f64,
+    pub(crate) isimp: bool,
+    pub(crate) con41: f64,
+    pub(crate) x1mth2: f64,
+    pub(crate) x7thm1: f64,
+    pub(crate) cc1: f64,
+    pub(crate) cc4: f64,
+    pub(crate) cc5: f64,
+    pub(crate) d2: f64,
+    pub(crate) d3: f64,
+    pub(crate) d4: f64,
+    pub(crate) delmo: f64,
+    pub(crate) eta: f64,
+    pub(crate) sinmao: f64,
+    pub(crate) mdot: f64,
+    pub(crate) argpdot: f64,
+    pub(crate) nodedot: f64,
+    pub(crate) nodecf: f64,
+    pub(crate) omgcof: f64,
+    pub(crate) xmcof: f64,
+    pub(crate) t2cof: f64,
+    pub(crate) t3cof: f64,
+    pub(crate) t4cof: f64,
+    pub(crate) t5cof: f64,
+    pub(crate) xlcof: f64,
+    pub(crate) aycof: f64,
 }
 
 impl Sgp4 {
