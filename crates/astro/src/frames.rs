@@ -91,35 +91,73 @@ pub fn ecef_to_geodetic(r: Vec3) -> Geodetic {
     Geodetic { lat_deg: lat.to_degrees(), lon_deg: lon.to_degrees(), alt_km: alt }
 }
 
+/// A precomputed observer frame for repeated look-angle queries from one
+/// site: the observer's ECEF position and the four latitude/longitude
+/// trigonometric factors of the ECEF→SEZ rotation, hoisted out of the
+/// per-target evaluation.
+///
+/// [`Topocentric::look_angles`] runs the exact arithmetic of the free
+/// [`look_angles`] function (which delegates here), so answering a query
+/// through a cached frame is bit-identical to calling the free function —
+/// only the per-call recomputation of the observer-side factors goes away.
+#[derive(Debug, Clone, Copy)]
+pub struct Topocentric {
+    ecef: Vec3,
+    sin_lat: f64,
+    cos_lat: f64,
+    sin_lon: f64,
+    cos_lon: f64,
+}
+
+impl Topocentric {
+    /// Builds the frame for an observer at `geo`.
+    pub fn new(geo: Geodetic) -> Topocentric {
+        let ecef = geodetic_to_ecef(geo);
+        let lat = geo.lat_deg.to_radians();
+        let lon = geo.lon_deg.to_radians();
+        let (sin_lat, cos_lat) = lat.sin_cos();
+        let (sin_lon, cos_lon) = lon.sin_cos();
+        Topocentric { ecef, sin_lat, cos_lat, sin_lon, cos_lon }
+    }
+
+    /// The observer's ECEF position, km.
+    pub fn ecef(&self) -> Vec3 {
+        self.ecef
+    }
+
+    /// Look angles from this observer to `target_ecef` — the shared
+    /// implementation behind the free [`look_angles`] function.
+    pub fn look_angles(&self, target_ecef: Vec3) -> LookAngles {
+        let rho = target_ecef - self.ecef;
+
+        // ECEF → SEZ (south, east, zenith) at the observer.
+        let s = self.sin_lat * self.cos_lon * rho.x + self.sin_lat * self.sin_lon * rho.y
+            - self.cos_lat * rho.z;
+        let e = -self.sin_lon * rho.x + self.cos_lon * rho.y;
+        let z = self.cos_lat * self.cos_lon * rho.x
+            + self.cos_lat * self.sin_lon * rho.y
+            + self.sin_lat * rho.z;
+
+        let range = rho.norm();
+        let elevation = (z / range).asin();
+        // Azimuth clockwise from north: atan2(east, north) with north = -south.
+        let azimuth = e.atan2(-s);
+
+        LookAngles {
+            elevation_deg: elevation.to_degrees(),
+            azimuth_deg: azimuth.to_degrees().rem_euclid(360.0),
+            range_km: range,
+        }
+    }
+}
+
 /// Computes look angles from an observer to a target, both in ECEF.
 ///
 /// The azimuth convention matches the obstruction map: 0° = true north,
 /// increasing clockwise (90° = east), exactly as recovered in §4.1 of the
 /// paper.
 pub fn look_angles(observer_geo: Geodetic, target_ecef: Vec3) -> LookAngles {
-    let observer_ecef = geodetic_to_ecef(observer_geo);
-    let rho = target_ecef - observer_ecef;
-
-    let lat = observer_geo.lat_deg.to_radians();
-    let lon = observer_geo.lon_deg.to_radians();
-    let (sin_lat, cos_lat) = lat.sin_cos();
-    let (sin_lon, cos_lon) = lon.sin_cos();
-
-    // ECEF → SEZ (south, east, zenith) at the observer.
-    let s = sin_lat * cos_lon * rho.x + sin_lat * sin_lon * rho.y - cos_lat * rho.z;
-    let e = -sin_lon * rho.x + cos_lon * rho.y;
-    let z = cos_lat * cos_lon * rho.x + cos_lat * sin_lon * rho.y + sin_lat * rho.z;
-
-    let range = rho.norm();
-    let elevation = (z / range).asin();
-    // Azimuth clockwise from north: atan2(east, north) with north = -south.
-    let azimuth = e.atan2(-s);
-
-    LookAngles {
-        elevation_deg: elevation.to_degrees(),
-        azimuth_deg: azimuth.to_degrees().rem_euclid(360.0),
-        range_km: range,
-    }
+    Topocentric::new(observer_geo).look_angles(target_ecef)
 }
 
 /// Look angles to a satellite given in TEME at a known instant.
@@ -183,6 +221,34 @@ mod tests {
         let target = geodetic_to_ecef(Geodetic::new(0.0, 5.0, 550.0));
         let la = look_angles(geo, target);
         assert!((la.azimuth_deg - 90.0).abs() < 1.0, "az {}", la.azimuth_deg);
+    }
+
+    #[test]
+    fn cached_topocentric_frame_is_bit_identical_to_look_angles() {
+        for &(lat, lon, alt) in &[
+            (0.0, 0.0, 0.0),
+            (41.66, -91.53, 0.2),
+            (-33.86, 151.21, 0.05),
+            (78.0, 15.0, 0.0),
+            (-89.5, 179.9, 0.0),
+        ] {
+            let geo = Geodetic::new(lat, lon, alt);
+            let frame = Topocentric::new(geo);
+            assert_eq!(frame.ecef(), geodetic_to_ecef(geo));
+            for k in 0..40 {
+                let t = k as f64;
+                let target = Vec3::new(
+                    6900.0 * (t * 0.37).cos(),
+                    6900.0 * (t * 0.37).sin(),
+                    3000.0 * (t * 0.11).sin(),
+                );
+                let a = look_angles(geo, target);
+                let b = frame.look_angles(target);
+                assert_eq!(a.elevation_deg.to_bits(), b.elevation_deg.to_bits());
+                assert_eq!(a.azimuth_deg.to_bits(), b.azimuth_deg.to_bits());
+                assert_eq!(a.range_km.to_bits(), b.range_km.to_bits());
+            }
+        }
     }
 
     #[test]

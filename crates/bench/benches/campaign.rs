@@ -13,27 +13,35 @@
 //!   an agreement check (the pruned winner must always equal the
 //!   exhaustive winner);
 //! * **terminal scaling** — scheduler-tick throughput (slot·terminals per
-//!   second) across the [`SCALING_SWEEP`] list: 4/64/256 terminals on the
-//!   mini constellation with the reference full-catalog linear scan for
-//!   comparison, then 1 000 and 10 000 terminals on the 4 236-satellite
-//!   multi-shell gen1 constellation (indexed path only — the linear
-//!   reference is priced out exactly where the index matters most).
+//!   second) across the [`SCALING_SWEEP`] list, in up to three arms per
+//!   point: the production **cohort** engine (shared cohort candidate
+//!   supersets + the segment-pruned, precomputed allocator), the frozen
+//!   per-terminal **indexed** reference engine (PR-7's path, kept
+//!   callable exactly for this A/B), and the full-catalog **linear** scan.
+//!   4/64/256 terminals run on the mini constellation with all three
+//!   arms; 1 000 and 10 000 terminals on the 4 236-satellite multi-shell
+//!   gen1 catalog drop the linear arm; the 100 000-terminal point runs
+//!   the cohort engine alone — the reference is priced out exactly where
+//!   the cohorts matter most.
 //!
 //! `--test` (as in `cargo bench -- --test`) runs a smoke pass: tiny
-//! workload (the large sweep points drop to a single slot), no JSON
-//! written.
+//! workload (the large sweep points drop to a single slot and the
+//! 100 000-terminal point shrinks to its `smoke_terminals` count), no
+//! JSON written.
 //!
 //! `--check-baseline` compares the freshly measured serial throughputs
-//! (oracle, identified, 256- and 1 000-terminal indexed sweeps) against
-//! the committed `BENCH_campaign.json` before it is overwritten, and exits
-//! non-zero on a >20% regression on any of them. On hosts with at least
-//! [`SPEEDUP_HOST_THREADS`] CPUs it also demands an identified-mode
-//! parallel speedup of ≥ [`MIN_PARALLEL_SPEEDUP`]×. The regression check
-//! only scores hosts comparable to the baseline (same recorded
-//! `host_threads`); otherwise it degrades to a warning, so CI runners of
-//! any width can run it. In smoke mode it degrades to a structural check:
-//! the committed JSON must still carry every guarded number and the
-//! speedup fields (the tiny workload measures nothing).
+//! (oracle, identified, and the 256-, 1 000- and 10 000-terminal indexed
+//! sweeps) against the committed `BENCH_campaign.json` before it is
+//! overwritten, and exits non-zero on a >20% regression on any of them.
+//! On hosts with at least [`SPEEDUP_HOST_THREADS`] CPUs it also demands
+//! an identified-mode parallel speedup of ≥ [`MIN_PARALLEL_SPEEDUP`]× and
+//! a 10 000-terminal cohort-over-reference speedup of ≥
+//! [`MIN_COHORT_SPEEDUP`]×. The regression check only scores hosts
+//! comparable to the baseline (same recorded `host_threads`); otherwise
+//! it degrades to a warning, so CI runners of any width can run it. In
+//! smoke mode it degrades to a structural check: the committed JSON must
+//! still carry every guarded number and the speedup fields (the tiny
+//! workload measures nothing).
 
 use starsense_astro::frames::Geodetic;
 use starsense_astro::time::JulianDate;
@@ -90,11 +98,28 @@ fn sweep_terminals(n: usize) -> Vec<Terminal> {
         .collect()
 }
 
-/// Times `slots` scheduler ticks over `n` terminals and returns
-/// slot·terminals per second. `linear` selects the reference full-catalog
-/// field-of-view scan instead of the visibility-indexed path; everything
-/// else (snapshot propagation, scoring, the softmax draws) is identical.
-fn time_terminal_sweep(c: &Constellation, n: usize, slots: usize, linear: bool) -> f64 {
+/// One engine configuration of the terminal-scaling sweep. All three arms
+/// produce bit-identical allocations (equality-tested in the scheduler
+/// crate); only the work per slot differs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SweepArm {
+    /// The production engine: cohort-shared candidate supersets feeding
+    /// the segment-pruned, slot-table allocator.
+    Cohort,
+    /// The frozen per-terminal reference engine (PR-7's hot path): indexed
+    /// per-terminal fields of view plus the exhaustive-GSO allocator.
+    Indexed,
+    /// The full-catalog linear field-of-view scan over the reference
+    /// allocator.
+    Linear,
+}
+
+/// Times `slots` scheduler ticks over `n` terminals through the chosen
+/// engine arm and returns slot·terminals per second. Everything the arm
+/// does not select (snapshot propagation, scoring inputs, the softmax
+/// draws) is identical across arms, so the ratios isolate the cohort and
+/// allocator optimizations.
+fn time_terminal_sweep(c: &Constellation, n: usize, slots: usize, arm: SweepArm) -> f64 {
     let mut scheduler = GlobalScheduler::new(SchedulerPolicy::default(), sweep_terminals(n), SEED);
     let first_mid = slot_start(campaign_start()).plus_seconds(7.5);
     let start = Instant::now();
@@ -102,16 +127,18 @@ fn time_terminal_sweep(c: &Constellation, n: usize, slots: usize, linear: bool) 
     for k in 0..slots {
         let at = first_mid.plus_seconds(15.0 * k as f64);
         let snapshot = c.snapshot(slot_start(at));
-        let fov = if linear {
-            scheduler.fields_of_view_linear(c, &snapshot)
-        } else {
-            scheduler.fields_of_view(c, &snapshot)
+        let fov = match arm {
+            SweepArm::Cohort => scheduler.fields_of_view_cohort(c, &snapshot),
+            SweepArm::Indexed => scheduler.fields_of_view(c, &snapshot),
+            SweepArm::Linear => scheduler.fields_of_view_linear(c, &snapshot),
         };
-        served += scheduler
-            .allocate_from_available(at, fov)
-            .iter()
-            .filter(|a| a.chosen.is_some())
-            .count();
+        let allocs = match arm {
+            SweepArm::Cohort => scheduler.allocate_from_available(at, fov),
+            SweepArm::Indexed | SweepArm::Linear => {
+                scheduler.allocate_from_available_reference(at, fov)
+            }
+        };
+        served += allocs.iter().filter(|a| a.chosen.is_some()).count();
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     assert!(served > 0, "terminal sweep allocated nothing");
@@ -142,53 +169,78 @@ impl SweepCatalog {
 /// for the gated entries), and the console report all follow.
 struct SweepSpec {
     terminals: usize,
+    /// Terminal count in smoke mode (the 100k point cannot run at full
+    /// width in a CI smoke pass; every other point keeps its count).
+    smoke_terminals: usize,
     /// Scheduler ticks in the full run.
     slots: usize,
     /// Scheduler ticks in smoke mode.
     smoke_slots: usize,
+    /// Run the frozen per-terminal reference engine too — the denominator
+    /// of the cohort speedup. Affordable everywhere except the 100k point.
+    per_terminal: bool,
     /// Run the reference full-catalog linear scan too. Affordable only at
-    /// small terminal counts; the large points report the indexed path
-    /// alone.
+    /// small terminal counts.
     linear: bool,
     catalog: SweepCatalog,
 }
 
 /// The terminal-scaling sweep: the historical 4/64/256 mini-constellation
-/// points (with the linear reference), then the 1k/10k terminal points on
-/// the multi-shell gen1 catalog.
+/// points (with the linear reference), the 1k/10k terminal points on the
+/// multi-shell gen1 catalog with the cohort-vs-reference A/B, then the
+/// 100 000-terminal gen1 point on the cohort engine alone.
 const SCALING_SWEEP: &[SweepSpec] = &[
     SweepSpec {
         terminals: 4,
+        smoke_terminals: 4,
         slots: 48,
         smoke_slots: 2,
+        per_terminal: true,
         linear: true,
         catalog: SweepCatalog::Mini,
     },
     SweepSpec {
         terminals: 64,
+        smoke_terminals: 64,
         slots: 32,
         smoke_slots: 2,
+        per_terminal: true,
         linear: true,
         catalog: SweepCatalog::Mini,
     },
     SweepSpec {
         terminals: 256,
+        smoke_terminals: 256,
         slots: 16,
         smoke_slots: 1,
+        per_terminal: true,
         linear: true,
         catalog: SweepCatalog::Mini,
     },
     SweepSpec {
         terminals: 1_000,
+        smoke_terminals: 1_000,
         slots: 8,
         smoke_slots: 1,
+        per_terminal: true,
         linear: false,
         catalog: SweepCatalog::Gen1,
     },
     SweepSpec {
         terminals: 10_000,
+        smoke_terminals: 10_000,
         slots: 2,
         smoke_slots: 1,
+        per_terminal: true,
+        linear: false,
+        catalog: SweepCatalog::Gen1,
+    },
+    SweepSpec {
+        terminals: 100_000,
+        smoke_terminals: 2_000,
+        slots: 1,
+        smoke_slots: 1,
+        per_terminal: false,
         linear: false,
         catalog: SweepCatalog::Gen1,
     },
@@ -198,7 +250,11 @@ const SCALING_SWEEP: &[SweepSpec] = &[
 struct SweepPoint {
     spec: &'static SweepSpec,
     slots: usize,
-    indexed: f64,
+    /// The production cohort engine.
+    cohort: f64,
+    /// The frozen per-terminal reference engine; `None` where the spec
+    /// skips it.
+    indexed: Option<f64>,
     /// `None` where the spec skips the linear reference.
     linear: Option<f64>,
 }
@@ -284,7 +340,7 @@ const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_
 const MAX_REGRESSION: f64 = 0.20;
 
 /// The JSON paths `--check-baseline` guards, with human-readable labels.
-const GUARDED_METRICS: [(&[&str], &str); 4] = [
+const GUARDED_METRICS: [(&[&str], &str); 5] = [
     (&["oracle", "serial_slots_per_sec"], "oracle serial slots/s"),
     (&["identified", "serial_slots_per_sec"], "identified serial slots/s"),
     (
@@ -294,6 +350,10 @@ const GUARDED_METRICS: [(&[&str], &str); 4] = [
     (
         &["terminal_scaling", "t1000", "indexed_slot_terminals_per_sec"],
         "1000-terminal gen1 indexed slot·terminals/s",
+    ),
+    (
+        &["terminal_scaling", "t10000", "indexed_slot_terminals_per_sec"],
+        "10000-terminal gen1 indexed slot·terminals/s",
     ),
 ];
 
@@ -306,6 +366,14 @@ const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
 
 /// Minimum host width for the parallel-speedup assertion to be scored.
 const SPEEDUP_HOST_THREADS: usize = 4;
+
+/// Cohort-engine speedup over the frozen per-terminal reference demanded
+/// by `--check-baseline` at the 10 000-terminal gen1 point — the headline
+/// claim of the cohort fast path. Scored on hosts with at least
+/// [`SPEEDUP_HOST_THREADS`] CPUs (the same comparability bar as the
+/// parallel-speedup gate); narrower hosts report the measured ratio as a
+/// warning instead of failing a possibly noise-dominated run.
+const MIN_COHORT_SPEEDUP: f64 = 2.0;
 
 /// Scores each freshly measured guarded metric against the committed
 /// baseline document. Returns the first >20% regression as an error, and
@@ -380,9 +448,17 @@ fn validate_baseline_structure(baseline: Option<&str>) -> Result<String, String>
     }
     for spec in SCALING_SWEEP {
         let key = format!("t{}", spec.terminals);
-        let path = ["terminal_scaling", key.as_str(), "indexed_slot_terminals_per_sec"];
-        if starsense_bench::json_number(doc, &path).is_none() {
-            missing.push(path.join("."));
+        let cohort = ["terminal_scaling", key.as_str(), "cohort_slot_terminals_per_sec"];
+        if starsense_bench::json_number(doc, &cohort).is_none() {
+            missing.push(cohort.join("."));
+        }
+        if spec.per_terminal {
+            for field in ["indexed_slot_terminals_per_sec", "cohort_speedup"] {
+                let path = ["terminal_scaling", key.as_str(), field];
+                if starsense_bench::json_number(doc, &path).is_none() {
+                    missing.push(path.join("."));
+                }
+            }
         }
     }
     if missing.is_empty() {
@@ -434,32 +510,40 @@ fn main() {
                 SweepCatalog::Gen1 => gen1.as_ref().expect("gen1 catalog built above"),
             };
             let slots = if smoke { spec.smoke_slots } else { spec.slots };
+            let terminals = if smoke { spec.smoke_terminals } else { spec.terminals };
             SweepPoint {
                 spec,
                 slots,
-                indexed: time_terminal_sweep(catalog, spec.terminals, slots, false),
+                cohort: time_terminal_sweep(catalog, terminals, slots, SweepArm::Cohort),
+                indexed: spec
+                    .per_terminal
+                    .then(|| time_terminal_sweep(catalog, terminals, slots, SweepArm::Indexed)),
                 linear: spec
                     .linear
-                    .then(|| time_terminal_sweep(catalog, spec.terminals, slots, true)),
+                    .then(|| time_terminal_sweep(catalog, terminals, slots, SweepArm::Linear)),
             }
         })
         .collect();
     for p in &scaling {
-        match p.linear {
-            Some(linear) => println!(
-                "scaling/allocate_{}terms_{}slots        indexed {:9.0} slot·terms/s   linear {:9.0} slot·terms/s   speedup {:.2}x",
-                p.spec.terminals,
-                p.slots,
-                p.indexed,
-                linear,
-                p.indexed / linear
-            ),
-            None => println!(
-                "scaling/allocate_{}terms_{}slots ({})  indexed {:9.0} slot·terms/s",
+        match p.indexed {
+            Some(indexed) => println!(
+                "scaling/allocate_{}terms_{}slots ({})  cohort {:9.0} slot·terms/s   per-terminal {:9.0} slot·terms/s   cohort speedup {:.2}x{}",
                 p.spec.terminals,
                 p.slots,
                 p.spec.catalog.label(),
-                p.indexed
+                p.cohort,
+                indexed,
+                p.cohort / indexed,
+                p.linear
+                    .map(|l| format!("   linear {:.0} slot·terms/s ({:.2}x)", l, indexed / l))
+                    .unwrap_or_default(),
+            ),
+            None => println!(
+                "scaling/allocate_{}terms_{}slots ({})  cohort {:9.0} slot·terms/s",
+                p.spec.terminals,
+                p.slots,
+                p.spec.catalog.label(),
+                p.cohort
             ),
         }
     }
@@ -498,16 +582,20 @@ fn main() {
                 r#"    "t{}": {{
       "slots": {},
       "constellation": "{}",
+      "cohort_slot_terminals_per_sec": {},
       "indexed_slot_terminals_per_sec": {},
       "linear_slot_terminals_per_sec": {},
-      "speedup": {}
+      "speedup": {},
+      "cohort_speedup": {}
     }}"#,
                 p.spec.terminals,
                 p.slots,
                 p.spec.catalog.label(),
-                json_f(p.indexed),
+                json_f(p.cohort),
+                json_opt(p.indexed),
                 json_opt(p.linear),
-                json_opt(p.linear.map(|l| p.indexed / l)),
+                json_opt(p.indexed.and_then(|i| p.linear.map(|l| i / l))),
+                json_opt(p.indexed.map(|i| p.cohort / i)),
             )
         })
         .collect();
@@ -565,9 +653,14 @@ fn main() {
 
     if check_baseline {
         let indexed_at = |terminals: usize| {
-            scaling.iter().find(|p| p.spec.terminals == terminals).map(|p| p.indexed).unwrap_or(0.0)
+            scaling
+                .iter()
+                .find(|p| p.spec.terminals == terminals)
+                .and_then(|p| p.indexed)
+                .unwrap_or(0.0)
         };
-        let fresh = [oracle_serial, ident_serial, indexed_at(256), indexed_at(1_000)];
+        let fresh =
+            [oracle_serial, ident_serial, indexed_at(256), indexed_at(1_000), indexed_at(10_000)];
         match check_against_baseline(committed_baseline.as_deref(), &fresh, host_threads) {
             Ok(verdicts) => {
                 for v in verdicts {
@@ -600,6 +693,34 @@ fn main() {
                 "identified parallel speedup check skipped: host_threads={host_threads} < \
                  {SPEEDUP_HOST_THREADS} (measured {speedup:.2}x)"
             );
+        }
+
+        // The headline claim of this sweep: at 10 000 terminals the cohort
+        // engine must beat the frozen per-terminal reference by 2x. The
+        // ratio is single-threaded by construction, but narrow hosts are
+        // typically noisy shared runners, so they report instead of gate.
+        let cohort_speedup = scaling
+            .iter()
+            .find(|p| p.spec.terminals == 10_000)
+            .and_then(|p| p.indexed.map(|i| p.cohort / i));
+        match cohort_speedup {
+            Some(ratio) if host_threads >= SPEEDUP_HOST_THREADS => {
+                if ratio < MIN_COHORT_SPEEDUP {
+                    eprintln!(
+                        "10000-terminal cohort speedup {ratio:.2}x below the required \
+                         {MIN_COHORT_SPEEDUP:.1}x"
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "10000-terminal cohort speedup: ok, {ratio:.2}x >= {MIN_COHORT_SPEEDUP:.1}x"
+                );
+            }
+            Some(ratio) => println!(
+                "10000-terminal cohort speedup check skipped: host_threads={host_threads} < \
+                 {SPEEDUP_HOST_THREADS} (measured {ratio:.2}x)"
+            ),
+            None => println!("10000-terminal cohort speedup unavailable: reference arm not run"),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The satellite catalog: per-satellite state and field-of-view queries.
 
 use crate::index::VisibilityIndex;
-use starsense_astro::frames::{look_angles, teme_to_ecef, Geodetic, LookAngles};
+use starsense_astro::frames::{teme_to_ecef, Geodetic, LookAngles, Topocentric};
 use starsense_astro::sun::{is_sunlit_given_sun, sun_position_teme};
 use starsense_astro::time::JulianDate;
 use starsense_astro::vec3::Vec3;
@@ -108,6 +108,10 @@ impl Satellite {
 pub struct VisibleSat {
     /// Catalog number.
     pub norad_id: u32,
+    /// Position of the satellite in the catalog (index into
+    /// [`Constellation::sats`] and [`Snapshot::entries`]) — the key
+    /// per-slot satellite tables are indexed by.
+    pub catalog_index: u32,
     /// Look angles from the terminal (true positions).
     pub look: LookAngles,
     /// True TEME position, km.
@@ -300,10 +304,11 @@ impl Constellation {
         min_elevation_deg: f64,
     ) -> Vec<VisibleSat> {
         assert_eq!(snap.positions.len(), self.sats.len(), "snapshot/catalog mismatch");
+        let topo = Topocentric::new(observer);
         let mut out = Vec::new();
-        for (sat, entry) in self.sats.iter().zip(&snap.positions) {
+        for (si, entry) in snap.positions.iter().enumerate() {
             let Some(entry) = entry else { continue };
-            self.admit(snap, sat, entry, observer, min_elevation_deg, &mut out);
+            self.admit(snap, si, entry, &topo, min_elevation_deg, &mut out);
         }
         out
     }
@@ -333,33 +338,65 @@ impl Constellation {
     ) -> Vec<VisibleSat> {
         assert_eq!(snap.positions.len(), self.sats.len(), "snapshot/catalog mismatch");
         snap.visibility_index().candidates_into(observer, min_elevation_deg, scratch);
-        let mut out = Vec::new();
-        for &si in scratch.iter() {
+        self.field_of_view_from_candidates(snap, observer, min_elevation_deg, scratch)
+    }
+
+    /// Field-of-view query over an explicit candidate list (ascending
+    /// catalog indices) — the exact-test half the cohort fast path runs
+    /// after its shared superset + prefilter stage. Applies the same
+    /// per-satellite [`Constellation::admit`] test as the linear scan, so
+    /// as long as `candidates` is a superset of the satellites above the
+    /// cutoff the result is bit-identical to
+    /// [`Constellation::field_of_view_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `snap` was taken from a different catalog (length
+    /// mismatch) or a candidate index is out of range.
+    pub fn field_of_view_from_candidates(
+        &self,
+        snap: &Snapshot,
+        observer: Geodetic,
+        min_elevation_deg: f64,
+        candidates: &[u32],
+    ) -> Vec<VisibleSat> {
+        assert_eq!(snap.positions.len(), self.sats.len(), "snapshot/catalog mismatch");
+        let topo = Topocentric::new(observer);
+        // The candidate list is a tight superset (tens of entries), so
+        // sizing the result to it up front turns the ~log2(len) grow-and-
+        // copy reallocations per call into one allocation — measurable at
+        // 10⁴–10⁵ retained per-terminal lists per slot.
+        let mut out = Vec::with_capacity(candidates.len());
+        for &si in candidates {
             let si = si as usize;
             let Some(entry) = &snap.positions[si] else { continue };
-            self.admit(snap, &self.sats[si], entry, observer, min_elevation_deg, &mut out);
+            self.admit(snap, si, entry, &topo, min_elevation_deg, &mut out);
         }
         out
     }
 
-    /// The one per-satellite visibility test both field-of-view paths
-    /// share: compute exact look angles and admit the satellite when it
-    /// clears the cutoff. Keeping this in one place is what makes the
-    /// indexed path bit-identical to the linear scan by construction.
+    /// The one per-satellite visibility test every field-of-view path
+    /// shares: compute exact look angles (through the caller's cached
+    /// [`Topocentric`] frame — bit-identical to the free `look_angles`)
+    /// and admit the satellite when it clears the cutoff. Keeping this in
+    /// one place is what makes the indexed and cohort paths bit-identical
+    /// to the linear scan by construction.
     #[inline]
     fn admit(
         &self,
         snap: &Snapshot,
-        sat: &Satellite,
+        si: usize,
         entry: &SnapshotEntry,
-        observer: Geodetic,
+        topo: &Topocentric,
         min_elevation_deg: f64,
         out: &mut Vec<VisibleSat>,
     ) {
-        let look = look_angles(observer, entry.ecef);
+        let sat = &self.sats[si];
+        let look = topo.look_angles(entry.ecef);
         if look.elevation_deg >= min_elevation_deg {
             out.push(VisibleSat {
                 norad_id: sat.norad_id,
+                catalog_index: si as u32,
                 look,
                 teme: entry.teme,
                 sunlit: entry.sunlit,

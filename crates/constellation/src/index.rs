@@ -96,6 +96,16 @@ fn hav(x: f64) -> f64 {
     s * s
 }
 
+/// The grid bucket an ECEF direction falls into — the one bucketing rule
+/// shared by [`VisibilityIndex::build`] and [`VisibilityIndex::cell_key`],
+/// so cohort grouping by cell key agrees with how satellites were indexed.
+fn bucket_index(cell_deg: f64, n_lat: usize, n_lon: usize, ecef: Vec3) -> usize {
+    let (lat, lon) = direction_deg(ecef);
+    let row = (((lat + 90.0) / cell_deg) as usize).min(n_lat - 1);
+    let col = (((lon + 180.0) / cell_deg) as usize).min(n_lon - 1);
+    row * n_lon + col
+}
+
 impl VisibilityIndex {
     /// Builds the index for `snapshot`, sizing the grid from the
     /// ground-range bound at the standard 25° cutoff. Satellites without a
@@ -125,12 +135,7 @@ impl VisibilityIndex {
         // Counting sort into CSR: one pass to size buckets, one to fill.
         // Filling in catalog order keeps every bucket's entries ascending,
         // so queries can merge buckets and sort cheaply.
-        let bucket_of = |ecef: Vec3| -> usize {
-            let (lat, lon) = direction_deg(ecef);
-            let row = (((lat + 90.0) / cell_deg) as usize).min(n_lat - 1);
-            let col = (((lon + 180.0) / cell_deg) as usize).min(n_lon - 1);
-            row * n_lon + col
-        };
+        let bucket_of = |ecef: Vec3| -> usize { bucket_index(cell_deg, n_lat, n_lon, ecef) };
         let mut counts = vec![0u32; n_buckets + 1];
         for entry in entries_in.iter().flatten() {
             counts[bucket_of(entry.ecef) + 1] += 1;
@@ -160,17 +165,38 @@ impl VisibilityIndex {
 
     /// The angular radius (degrees) of the visibility cap for an observer
     /// of geocentric radius `r_obs_km` and elevation cutoff
-    /// `min_elevation_deg`, or `None` when the bound degenerates and the
-    /// query must scan everything (observer above the constellation, or a
-    /// cap covering most of the sphere).
+    /// `min_elevation_deg`, or `None` when the bound itself degenerates
+    /// (observer at or above the constellation's top shell). The returned
+    /// radius already carries the zenith-deflection and rounding margins;
+    /// callers decide whether it is still narrow enough to beat a full
+    /// scan (see [`FULL_SCAN_CAP_DEG`]).
     fn cap_radius_deg(&self, r_obs_km: f64, min_elevation_deg: f64) -> Option<f64> {
         if self.max_radius_km <= r_obs_km {
             return None;
         }
         let e = (min_elevation_deg - ZENITH_DEFLECTION_MARGIN_DEG).to_radians();
         let arg = ((r_obs_km / self.max_radius_km) * e.cos()).clamp(-1.0, 1.0);
-        let cap = (arg.acos() - e).to_degrees() + CAP_RADIUS_GUARD_DEG;
-        (cap < FULL_SCAN_CAP_DEG).then_some(cap)
+        Some((arg.acos() - e).to_degrees() + CAP_RADIUS_GUARD_DEG)
+    }
+
+    /// Cosine of the visibility-cap radius for an observer of geocentric
+    /// radius `r_obs_km` — the per-member prefilter threshold of the
+    /// cohort fast path. A satellite whose geocentric direction makes an
+    /// angle larger than the cap with the observer's direction is provably
+    /// below the cutoff (same ψ_max bound and margins the grid walk uses),
+    /// so testing `dot(obs_dir, sat_dir) ≥ cap_cos` before the exact
+    /// elevation test can only discard satellites the exact test would
+    /// reject anyway. `None` when the bound degenerates (no prefiltering).
+    pub fn cap_cos(&self, r_obs_km: f64, min_elevation_deg: f64) -> Option<f64> {
+        self.cap_radius_deg(r_obs_km, min_elevation_deg).map(|cap| cap.to_radians().cos())
+    }
+
+    /// The grid cell an ECEF direction falls into — exposed so cohort
+    /// schedulers can group observers by the index's own cells. Grouping
+    /// is a pure function of the position (and this snapshot's grid), so
+    /// any cohort built from it is invariant under observer input order.
+    pub fn cell_key(&self, ecef: Vec3) -> u32 {
+        bucket_index(self.cell_deg, self.n_lat, self.n_lon, ecef) as u32
     }
 
     /// Writes into `out` (cleared first) the catalog indices of every
@@ -181,11 +207,53 @@ impl VisibilityIndex {
     pub fn candidates_into(&self, observer: Geodetic, min_elevation_deg: f64, out: &mut Vec<u32>) {
         out.clear();
         let obs_ecef = geodetic_to_ecef(observer);
-        let Some(cap_deg) = self.cap_radius_deg(obs_ecef.norm(), min_elevation_deg) else {
-            out.extend(0..self.catalog_len as u32);
-            return;
-        };
-        let (obs_lat, obs_lon) = direction_deg(obs_ecef);
+        match self.cap_radius_deg(obs_ecef.norm(), min_elevation_deg) {
+            Some(cap_deg) if cap_deg < FULL_SCAN_CAP_DEG => {
+                let (obs_lat, obs_lon) = direction_deg(obs_ecef);
+                self.walk_cap(obs_lat, obs_lon, cap_deg, out);
+            }
+            _ => out.extend(0..self.catalog_len as u32),
+        }
+    }
+
+    /// Writes into `out` (cleared first) one conservative candidate
+    /// superset for a whole **cohort** of observers: every satellite that
+    /// could be at or above `min_elevation_deg` from *any* observer within
+    /// `widen_deg` (geocentric angle) of the anchor direction `anchor_ecef`
+    /// whose geocentric radius is at least `min_radius_km`.
+    ///
+    /// The bound is the per-observer ψ_max cap evaluated at the smallest
+    /// member radius (the cap radius is decreasing in the observer radius)
+    /// plus the widening angle: for a member `m` and a satellite above the
+    /// cutoff, the triangle inequality on the sphere gives
+    /// `angle(sat, anchor) ≤ angle(sat, m) + angle(m, anchor)
+    ///  ≤ ψ_max(r_m) + widen ≤ ψ_max(min_radius) + widen`.
+    /// Members therefore still run their own exact elevation test per
+    /// candidate; sharing the superset cannot change any result.
+    pub fn cohort_candidates_into(
+        &self,
+        anchor_ecef: Vec3,
+        min_radius_km: f64,
+        widen_deg: f64,
+        min_elevation_deg: f64,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        match self.cap_radius_deg(min_radius_km, min_elevation_deg) {
+            Some(cap_deg) if cap_deg + widen_deg < FULL_SCAN_CAP_DEG => {
+                let (lat, lon) = direction_deg(anchor_ecef);
+                self.walk_cap(lat, lon, cap_deg + widen_deg, out);
+            }
+            _ => out.extend(0..self.catalog_len as u32),
+        }
+    }
+
+    /// Gathers every bucket intersecting the cap of angular radius
+    /// `cap_deg` centred on the geocentric direction `(obs_lat, obs_lon)`
+    /// into `out` (appended, then sorted into catalog order) — the shared
+    /// grid walk behind [`VisibilityIndex::candidates_into`] and
+    /// [`VisibilityIndex::cohort_candidates_into`].
+    fn walk_cap(&self, obs_lat: f64, obs_lon: f64, cap_deg: f64, out: &mut Vec<u32>) {
         let cap = cap_deg.to_radians();
         let lat0 = obs_lat.to_radians();
 

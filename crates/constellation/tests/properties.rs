@@ -8,7 +8,7 @@
 //! of view.
 
 use proptest::prelude::*;
-use starsense_astro::frames::Geodetic;
+use starsense_astro::frames::{geodetic_to_ecef, Geodetic};
 use starsense_astro::time::JulianDate;
 use starsense_constellation::{Constellation, ConstellationBuilder, VisibleSat};
 use std::sync::OnceLock;
@@ -100,6 +100,161 @@ proptest! {
         let reused =
             c.field_of_view_indexed(&snap, Geodetic::new(-lat, lon, 0.1), 40.0, &mut scratch);
         assert_fov_bit_identical(&fresh, &reused);
+    }
+
+    #[test]
+    fn cohort_candidate_superset_covers_every_member_fov(
+        hours in 0.0f64..240.0,
+        lat in -85.0f64..85.0,
+        lon in -179.0f64..179.0,
+        spread in 0.0f64..1.5,
+        min_el in 5.0f64..70.0,
+    ) {
+        // The cohort contract: the shared candidate set gathered once for
+        // the anchor — cap at the smallest member radius, widened by the
+        // largest member-to-anchor angle — is a superset of every member's
+        // own field of view. This is the exact construction the scheduler's
+        // cohort fast path relies on for bit-identity.
+        let c = catalog();
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0).plus_seconds(hours * 3600.0);
+        let snap = c.snapshot(at);
+        let index = snap.visibility_index();
+
+        let members: Vec<Geodetic> = (0..5)
+            .map(|i| {
+                let t = i as f64;
+                Geodetic::new(
+                    (lat + spread * ((t * 0.61).sin() * 0.5)).clamp(-89.9, 89.9),
+                    lon + spread * ((t * 0.83).cos() * 0.5),
+                    0.1 + 0.05 * t,
+                )
+            })
+            .collect();
+
+        let anchor_ecef = geodetic_to_ecef(members[0]);
+        let anchor_unit = anchor_ecef.unit();
+        let mut min_radius = f64::INFINITY;
+        let mut widen_deg: f64 = 0.0;
+        for m in &members {
+            let e = geodetic_to_ecef(*m);
+            min_radius = min_radius.min(e.norm());
+            widen_deg = widen_deg
+                .max(anchor_unit.dot(e.unit()).clamp(-1.0, 1.0).acos().to_degrees());
+        }
+
+        let mut cand = Vec::new();
+        index.cohort_candidates_into(anchor_ecef, min_radius, widen_deg + 1e-7, min_el, &mut cand);
+        prop_assert!(cand.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+
+        for m in &members {
+            for v in c.field_of_view_from(&snap, *m, min_el) {
+                prop_assert!(
+                    cand.binary_search(&v.catalog_index).is_ok(),
+                    "satellite {} at elevation {:.2} visible from member ({:.3},{:.3}) \
+                     missing from cohort candidates (anchor ({lat:.2},{lon:.2}), \
+                     spread {spread:.2}, cutoff {min_el:.2})",
+                    v.norad_id,
+                    v.look.elevation_deg,
+                    m.lat_deg,
+                    m.lon_deg,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deep_cutoff_degenerates_to_a_full_scan_and_stays_bit_identical() {
+    // A cutoff of -40° pushes the cap radius past FULL_SCAN_CAP_DEG, so
+    // the grid walk is abandoned for a full catalog scan — and the indexed
+    // path must still match the linear scan bit for bit.
+    let c = catalog();
+    let snap = c.snapshot(JulianDate::from_ymd_hms(2023, 6, 1, 9, 30, 0.0));
+    let obs = Geodetic::new(41.66, -91.53, 0.2);
+    let cand = snap.visibility_index().candidates(obs, -40.0);
+    assert_eq!(
+        cand,
+        (0..c.len() as u32).collect::<Vec<u32>>(),
+        "degenerate cap must fall back to the whole catalog"
+    );
+    let mut scratch = Vec::new();
+    assert_fov_bit_identical(
+        &c.field_of_view_from(&snap, obs, -40.0),
+        &c.field_of_view_indexed(&snap, obs, -40.0, &mut scratch),
+    );
+}
+
+#[test]
+fn polar_observers_straddling_the_lon_wrap_stay_bit_identical() {
+    // Near the poles a cap spans every longitude column, and at ±180° the
+    // column walk wraps; both paths of the wrap must agree with the linear
+    // scan exactly.
+    let c = catalog();
+    let base = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0);
+    let mut scratch = Vec::new();
+    for hours in [0.0, 37.5, 111.0] {
+        let snap = c.snapshot(base.plus_seconds(hours * 3600.0));
+        for &(lat, lon) in
+            &[(87.3, 179.9), (87.3, -179.9), (89.5, 0.0), (-88.7, 179.2), (-89.9, -179.8)]
+        {
+            let obs = Geodetic::new(lat, lon, 0.1);
+            for min_el in [5.0, 25.0, 45.0] {
+                let cand = snap.visibility_index().candidates(obs, min_el);
+                assert!(cand.windows(2).all(|w| w[0] < w[1]), "sorted unique at ({lat},{lon})");
+                assert_fov_bit_identical(
+                    &c.field_of_view_from(&snap, obs, min_el),
+                    &c.field_of_view_indexed(&snap, obs, min_el, &mut scratch),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_snapshot_yields_empty_fov_through_every_path() {
+    // Before the first launch the snapshot holds no live entries: the
+    // degenerate index falls back to full-scan candidate sets (rejected by
+    // the exact test) and both cohort and per-terminal paths return
+    // nothing.
+    let c = catalog();
+    let earliest = c.sats().iter().map(|s| s.launch.date.0).fold(f64::INFINITY, f64::min);
+    let snap = c.snapshot(JulianDate(earliest - 10.0));
+    let obs = Geodetic::new(41.66, -91.53, 0.2);
+
+    let mut cand = Vec::new();
+    snap.visibility_index().cohort_candidates_into(
+        geodetic_to_ecef(obs),
+        geodetic_to_ecef(obs).norm(),
+        0.5,
+        25.0,
+        &mut cand,
+    );
+    assert_eq!(cand.len(), c.len(), "degenerate bound falls back to the whole catalog");
+
+    let mut scratch = Vec::new();
+    assert!(c.field_of_view_from(&snap, obs, 25.0).is_empty());
+    assert!(c.field_of_view_indexed(&snap, obs, 25.0, &mut scratch).is_empty());
+    assert!(c.field_of_view_from_candidates(&snap, obs, 25.0, &cand).is_empty());
+}
+
+#[test]
+fn singleton_cohort_with_zero_widen_matches_per_terminal_candidates() {
+    // A cohort of one, unwidened, must gather exactly the candidate set of
+    // the plain per-terminal query: same cap formula, same grid walk.
+    let c = catalog();
+    let snap = c.snapshot(JulianDate::from_ymd_hms(2023, 6, 1, 9, 30, 0.0));
+    for &(lat, lon) in &[(41.66, -91.53), (-33.86, 151.21), (78.0, 15.0), (0.0, -179.99)] {
+        let obs = Geodetic::new(lat, lon, 0.2);
+        let obs_ecef = geodetic_to_ecef(obs);
+        let mut cohort = Vec::new();
+        snap.visibility_index().cohort_candidates_into(
+            obs_ecef,
+            obs_ecef.norm(),
+            0.0,
+            25.0,
+            &mut cohort,
+        );
+        assert_eq!(cohort, snap.visibility_index().candidates(obs, 25.0), "at ({lat},{lon})");
     }
 }
 

@@ -16,7 +16,12 @@
 //! * `STARSENSE_SLOTS` — slots per campaign (default 4);
 //! * `STARSENSE_THREADS` — worker threads (default 0 = auto-detect);
 //! * `STARSENSE_SHARDS` — terminal shards (default 0 = derive from the
-//!   thread count).
+//!   thread count);
+//! * `STARSENSE_SWEEP_COHORTS` — 1 (default) runs the terminal-cohort
+//!   fast path, 0 the per-terminal reference engine. Either way the
+//!   final cross-check re-runs the largest point serially with cohorts
+//!   *off*, so the sweep's own numbers are always validated against the
+//!   per-terminal engine bit for bit.
 
 use starsense_astro::frames::Geodetic;
 use starsense_core::campaign::{Campaign, CampaignConfig, SlotObservation};
@@ -53,8 +58,8 @@ fn terminal_counts() -> Vec<usize> {
     counts
 }
 
-fn config(threads: usize, shards: usize) -> CampaignConfig {
-    CampaignConfig { threads, shards, ..CampaignConfig::default() }
+fn config(threads: usize, shards: usize, cohorts: bool) -> CampaignConfig {
+    CampaignConfig { threads, shards, cohorts, ..CampaignConfig::default() }
 }
 
 /// Runs one oracle campaign and returns `(observations, seconds)`.
@@ -64,9 +69,14 @@ fn timed_run(
     slots: usize,
     threads: usize,
     shards: usize,
+    cohorts: bool,
 ) -> (Vec<SlotObservation>, f64) {
-    let campaign =
-        Campaign::oracle(constellation, sweep_terminals(n), config(threads, shards), WORLD_SEED);
+    let campaign = Campaign::oracle(
+        constellation,
+        sweep_terminals(n),
+        config(threads, shards, cohorts),
+        WORLD_SEED,
+    );
     let start = Instant::now();
     let obs = campaign.run(campaign_start(), slots);
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
@@ -93,19 +103,21 @@ fn main() {
     let slots = slots_from_env(4);
     let threads = env_usize("STARSENSE_THREADS", 0);
     let shards = env_usize("STARSENSE_SHARDS", 0);
+    let cohorts = env_usize("STARSENSE_SWEEP_COHORTS", 1) != 0;
     let counts = terminal_counts();
     let constellation = standard_constellation();
 
     // starlint: allow(Q201, reason = "experiment bins report their configuration on stdout by design")
     println!(
-        "terminal-scale sweep: {} satellites, {slots} slots, threads={threads}, shards={shards}",
+        "terminal-scale sweep: {} satellites, {slots} slots, threads={threads}, \
+         shards={shards}, cohorts={cohorts}",
         constellation.len()
     );
 
     let mut rows = Vec::new();
     let mut largest: Option<(usize, Vec<SlotObservation>)> = None;
     for &n in &counts {
-        let (obs, secs) = timed_run(&constellation, n, slots, threads, shards);
+        let (obs, secs) = timed_run(&constellation, n, slots, threads, shards, cohorts);
         let slots_per_sec = slots as f64 / secs;
         let cells_per_sec = (slots * n) as f64 / secs;
         rows.push(vec![
@@ -123,16 +135,20 @@ fn main() {
     println!("{}", text_table(&header, &rows));
     write_artifact("sweep_scale.csv", &csv(&header, &rows));
 
-    // Cross-check: the largest point re-run serially must merge to the
-    // exact same observation stream — the sharded workers are an
-    // implementation detail, never a semantic one.
+    // Cross-check: the largest point re-run serially with the cohort
+    // fast path OFF must merge to the exact same observation stream —
+    // the sharded workers and the cohort/per-terminal engine choice are
+    // implementation details, never semantic ones.
     // starlint: allow(P102, reason = "the sweep always has at least one point; terminal_counts asserts non-empty")
     let (n, parallel_obs) = largest.expect("at least one sweep point");
-    let (serial_obs, _) = timed_run(&constellation, n, slots, 1, 1);
+    let (serial_obs, _) = timed_run(&constellation, n, slots, 1, 1, false);
     assert!(
         identical(&parallel_obs, &serial_obs),
-        "sharded run diverged from the serial reference at {n} terminals"
+        "sharded/cohort run diverged from the serial per-terminal reference at {n} terminals"
     );
     // starlint: allow(Q201, reason = "experiment bins report their verdict on stdout by design")
-    println!("bit-identity: ok ({n} terminals, threads={threads}/shards={shards} vs 1/1)");
+    println!(
+        "bit-identity: ok ({n} terminals, threads={threads}/shards={shards}/cohorts={cohorts} \
+         vs 1/1/off)"
+    );
 }

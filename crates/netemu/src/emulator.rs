@@ -232,11 +232,12 @@ impl<'a> Emulator<'a> {
     }
 
     /// Builds the serving satellite's MAC cycle for one terminal's
-    /// allocation: our terminal plus a load-dependent number of background
-    /// terminals, at a deterministic position in the round-robin order.
-    fn build_mac(&self, alloc: &Allocation) -> Option<(MacScheduler, usize)> {
+    /// allocation: our terminal plus `share - 1` background terminals, at a
+    /// deterministic position in the round-robin order. The share itself is
+    /// resolved by the caller ([`Emulator::build_cohort`] memoizes it per
+    /// distinct serving satellite).
+    fn build_mac(&self, alloc: &Allocation, share: usize) -> Option<(MacScheduler, usize)> {
         let chosen = alloc.chosen.as_ref()?;
-        let share = self.mac_share(chosen.norad_id, alloc.slot);
         let position = (mix(chosen.norad_id as u64, alloc.slot as u64) as usize) % share;
 
         let marker = usize::MAX - alloc.terminal_id; // avoid clashing with bg ids
@@ -257,8 +258,23 @@ impl<'a> Emulator<'a> {
         let mut macs = Vec::with_capacity(allocations.len());
         let mut serving = Vec::with_capacity(allocations.len());
         let mut sats: Vec<&'a Satellite> = Vec::new();
+        // `mac_share` is a pure hash of (satellite, slot) and every
+        // allocation in the cohort shares the slot, so the share is
+        // memoized per distinct serving satellite rather than rehashed for
+        // every terminal the satellite carries.
+        let mut shares: Vec<(u32, usize)> = Vec::new();
         for alloc in &allocations {
-            macs.push(self.build_mac(alloc));
+            let share = alloc.chosen.as_ref().map(|chosen| {
+                match shares.iter().find(|&&(id, _)| id == chosen.norad_id) {
+                    Some(&(_, share)) => share,
+                    None => {
+                        let share = self.mac_share(chosen.norad_id, alloc.slot);
+                        shares.push((chosen.norad_id, share));
+                        share
+                    }
+                }
+            });
+            macs.push(share.and_then(|share| self.build_mac(alloc, share)));
             serving.push(alloc.chosen_id().and_then(|id| {
                 match sats.iter().position(|s| s.norad_id == id) {
                     Some(k) => Some(k),

@@ -36,6 +36,27 @@
 //! into contiguous shards, run one sub-scheduler per shard in parallel,
 //! and merge results bit-identical to a single serial scheduler over all
 //! terminals (tested below in `sharded_sub_schedulers_match_monolith`).
+//!
+//! # The cohort fast path
+//!
+//! Every terminal in a slot queries the *same* sky, so the hot engine
+//! shares satellite-side work across terminals without changing a single
+//! output bit:
+//!
+//! * [`GlobalScheduler::fields_of_view_cohort`] groups terminals by the
+//!   visibility index's own grid cells and computes one conservative
+//!   candidate superset per cohort (cap at the smallest member radius,
+//!   widened by the exact anchor→member angle), then narrows it per
+//!   member with an exact cap-cosine prefilter before the exact
+//!   elevation test;
+//! * [`GlobalScheduler::allocate_from_available`] gathers the
+//!   `(satellite, slot)`-only score terms from a slot-stamped table and
+//!   runs the segment-pruned GSO tests.
+//!
+//! The per-terminal reference engine ([`GlobalScheduler::fields_of_view`]
+//! + [`GlobalScheduler::allocate_from_available_reference`]) is kept
+//! frozen, both as the equality oracle for the tests below and as the
+//! baseline arm of the bench sweep's cohort-speedup measurement.
 
 use crate::gso::GsoExclusion;
 use crate::load::LoadModel;
@@ -43,9 +64,21 @@ use crate::slots::{slot_index, slot_start};
 use crate::terminal::Terminal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use starsense_astro::frames::geodetic_to_ecef;
 use starsense_astro::time::JulianDate;
+use starsense_astro::vec3::Vec3;
 use starsense_constellation::{Constellation, PropagationCache, Snapshot, VisibleSat};
 use std::collections::BTreeMap;
+
+/// Pad (degrees) added to a cohort's measured anchor→member widening
+/// angle, dominating the rounding of the `acos` that measures it so the
+/// widened cap provably contains every member's own cap.
+const COHORT_WIDEN_PAD_DEG: f64 = 1e-7;
+
+/// Slack subtracted from the per-member cap-cosine prefilter threshold,
+/// dominating the rounding of the unit-vector dot product it is compared
+/// against (the cap itself already carries the index's 0.02° guard).
+const CAP_COS_GUARD: f64 = 1e-12;
 
 /// Tunable preferences of the hidden scheduler. Zeroing a weight removes
 /// the corresponding preference — the knobs the ablation benches turn.
@@ -144,9 +177,34 @@ struct AllocScratch {
     /// Indices into the current terminal's `available` list that survived
     /// the sky mask and the GSO exclusion.
     eligible: Vec<usize>,
+    /// GSO separation (degrees) for each eligible candidate, filled by the
+    /// same fused query that decided the exclusion — aligned with
+    /// `eligible`.
+    gso_sep: Vec<f64>,
     /// Scores for the eligible candidates; the softmax draw overwrites
     /// them with their weights in place.
     scores: Vec<f64>,
+    /// Slot-stamped satellite term table, indexed by catalog index: the
+    /// score components that depend only on `(satellite, slot)` — the age
+    /// term `w_age · age_norm` and the load term `w_load · (1 − load)` —
+    /// computed once per (satellite, slot) by the first terminal that
+    /// scores the satellite and gathered by every later one. `term_stamp`
+    /// holds the slot each lane was filled for, so advancing to a new
+    /// slot invalidates the table without an O(catalog) clear.
+    age_term: Vec<f64>,
+    load_term: Vec<f64>,
+    term_stamp: Vec<i64>,
+}
+
+/// Cached geocentric geometry of one terminal, computed at scheduler
+/// construction: its ECEF position, the unit direction (for cohort
+/// grouping, widening angles and the cap-cosine prefilter) and the
+/// geocentric radius the cap bound is evaluated at.
+#[derive(Debug, Clone, Copy)]
+struct TerminalGeom {
+    ecef: Vec3,
+    unit: Vec3,
+    r_km: f64,
 }
 
 /// Derives the per-terminal RNG stream seed from the scheduler seed and a
@@ -195,6 +253,9 @@ fn sample_in_place(rng: &mut StdRng, temperature: f64, scores: &mut [f64]) -> Op
 pub struct GlobalScheduler {
     policy: SchedulerPolicy,
     terminals: Vec<Terminal>,
+    /// Per-terminal geocentric geometry (same order as `terminals`),
+    /// cached once for the cohort field-of-view path.
+    geom: Vec<TerminalGeom>,
     gso: Vec<GsoExclusion>,
     load: LoadModel,
     /// One independent RNG stream per terminal (same order as
@@ -227,9 +288,17 @@ impl GlobalScheduler {
             .iter()
             .map(|t| StdRng::seed_from_u64(stream_seed(seed, t.id as u64)))
             .collect();
+        let geom = terminals
+            .iter()
+            .map(|t| {
+                let ecef = geodetic_to_ecef(t.location);
+                TerminalGeom { ecef, unit: ecef.unit(), r_km: ecef.norm() }
+            })
+            .collect();
         GlobalScheduler {
             policy,
             terminals,
+            geom,
             gso,
             load: LoadModel::new(seed ^ 0x10AD, 0.5),
             rngs,
@@ -256,10 +325,16 @@ impl GlobalScheduler {
 
     /// Allocates a satellite to every terminal for the slot containing
     /// `at`. Returns one [`Allocation`] per terminal, in terminal order.
+    ///
+    /// Runs through the cohort field-of-view path and the precomputed
+    /// scoring table — both bit-identical to the frozen per-terminal
+    /// reference ([`GlobalScheduler::fields_of_view`] +
+    /// [`GlobalScheduler::allocate_from_available_reference`]), as the
+    /// equality tests below hold them to.
     pub fn allocate(&mut self, constellation: &Constellation, at: JulianDate) -> Vec<Allocation> {
         // One propagation pass per slot, shared by every terminal.
         let snapshot = constellation.snapshot(slot_start(at));
-        let available = self.fields_of_view(constellation, &snapshot);
+        let available = self.fields_of_view_cohort(constellation, &snapshot);
         self.allocate_from_available(at, available)
     }
 
@@ -273,7 +348,7 @@ impl GlobalScheduler {
         at: JulianDate,
     ) -> Vec<Allocation> {
         let snapshot = cache.snapshot(slot_start(at));
-        let available = self.fields_of_view(cache.constellation(), &snapshot);
+        let available = self.fields_of_view_cohort(cache.constellation(), &snapshot);
         self.allocate_from_available(at, available)
     }
 
@@ -307,6 +382,110 @@ impl GlobalScheduler {
             .collect()
     }
 
+    /// Per-terminal field-of-view lists answered through **terminal
+    /// cohorts**: terminals are grouped by the grid cell of the snapshot's
+    /// [`VisibilityIndex`] their geocentric direction falls into, each
+    /// cohort shares one conservative candidate superset (the cap bound at
+    /// the smallest member radius, widened by the largest exact
+    /// anchor→member angle — a provable superset by the triangle
+    /// inequality, see
+    /// [`VisibilityIndex::cohort_candidates_into`]), and each member then
+    /// narrows the shared list with its own exact cap-cosine prefilter
+    /// before running the exact elevation test. Every satellite above a
+    /// member's cutoff survives both conservative stages, so the result is
+    /// bit-identical to [`GlobalScheduler::fields_of_view`] (equality- and
+    /// property-tested below and in the constellation crate).
+    ///
+    /// Cohort membership is a pure function of terminal position and the
+    /// snapshot, so results are invariant under terminal input order and
+    /// sharding — the campaign engine's merge guarantees carry over.
+    ///
+    /// [`VisibilityIndex`]: starsense_constellation::VisibilityIndex
+    /// [`VisibilityIndex::cohort_candidates_into`]: starsense_constellation::VisibilityIndex::cohort_candidates_into
+    pub fn fields_of_view_cohort(
+        &self,
+        constellation: &Constellation,
+        snapshot: &Snapshot,
+    ) -> Vec<Vec<VisibleSat>> {
+        let mut out: Vec<Vec<VisibleSat>> = self.terminals.iter().map(|_| Vec::new()).collect();
+        if self.terminals.is_empty() {
+            return out;
+        }
+        let index = snapshot.visibility_index();
+        let min_el = self.policy.min_elevation_deg;
+
+        // Cohorts are runs of equal cell key after sorting (cell, terminal
+        // position) pairs; results land in `out[position]`, so the
+        // cell-major visit order never shows downstream.
+        let mut order: Vec<(u32, u32)> =
+            self.geom.iter().enumerate().map(|(i, g)| (index.cell_key(g.ecef), i as u32)).collect();
+        order.sort_unstable();
+
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut dirs: Vec<(u32, Vec3)> = Vec::new();
+        let mut filtered: Vec<u32> = Vec::new();
+        let mut start = 0usize;
+        while start < order.len() {
+            let cell = order[start].0;
+            let mut end = start + 1;
+            while end < order.len() && order[end].0 == cell {
+                end += 1;
+            }
+            let members = &order[start..end];
+
+            // Anchor on the first member; evaluate the cap at the smallest
+            // member radius (the bound is decreasing in observer radius)
+            // and widen it by the largest exact anchor→member angle.
+            let anchor = &self.geom[members[0].1 as usize];
+            let mut min_r = f64::INFINITY;
+            let mut widen = 0.0f64;
+            for &(_, ti) in members {
+                let g = &self.geom[ti as usize];
+                min_r = min_r.min(g.r_km);
+                widen = widen.max(anchor.unit.dot(g.unit).clamp(-1.0, 1.0).acos().to_degrees());
+            }
+            index.cohort_candidates_into(
+                anchor.ecef,
+                min_r,
+                widen + COHORT_WIDEN_PAD_DEG,
+                min_el,
+                &mut candidates,
+            );
+
+            // Unit directions of the present candidates, shared by every
+            // member's prefilter.
+            dirs.clear();
+            let entries = snapshot.entries();
+            for &si in &candidates {
+                if let Some(entry) = &entries[si as usize] {
+                    dirs.push((si, entry.ecef.unit()));
+                }
+            }
+
+            for &(_, ti) in members {
+                let g = &self.geom[ti as usize];
+                filtered.clear();
+                match index.cap_cos(g.r_km, min_el) {
+                    Some(cap_cos) => {
+                        let thr = cap_cos - CAP_COS_GUARD;
+                        filtered.extend(
+                            dirs.iter().filter(|(_, d)| g.unit.dot(*d) >= thr).map(|&(si, _)| si),
+                        );
+                    }
+                    None => filtered.extend(dirs.iter().map(|&(si, _)| si)),
+                }
+                out[ti as usize] = constellation.field_of_view_from_candidates(
+                    snapshot,
+                    self.terminals[ti as usize].location,
+                    min_el,
+                    &filtered,
+                );
+            }
+            start = end;
+        }
+        out
+    }
+
     /// [`GlobalScheduler::fields_of_view`] via the full-catalog linear
     /// scan. Kept as the reference implementation the spatial index is
     /// measured and property-tested against; not used on any hot path.
@@ -332,6 +511,15 @@ impl GlobalScheduler {
     /// were computed elsewhere (in slot order — each terminal's RNG stream
     /// and previous-assignment state advance per call).
     ///
+    /// Scoring runs the fast path: the `(satellite, slot)`-only score
+    /// components are gathered from the slot-stamped term table (filled
+    /// lazily by the first terminal scoring each satellite) and the GSO
+    /// geometry goes through the segment-pruned tests — every term and its
+    /// summation order matches [`GlobalScheduler::score`] exactly, so the
+    /// emitted allocations and consumed RNG streams are bit-identical to
+    /// [`GlobalScheduler::allocate_from_available_reference`] (tested
+    /// below).
+    ///
     /// # Panics
     ///
     /// Panics when `available` does not have one entry per terminal.
@@ -347,6 +535,114 @@ impl GlobalScheduler {
 
         // Detach the scratch buffers so `self` stays borrowable for
         // scoring and the RNG draw; reattached after the loop.
+        let mut scratch = std::mem::take(&mut self.scratch);
+
+        for (ti, available) in available.into_iter().enumerate() {
+            let terminal = &self.terminals[ti];
+            let tid = terminal.id;
+
+            // One fused GSO query per candidate decides the exclusion and
+            // yields the separation the scoring loop needs — where the
+            // reference path pays a full exclusion scan and then a second
+            // full separation scan per eligible candidate.
+            scratch.eligible.clear();
+            scratch.gso_sep.clear();
+            for (i, v) in available.iter().enumerate() {
+                if terminal.mask.blocks(v.look.elevation_deg, v.look.azimuth_deg) {
+                    continue;
+                }
+                let Some(sep) = self.gso[ti].separation_if_clear(&v.look) else { continue };
+                scratch.eligible.push(i);
+                scratch.gso_sep.push(sep);
+            }
+
+            let mut eligible_ids = Vec::with_capacity(scratch.eligible.len());
+            eligible_ids.extend(scratch.eligible.iter().map(|&i| available[i].norad_id));
+
+            scratch.scores.clear();
+            let p = &self.policy;
+            for (ei, &i) in scratch.eligible.iter().enumerate() {
+                let sat = &available[i];
+                let ci = sat.catalog_index as usize;
+                if scratch.term_stamp.len() <= ci {
+                    scratch.term_stamp.resize(ci + 1, i64::MIN);
+                    scratch.age_term.resize(ci + 1, 0.0);
+                    scratch.load_term.resize(ci + 1, 0.0);
+                }
+                if scratch.term_stamp[ci] != slot {
+                    scratch.term_stamp[ci] = slot;
+                    let age_norm = 1.0 - (sat.age_days / p.max_age_days).clamp(0.0, 1.0);
+                    scratch.age_term[ci] = p.w_age * age_norm;
+                    scratch.load_term[ci] =
+                        p.w_load * (1.0 - self.load.utilization(sat.norad_id, slot));
+                }
+                let el_norm = ((sat.look.elevation_deg - p.min_elevation_deg)
+                    / (90.0 - p.min_elevation_deg))
+                    .clamp(0.0, 1.0);
+                let dark_penalty =
+                    if sat.sunlit { 0.0 } else { p.w_dark_low_elevation * (1.0 - el_norm) };
+                let gso_margin = (scratch.gso_sep[ei] / 90.0).clamp(0.0, 1.0);
+                let hyst = if self.previous.get(&tid) == Some(&sat.norad_id) {
+                    p.w_hysteresis
+                } else {
+                    0.0
+                };
+                // Same terms, same left-to-right association as `score`.
+                scratch.scores.push(
+                    p.w_elevation * el_norm - dark_penalty
+                        + scratch.age_term[ci]
+                        + if sat.sunlit { p.w_sunlit } else { 0.0 }
+                        + scratch.load_term[ci]
+                        + p.w_gso_margin * gso_margin
+                        + hyst,
+                );
+            }
+            let chosen =
+                sample_in_place(&mut self.rngs[ti], self.policy.temperature, &mut scratch.scores)
+                    .map(|i| available[scratch.eligible[i]].clone());
+
+            match chosen.as_ref() {
+                Some(c) => {
+                    self.previous.insert(tid, c.norad_id);
+                }
+                None => {
+                    self.previous.remove(&tid);
+                }
+            }
+
+            out.push(Allocation {
+                terminal_id: tid,
+                slot,
+                slot_start: start,
+                available,
+                eligible_ids,
+                chosen,
+            });
+        }
+        self.scratch = scratch;
+        out
+    }
+
+    /// The frozen per-terminal reference for
+    /// [`GlobalScheduler::allocate_from_available`]: per-candidate
+    /// [`GlobalScheduler::score`] evaluation and the exhaustive-fold GSO
+    /// tests, exactly as the pre-cohort engine ran them. Kept (like
+    /// [`GlobalScheduler::fields_of_view_linear`]) as the baseline the
+    /// fast path is equality-tested and benchmarked against; not used on
+    /// any hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `available` does not have one entry per terminal.
+    pub fn allocate_from_available_reference(
+        &mut self,
+        at: JulianDate,
+        available: Vec<Vec<VisibleSat>>,
+    ) -> Vec<Allocation> {
+        assert_eq!(available.len(), self.terminals.len(), "one availability list per terminal");
+        let slot = slot_index(at);
+        let start = slot_start(at);
+        let mut out = Vec::with_capacity(self.terminals.len());
         let mut scratch = std::mem::take(&mut self.scratch);
 
         for (ti, available) in available.into_iter().enumerate() {
@@ -415,7 +711,10 @@ impl GlobalScheduler {
         out
     }
 
-    /// Scores one candidate for one terminal.
+    /// Scores one candidate for one terminal — the reference expression
+    /// the fast path's table-driven scoring mirrors term for term (the
+    /// `w_age·age_norm` and `w_load·(1−load)` products depend only on
+    /// `(satellite, slot)` and are what the slot term table caches).
     fn score(&self, terminal_id: usize, slot: i64, sat: &VisibleSat, gso: &GsoExclusion) -> f64 {
         let p = &self.policy;
         let el_norm = ((sat.look.elevation_deg - p.min_elevation_deg)
@@ -671,6 +970,160 @@ mod tests {
                 assert_eq!(x.chosen_id(), y.chosen_id(), "slot {k}");
                 assert_eq!(x.eligible_ids, y.eligible_ids, "slot {k}");
             }
+        }
+    }
+
+    /// Clustered + isolated sites: the clusters land in shared visibility
+    /// grid cells (~4° at gen1 shells), exercising true multi-member
+    /// cohorts; the polar pair straddles the longitude wrap.
+    fn cohort_terminals() -> Vec<Terminal> {
+        let sites = [
+            (41.66, -91.53),
+            (41.9, -91.2),
+            (42.1, -91.8),
+            (42.44, -76.50),
+            (-33.86, 151.21),
+            (-33.5, 151.0),
+            (69.65, 18.96),
+            (85.0, 179.5),
+            (85.2, -179.6),
+            (0.0, 0.0),
+            (0.3, 0.4),
+        ];
+        sites
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat, lon))| {
+                let t = Terminal::new(i, format!("t{i}"), Geodetic::new(lat, lon, 0.1));
+                if i == 3 {
+                    t.with_mask(SkyMask::ithaca_trees())
+                } else {
+                    t
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cohort_terminals_share_cells() {
+        // Sanity for the fixtures below: the clustered sites really do
+        // fall into shared grid cells, so the cohort tests exercise
+        // multi-member supersets rather than degenerating to singletons.
+        let c = constellation();
+        let snap = c.snapshot(at());
+        let index = snap.visibility_index();
+        let keys: Vec<u32> = cohort_terminals()
+            .iter()
+            .map(|t| index.cell_key(starsense_astro::frames::geodetic_to_ecef(t.location)))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(sorted.len() < keys.len(), "no two terminals shared a cell: {keys:?}");
+    }
+
+    #[test]
+    fn cohort_fov_is_bit_identical_to_per_terminal() {
+        let c = constellation();
+        let g = GlobalScheduler::new(SchedulerPolicy::default(), cohort_terminals(), 3);
+        for k in 0..6 {
+            let t = at().plus_seconds(15.0 * k as f64);
+            let snap = c.snapshot(crate::slots::slot_start(t));
+            let cohort = g.fields_of_view_cohort(&c, &snap);
+            let per = g.fields_of_view(&c, &snap);
+            assert_eq!(cohort.len(), per.len());
+            for (ti, (a, b)) in cohort.iter().zip(&per).enumerate() {
+                assert_eq!(a.len(), b.len(), "terminal {ti} slot {k} FOV size");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.norad_id, y.norad_id);
+                    assert_eq!(x.catalog_index, y.catalog_index);
+                    assert_eq!(x.look.elevation_deg.to_bits(), y.look.elevation_deg.to_bits());
+                    assert_eq!(x.look.azimuth_deg.to_bits(), y.look.azimuth_deg.to_bits());
+                    assert_eq!(x.look.range_km.to_bits(), y.look.range_km.to_bits());
+                    assert_eq!(x.age_days.to_bits(), y.age_days.to_bits());
+                    assert_eq!(x.sunlit, y.sunlit);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_allocate_matches_reference_engine_bit_for_bit() {
+        // The full fast engine (cohort FOV + table-driven scoring + pruned
+        // GSO) against the frozen PR-7 reference engine (per-terminal FOV
+        // + per-candidate score): identical allocations, identical RNG
+        // stream consumption, across consecutive slots with hysteresis in
+        // play.
+        let c = constellation();
+        let mut fast = GlobalScheduler::new(SchedulerPolicy::default(), cohort_terminals(), 3);
+        let mut reference = fast.clone();
+        for k in 0..8 {
+            let t = at().plus_seconds(15.0 * k as f64);
+            let snap = c.snapshot(crate::slots::slot_start(t));
+            let fov_fast = fast.fields_of_view_cohort(&c, &snap);
+            let fov_ref = reference.fields_of_view(&c, &snap);
+            let a = fast.allocate_from_available(t, fov_fast);
+            let b = reference.allocate_from_available_reference(t, fov_ref);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.terminal_id, y.terminal_id, "slot {k}");
+                assert_eq!(x.chosen_id(), y.chosen_id(), "slot {k} terminal {}", x.terminal_id);
+                assert_eq!(x.eligible_ids, y.eligible_ids, "slot {k}");
+                assert_eq!(x.slot_start.0.to_bits(), y.slot_start.0.to_bits());
+                assert_eq!(x.available.len(), y.available.len());
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_score_expression_matches_score_bit_for_bit() {
+        // The fast path's score expression, reconstructed term for term
+        // (table terms + pruned GSO margin), against the reference
+        // `score` — with and without hysteresis engaged.
+        let c = constellation();
+        let mut g = GlobalScheduler::new(SchedulerPolicy::default(), cohort_terminals(), 3);
+        for k in 0..4 {
+            let t = at().plus_seconds(15.0 * k as f64);
+            let slot = slot_index(t);
+            let snap = c.snapshot(slot_start(t));
+            let fov = g.fields_of_view_cohort(&c, &snap);
+            for (ti, available) in fov.iter().enumerate() {
+                let tid = g.terminals[ti].id;
+                for sat in available {
+                    let reference = g.score(tid, slot, sat, &g.gso[ti]);
+                    let p = &g.policy;
+                    let age_term =
+                        p.w_age * (1.0 - (sat.age_days / p.max_age_days).clamp(0.0, 1.0));
+                    let load_term = p.w_load * (1.0 - g.load.utilization(sat.norad_id, slot));
+                    let el_norm = ((sat.look.elevation_deg - p.min_elevation_deg)
+                        / (90.0 - p.min_elevation_deg))
+                        .clamp(0.0, 1.0);
+                    let dark_penalty =
+                        if sat.sunlit { 0.0 } else { p.w_dark_low_elevation * (1.0 - el_norm) };
+                    let gso_margin =
+                        (g.gso[ti].separation_deg_fast(&sat.look) / 90.0).clamp(0.0, 1.0);
+                    let hyst = if g.previous.get(&tid) == Some(&sat.norad_id) {
+                        p.w_hysteresis
+                    } else {
+                        0.0
+                    };
+                    let fast = p.w_elevation * el_norm - dark_penalty
+                        + age_term
+                        + if sat.sunlit { p.w_sunlit } else { 0.0 }
+                        + load_term
+                        + p.w_gso_margin * gso_margin
+                        + hyst;
+                    assert_eq!(
+                        fast.to_bits(),
+                        reference.to_bits(),
+                        "terminal {ti} sat {} slot {k}",
+                        sat.norad_id
+                    );
+                }
+            }
+            // Advance hysteresis state so later slots test the engaged path.
+            let fov = g.fields_of_view_cohort(&c, &snap);
+            g.allocate_from_available(t, fov);
         }
     }
 

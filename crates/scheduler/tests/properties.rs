@@ -1,9 +1,29 @@
 //! Property-based tests for the scheduler crate.
 
 use proptest::prelude::*;
+use starsense_astro::frames::Geodetic;
 use starsense_astro::time::JulianDate;
+use starsense_constellation::{Constellation, ConstellationBuilder, VisibleSat};
 use starsense_scheduler::slots::{next_boundary, slot_index, slot_start, SLOT_PERIOD_SECONDS};
-use starsense_scheduler::{LoadModel, MacScheduler};
+use starsense_scheduler::{GlobalScheduler, LoadModel, MacScheduler, SchedulerPolicy, Terminal};
+use std::sync::OnceLock;
+
+/// One shared catalog across cases — the properties quantify over epochs,
+/// sites, and permutations, not over seeds.
+fn catalog() -> &'static Constellation {
+    static CATALOG: OnceLock<Constellation> = OnceLock::new();
+    CATALOG.get_or_init(|| ConstellationBuilder::starlink_mini().seed(42).build())
+}
+
+fn fov_bits(v: &VisibleSat) -> (u32, u32, u64, u64, u64) {
+    (
+        v.norad_id,
+        v.catalog_index,
+        v.look.elevation_deg.to_bits(),
+        v.look.azimuth_deg.to_bits(),
+        v.look.range_km.to_bits(),
+    )
+}
 
 proptest! {
     #[test]
@@ -76,5 +96,61 @@ proptest! {
         let a = m.utilization(sat, slot);
         prop_assert_eq!(a, m.utilization(sat, slot));
         prop_assert!((0.0..1.0).contains(&a));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cohort_fov_is_invariant_under_terminal_input_order(
+        hours in 0.0f64..96.0,
+        lat in -60.0f64..60.0,
+        lon in -179.0f64..179.0,
+        rot in 1usize..9,
+        rev in prop::sample::select(vec![false, true]),
+    ) {
+        // Cohort membership is a pure function of terminal position and
+        // the snapshot's grid: permuting the terminal input order permutes
+        // the cohorts' member lists but must not move a single bit of any
+        // terminal's field of view. The fixture clusters terminals within
+        // a fraction of a grid cell so cohorts genuinely form.
+        let c = catalog();
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 0, 0, 0.0).plus_seconds(hours * 3600.0);
+        let snap = c.snapshot(at);
+
+        let terminals: Vec<Terminal> = (0..9)
+            .map(|i| {
+                let t = i as f64;
+                Terminal::new(
+                    i,
+                    format!("t{i}"),
+                    Geodetic::new(
+                        (lat + 0.4 * (t * 0.7).sin()).clamp(-89.0, 89.0),
+                        lon + 0.4 * (t * 1.3).cos(),
+                        0.05 * t,
+                    ),
+                )
+            })
+            .collect();
+        let mut shuffled = terminals.clone();
+        let n = shuffled.len();
+        shuffled.rotate_left(rot % n);
+        if rev {
+            shuffled.reverse();
+        }
+
+        let policy = SchedulerPolicy::default();
+        let a = GlobalScheduler::new(policy.clone(), terminals.clone(), 7)
+            .fields_of_view_cohort(c, &snap);
+        let b = GlobalScheduler::new(policy, shuffled.clone(), 7)
+            .fields_of_view_cohort(c, &snap);
+        for (i, t) in terminals.iter().enumerate() {
+            let j = shuffled.iter().position(|s| s.id == t.id).unwrap();
+            prop_assert_eq!(a[i].len(), b[j].len(), "terminal {}", t.id);
+            for (x, y) in a[i].iter().zip(&b[j]) {
+                prop_assert_eq!(fov_bits(x), fov_bits(y), "terminal {}", t.id);
+            }
+        }
     }
 }
