@@ -628,4 +628,51 @@ mod tests {
         cache.clear();
         assert_eq!(cache.stats().truth_entries, 0);
     }
+
+    #[test]
+    fn poisoned_published_map_recovers_bit_identically() {
+        // Same recovery contract for the published-TLE fallback map, with
+        // the stronger assertion the resumable engine depends on: values
+        // read through a poisoned lock are bit-identical to a fresh
+        // cache's, because the entries are write-once pure functions of
+        // the catalog.
+        let c = mini();
+        let cache = PropagationCache::new(&c);
+        let at = JulianDate::from_ymd_hms(2023, 6, 1, 12, 0, 0.0);
+        let _ = cache.published_positions(at);
+
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = cache.published.write().expect("first writer sees no poison");
+                    panic!("poison the published map while holding the write lock");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the writer thread must have panicked");
+        assert!(cache.published.is_poisoned(), "the panic must actually poison the lock");
+
+        let later = at.plus_seconds(15.0);
+        let poisoned_warm = cache.published_positions(at);
+        let poisoned_cold = cache.published_positions(later);
+
+        let fresh = PropagationCache::new(&c);
+        for (a, b) in [
+            (&poisoned_warm, &fresh.published_positions(at)),
+            (&poisoned_cold, &fresh.published_positions(later)),
+        ] {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                match (x, y) {
+                    (Some(p), Some(q)) => {
+                        assert_eq!(p.x.to_bits(), q.x.to_bits());
+                        assert_eq!(p.y.to_bits(), q.y.to_bits());
+                        assert_eq!(p.z.to_bits(), q.z.to_bits());
+                    }
+                    (None, None) => {}
+                    _ => panic!("propagation success must not depend on lock state"),
+                }
+            }
+        }
+    }
 }

@@ -60,6 +60,94 @@ use starsense_ident::{
 use starsense_scheduler::slots::{slot_index, slot_start, SLOT_PERIOD_SECONDS};
 use starsense_scheduler::{Allocation, GlobalScheduler, SchedulerPolicy, Terminal};
 
+/// How one supervised (or plain parallel-phase) worker attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardFailure {
+    /// The worker panicked; the payload is carried as text.
+    Panicked {
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// The worker exceeded its (virtual) deadline budget. No wall clock
+    /// is involved: overruns are reported by the deterministic fault
+    /// plan, so chaos campaigns stay bit-reproducible.
+    DeadlineOverrun,
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardFailure::Panicked { payload } => write!(f, "panicked: {payload}"),
+            ShardFailure::DeadlineOverrun => write!(f, "deadline overrun"),
+        }
+    }
+}
+
+/// Typed campaign failure — what [`Campaign::try_run_with_stats`] and the
+/// resumable engine report instead of propagating worker panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// A parallel-phase worker panicked. `shard` is the scheduling-shard
+    /// index in the schedule phase and the terminal id in the observation
+    /// phase.
+    WorkerPanicked {
+        /// Failing work-unit index.
+        shard: usize,
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// A supervised work unit exhausted its retry budget while quarantine
+    /// was disabled (`worker_quarantine_after == 0`), so the resumable
+    /// engine failed fast instead of degrading the unit's slots.
+    WorkerExhausted {
+        /// Failing work-unit id (scheduling shards count from 0;
+        /// observation terminals are offset by `2^32` — see
+        /// `resume::observe_unit_id`).
+        unit: u64,
+        /// Attempts made, first try included.
+        attempts: u32,
+        /// The final attempt's failure.
+        failure: ShardFailure,
+    },
+    /// Writing or reading a checkpoint snapshot failed.
+    Checkpoint(starsense_checkpoint::CheckpointError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::WorkerPanicked { shard, payload } => {
+                write!(f, "campaign worker for unit {shard} panicked: {payload}")
+            }
+            CampaignError::WorkerExhausted { unit, attempts, failure } => {
+                write!(f, "work unit {unit} failed {attempts} attempts; last: {failure}")
+            }
+            CampaignError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<starsense_checkpoint::CheckpointError> for CampaignError {
+    fn from(e: starsense_checkpoint::CheckpointError) -> Self {
+        CampaignError::Checkpoint(e)
+    }
+}
+
+/// Renders a panic payload as text for [`CampaignError`] /
+/// [`ShardFailure`]. `&str` and `String` payloads (everything `panic!`
+/// and `panic_any` produce in this workspace) pass through verbatim.
+pub(crate) fn payload_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A satellite as observed during one slot from one terminal.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SatObs {
@@ -180,10 +268,10 @@ impl Default for CampaignConfig {
 
 /// A runnable campaign.
 pub struct Campaign<'a> {
-    constellation: &'a Constellation,
-    terminals: Vec<Terminal>,
-    config: CampaignConfig,
-    seed: u64,
+    pub(crate) constellation: &'a Constellation,
+    pub(crate) terminals: Vec<Terminal>,
+    pub(crate) config: CampaignConfig,
+    pub(crate) seed: u64,
 }
 
 impl<'a> Campaign<'a> {
@@ -228,7 +316,7 @@ impl<'a> Campaign<'a> {
     /// branch and no scoped thread (or any thread machinery at all) is
     /// ever set up, so the parallel entry point can never underperform
     /// the serial engine.
-    fn worker_threads(&self) -> usize {
+    pub(crate) fn worker_threads(&self) -> usize {
         match self.config.threads {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             n => n,
@@ -238,7 +326,7 @@ impl<'a> Campaign<'a> {
     /// Shard count for the scheduling phase, resolved from the config:
     /// explicit counts are clamped to the terminal count, and the `0`
     /// default gives each worker thread one shard.
-    fn shard_count(&self) -> usize {
+    pub(crate) fn shard_count(&self) -> usize {
         let terminals = self.terminals.len().max(1);
         match self.config.shards {
             0 => self.worker_threads().min(terminals),
@@ -257,6 +345,16 @@ impl<'a> Campaign<'a> {
         self.run_with_stats(from, slots).0
     }
 
+    /// [`Campaign::run`] with worker panics surfaced as a typed
+    /// [`CampaignError`] instead of unwinding through the thread joins.
+    pub fn try_run(
+        &self,
+        from: JulianDate,
+        slots: usize,
+    ) -> Result<Vec<SlotObservation>, CampaignError> {
+        Ok(self.try_run_with_stats(from, slots)?.0)
+    }
+
     /// [`Campaign::run`] plus the run's [`DegradationStats`] — outcome
     /// tallies from the observation stream and the fault schedule's
     /// quarantine counters.
@@ -265,6 +363,26 @@ impl<'a> Campaign<'a> {
         from: JulianDate,
         slots: usize,
     ) -> (Vec<SlotObservation>, DegradationStats) {
+        match self.try_run_with_stats(from, slots) {
+            Ok(out) => out,
+            // Legacy contract: a worker panic propagates to the caller as
+            // a panic carrying the original payload text.
+            Err(CampaignError::WorkerPanicked { payload, .. }) => {
+                std::panic::resume_unwind(Box::new(payload))
+            }
+            Err(other) => std::panic::resume_unwind(Box::new(other.to_string())),
+        }
+    }
+
+    /// [`Campaign::run_with_stats`] with worker panics mapped to
+    /// [`CampaignError::WorkerPanicked`]: the panic is caught at the
+    /// work-unit boundary, stringified, and returned — nothing unwinds
+    /// through the scoped thread joins.
+    pub fn try_run_with_stats(
+        &self,
+        from: JulianDate,
+        slots: usize,
+    ) -> Result<(Vec<SlotObservation>, DegradationStats), CampaignError> {
         let threads = self.worker_threads();
         let cache = PropagationCache::new(self.constellation);
 
@@ -312,12 +430,12 @@ impl<'a> Campaign<'a> {
         // slot by slot. Hysteresis and the allocation RNG are per-terminal
         // state, so the shard outputs merge bit-identically to one
         // monolithic scheduler walking all terminals in slot order.
-        let per_terminal = self.schedule_phase(&cache, &mids, threads, schedule.as_ref());
+        let per_terminal = self.schedule_phase(&cache, &mids, threads, schedule.as_ref())?;
 
         // Phase 3 (parallel): each terminal replays its own allocation
         // stream — dish painting and DTW identification are per-terminal
         // state machines with no cross-terminal coupling.
-        let per_terminal_obs = self.observation_phase(&cache, per_terminal, threads);
+        let per_terminal_obs = self.observation_phase(&cache, per_terminal, threads)?;
 
         // Merge back to the slot-major, terminal-minor order the serial
         // loop used to produce.
@@ -337,7 +455,7 @@ impl<'a> Campaign<'a> {
             stats.quarantined_sats = schedule.quarantined_count();
             stats.masked_propagations = schedule.masked_slot_count();
         }
-        (out, stats)
+        Ok((out, stats))
     }
 
     /// Phase 2: sharded visibility + scheduling. The terminals are split
@@ -356,72 +474,127 @@ impl<'a> Campaign<'a> {
         mids: &[JulianDate],
         threads: usize,
         schedule: Option<&(PropagationSchedule, Vec<u32>)>,
-    ) -> Vec<Vec<Allocation>> {
+    ) -> Result<Vec<Vec<Allocation>>, CampaignError> {
         let ranges = shard_ranges(self.terminals.len(), self.shard_count());
-        let run_shard = |terminals: &[Terminal]| -> Vec<Vec<Allocation>> {
-            let mut scheduler =
-                GlobalScheduler::new(self.config.policy.clone(), terminals.to_vec(), self.seed);
-            // Keyed lookup only (never iterated), so the map is exempt
-            // from the hash-order determinism rules.
-            let column_of: std::collections::HashMap<usize, usize> =
-                terminals.iter().enumerate().map(|(j, t)| (t.id, j)).collect();
-            let mut columns: Vec<Vec<Allocation>> =
-                terminals.iter().map(|_| Vec::with_capacity(mids.len())).collect();
-            for (k, &at) in mids.iter().enumerate() {
-                let snapshot = cache.snapshot(slot_start(at));
-                // Cohort sharing is per shard: terminals that land in the
-                // same grid cell within this shard pool their candidate
-                // fetch. The partition (and the flag itself) only changes
-                // how candidates are gathered, never which satellites pass
-                // the exact elevation test, so both paths and every shard
-                // split produce the same fields of view bit for bit.
-                let mut fov = if self.config.cohorts {
-                    scheduler.fields_of_view_cohort(self.constellation, &snapshot)
-                } else {
-                    scheduler.fields_of_view(self.constellation, &snapshot)
-                };
-                // A satellite whose propagation failed this slot (or that
-                // is quarantined) is invisible to the whole pipeline: the
-                // bitset is pure data, so filtering here is invariant to
-                // thread and shard scheduling.
-                if let Some((schedule, ids)) = schedule {
-                    for list in &mut fov {
-                        list.retain(|v| match ids.binary_search(&v.norad_id) {
-                            Ok(sat) => !schedule.masked(sat, k),
-                            Err(_) => true,
-                        });
-                    }
-                }
-                for alloc in scheduler.allocate_from_available(at, fov) {
-                    columns[column_of[&alloc.terminal_id]].push(alloc);
-                }
-            }
-            columns
+        // Panics are caught at the shard boundary, so a poisoned worker
+        // surfaces as a typed error instead of unwinding through the
+        // scoped-thread joins.
+        let run_shard = |s: usize,
+                         range: std::ops::Range<usize>|
+         -> Result<Vec<Vec<Allocation>>, CampaignError> {
+            let terminals = &self.terminals[range];
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut scheduler =
+                    GlobalScheduler::new(self.config.policy.clone(), terminals.to_vec(), self.seed);
+                self.schedule_slots(&mut scheduler, terminals, cache, mids, 0, schedule)
+            }))
+            .map_err(|p| CampaignError::WorkerPanicked {
+                shard: s,
+                payload: payload_message(p.as_ref()),
+            })
         };
         let workers = threads.min(ranges.len()).max(1);
         if workers <= 1 {
-            return ranges.into_iter().flat_map(|r| run_shard(&self.terminals[r])).collect();
+            let mut out = Vec::with_capacity(self.terminals.len());
+            for (s, r) in ranges.into_iter().enumerate() {
+                out.extend(run_shard(s, r)?);
+            }
+            return Ok(out);
         }
         let mut work: Vec<Option<std::ops::Range<usize>>> = ranges.into_iter().map(Some).collect();
-        let mut indexed: Vec<(usize, Vec<Vec<Allocation>>)> = Vec::with_capacity(work.len());
+        let mut indexed: Vec<(usize, Result<Vec<Vec<Allocation>>, CampaignError>)> =
+            Vec::with_capacity(work.len());
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for chunk in chunk_interleaved(&mut work, workers) {
+                let first = chunk.first().map(|(s, _)| *s).unwrap_or(0);
                 let run_shard = &run_shard;
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|(s, range)| (s, run_shard(&self.terminals[range])))
-                        .collect::<Vec<_>>()
-                }));
+                handles.push((
+                    first,
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(s, range)| (s, run_shard(s, range)))
+                            .collect::<Vec<_>>()
+                    }),
+                ));
             }
-            for handle in handles {
-                let part = handle.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
-                indexed.extend(part);
+            for (first, handle) in handles {
+                match handle.join() {
+                    Ok(part) => indexed.extend(part),
+                    // Unreachable in practice (every shard body is caught
+                    // above), but a join failure still degrades into the
+                    // typed error rather than a panic.
+                    Err(p) => indexed.push((
+                        first,
+                        Err(CampaignError::WorkerPanicked {
+                            shard: first,
+                            payload: payload_message(p.as_ref()),
+                        }),
+                    )),
+                }
             }
         });
         indexed.sort_by_key(|(s, _)| *s);
-        indexed.into_iter().flat_map(|(_, columns)| columns).collect()
+        let mut out = Vec::with_capacity(self.terminals.len());
+        for (_, part) in indexed {
+            out.extend(part?);
+        }
+        Ok(out)
+    }
+
+    /// The scheduling inner loop shared by the one-shot and resumable
+    /// engines: replays `scheduler` (owning exactly `terminals`) over
+    /// `mids`, whose first slot sits `k0` slots after the start of the
+    /// fault schedule's campaign window. Returns per-terminal allocation
+    /// columns in `terminals` order.
+    pub(crate) fn schedule_slots(
+        &self,
+        scheduler: &mut GlobalScheduler,
+        terminals: &[Terminal],
+        cache: &PropagationCache<'_>,
+        mids: &[JulianDate],
+        k0: usize,
+        schedule: Option<&(PropagationSchedule, Vec<u32>)>,
+    ) -> Vec<Vec<Allocation>> {
+        // Keyed lookup only (never iterated), so the map is exempt
+        // from the hash-order determinism rules.
+        let column_of: std::collections::HashMap<usize, usize> =
+            terminals.iter().enumerate().map(|(j, t)| (t.id, j)).collect();
+        let mut columns: Vec<Vec<Allocation>> =
+            terminals.iter().map(|_| Vec::with_capacity(mids.len())).collect();
+        for (k, &at) in mids.iter().enumerate() {
+            let snapshot = cache.snapshot(slot_start(at));
+            // Cohort sharing is per shard: terminals that land in the
+            // same grid cell within this shard pool their candidate
+            // fetch. The partition (and the flag itself) only changes
+            // how candidates are gathered, never which satellites pass
+            // the exact elevation test, so both paths and every shard
+            // split produce the same fields of view bit for bit.
+            let mut fov = if self.config.cohorts {
+                scheduler.fields_of_view_cohort(self.constellation, &snapshot)
+            } else {
+                scheduler.fields_of_view(self.constellation, &snapshot)
+            };
+            // A satellite whose propagation failed this slot (or that
+            // is quarantined) is invisible to the whole pipeline: the
+            // bitset is pure data, so filtering here is invariant to
+            // thread and shard scheduling. The mask is indexed by the
+            // campaign-global slot offset, so segmented replays see the
+            // same fault pattern as one uninterrupted pass.
+            if let Some((schedule, ids)) = schedule {
+                for list in &mut fov {
+                    list.retain(|v| match ids.binary_search(&v.norad_id) {
+                        Ok(sat) => !schedule.masked(sat, k0 + k),
+                        Err(_) => true,
+                    });
+                }
+            }
+            for alloc in scheduler.allocate_from_available(at, fov) {
+                columns[column_of[&alloc.terminal_id]].push(alloc);
+            }
+        }
+        columns
     }
 
     /// Phase 3: per-terminal observation streams, fanned over `threads`
@@ -432,30 +605,56 @@ impl<'a> Campaign<'a> {
         cache: &PropagationCache<'_>,
         per_terminal: Vec<Vec<Allocation>>,
         threads: usize,
-    ) -> Vec<Vec<SlotObservation>> {
+    ) -> Result<Vec<Vec<SlotObservation>>, CampaignError> {
+        // As in the schedule phase, panics are caught per work unit (here
+        // one terminal) and carried out as typed errors.
+        let observe =
+            |tid: usize, allocs: Vec<Allocation>| -> Result<Vec<SlotObservation>, CampaignError> {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.observe_terminal(cache, tid, allocs)
+                }))
+                .map_err(|p| CampaignError::WorkerPanicked {
+                    shard: tid,
+                    payload: payload_message(p.as_ref()),
+                })
+            };
         let threads = threads.min(per_terminal.len().max(1));
         if threads <= 1 {
             return per_terminal
                 .into_iter()
                 .enumerate()
-                .map(|(tid, allocs)| self.observe_terminal(cache, tid, allocs))
+                .map(|(tid, allocs)| observe(tid, allocs))
                 .collect();
         }
         let mut work: Vec<Option<Vec<Allocation>>> = per_terminal.into_iter().map(Some).collect();
-        let mut indexed: Vec<(usize, Vec<SlotObservation>)> = Vec::with_capacity(work.len());
+        let mut indexed: Vec<(usize, Result<Vec<SlotObservation>, CampaignError>)> =
+            Vec::with_capacity(work.len());
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for chunk in chunk_interleaved(&mut work, threads) {
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|(tid, allocs)| (tid, self.observe_terminal(cache, tid, allocs)))
-                        .collect::<Vec<_>>()
-                }));
+                let first = chunk.first().map(|(tid, _)| *tid).unwrap_or(0);
+                let observe = &observe;
+                handles.push((
+                    first,
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(tid, allocs)| (tid, observe(tid, allocs)))
+                            .collect::<Vec<_>>()
+                    }),
+                ));
             }
-            for handle in handles {
-                let part = handle.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
-                indexed.extend(part);
+            for (first, handle) in handles {
+                match handle.join() {
+                    Ok(part) => indexed.extend(part),
+                    Err(p) => indexed.push((
+                        first,
+                        Err(CampaignError::WorkerPanicked {
+                            shard: first,
+                            payload: payload_message(p.as_ref()),
+                        }),
+                    )),
+                }
             }
         });
         indexed.sort_by_key(|(tid, _)| *tid);
@@ -472,8 +671,28 @@ impl<'a> Campaign<'a> {
         tid: usize,
         allocs: Vec<Allocation>,
     ) -> Vec<SlotObservation> {
+        let mut dish = DishSimulator::new(self.terminals[tid].location);
+        let mut prev_cap: Option<SlotCapture> = None;
+        self.observe_terminal_segment(cache, tid, &mut dish, &mut prev_cap, &allocs)
+    }
+
+    /// One *segment* of a terminal's observation stream, continuing from
+    /// (and advancing) the caller-owned dish state machine and baseline
+    /// capture. The one-shot engine calls this once with fresh state for
+    /// the whole run; the resumable engine calls it per segment with
+    /// state persisted (and checkpointed) between calls. The track cache
+    /// is recreated per call — it is a pure cache whose output is
+    /// bit-identical to the uncached path, so segmentation cannot move a
+    /// bit.
+    pub(crate) fn observe_terminal_segment(
+        &self,
+        cache: &PropagationCache<'_>,
+        tid: usize,
+        dish: &mut DishSimulator,
+        prev_cap: &mut Option<SlotCapture>,
+        allocs: &[Allocation],
+    ) -> Vec<SlotObservation> {
         let location = self.terminals[tid].location;
-        let mut dish = DishSimulator::new(location);
         // The terminal replays its slots in order, which is exactly the
         // access pattern the track cache's boundary reuse and elevation
         // prefilter are built for; its output is bit-identical to the
@@ -486,7 +705,6 @@ impl<'a> Campaign<'a> {
                 CANDIDATE_SAMPLES_PER_SLOT,
             )
         });
-        let mut prev_cap: Option<SlotCapture> = None;
         let mut out = Vec::with_capacity(allocs.len());
         for alloc in allocs {
             let truth_id = alloc.chosen_id();
@@ -504,7 +722,7 @@ impl<'a> Campaign<'a> {
                     None => {
                         // Every attempt failed: nothing to difference, and
                         // the next successful frame has no baseline either.
-                        prev_cap = None;
+                        *prev_cap = None;
                         let reason = DegradeReason::FrameDropped { attempts: fetch.attempts };
                         (None, SlotOutcome::NoData(reason))
                     }
@@ -524,12 +742,12 @@ impl<'a> Campaign<'a> {
                                 tracks,
                                 &prev.map,
                                 &capture.map,
-                                &alloc,
+                                alloc,
                                 fetch.status,
                                 truth_id,
                             ),
                         };
-                        prev_cap = Some(capture);
+                        *prev_cap = Some(capture);
                         resolved
                     }
                 }
@@ -602,7 +820,7 @@ impl<'a> Campaign<'a> {
 /// by at most one (the first `len % shards` ranges take the extra
 /// element). Contiguity keeps the concatenation of shard outputs in
 /// global terminal order with no re-sorting.
-fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+pub(crate) fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
     let shards = shards.clamp(1, len.max(1));
     let base = len / shards;
     let extra = len % shards;
@@ -619,7 +837,7 @@ fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
 /// Splits `work` into `threads` interleaved (index, item) chunks, taking
 /// the items out of their slots. Interleaving balances load when cost
 /// varies smoothly across indices.
-fn chunk_interleaved<T>(work: &mut [Option<T>], threads: usize) -> Vec<Vec<(usize, T)>> {
+pub(crate) fn chunk_interleaved<T>(work: &mut [Option<T>], threads: usize) -> Vec<Vec<(usize, T)>> {
     let mut chunks: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
     for (i, slot) in work.iter_mut().enumerate() {
         if let Some(item) = slot.take() {

@@ -43,10 +43,14 @@ pub mod export;
 pub mod features;
 pub mod model;
 pub mod report;
+pub mod resume;
 pub mod vantage;
 
-pub use campaign::{Campaign, CampaignConfig, SatObs, SlotObservation};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignError, SatObs, ShardFailure, SlotObservation,
+};
 pub use degrade::{DegradationStats, DegradeReason, SlotOutcome};
 pub use features::{ClusterKey, ClusterVocabulary, FeatureExtractor};
 pub use model::{train_and_evaluate, ModelEvaluation};
+pub use resume::{fingerprint_observations, ResumeConfig, ResumeReport};
 pub use vantage::paper_terminals;

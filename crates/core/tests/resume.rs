@@ -1,0 +1,356 @@
+//! Crash-resilience tier: bit-identical checkpoint/resume, supervised
+//! worker retry/quarantine, and corruption recovery.
+//!
+//! The central claim under test: killing a campaign at *any* checkpoint
+//! boundary and resuming it — possibly with a different thread count,
+//! shard count, or cohort setting — produces an observation stream
+//! byte-for-byte identical to an uninterrupted run, in oracle mode,
+//! identified mode, and under measurement-fault injection.
+
+use std::path::PathBuf;
+
+use starsense_astro::frames::Geodetic;
+use starsense_astro::time::JulianDate;
+use starsense_checkpoint::{CheckpointError, LoadedFrom};
+use starsense_constellation::{Constellation, ConstellationBuilder};
+use starsense_core::campaign::{Campaign, CampaignConfig, CampaignError, ShardFailure};
+use starsense_core::resume::{fingerprint_observations, ResumeConfig};
+use starsense_core::{DegradeReason, SlotOutcome};
+use starsense_faults::{bit_flipped_copy, FaultPlan, FaultRates, FaultRng};
+use starsense_scheduler::Terminal;
+
+const SLOTS: usize = 10;
+
+fn start() -> JulianDate {
+    JulianDate::from_ymd_hms(2023, 6, 1, 16, 0, 0.0)
+}
+
+fn mini() -> Constellation {
+    ConstellationBuilder::starlink_mini().seed(33).build()
+}
+
+fn terminals() -> Vec<Terminal> {
+    vec![
+        Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2)),
+        Terminal::new(1, "Seattle", Geodetic::new(47.61, -122.33, 0.1)),
+    ]
+}
+
+/// The three observation modes the matrix ranges over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Oracle,
+    Identified,
+    Faulted,
+}
+
+fn campaign(c: &Constellation, mode: Mode, threads: usize, shards: usize) -> Campaign<'_> {
+    let mut config = CampaignConfig { threads, shards, ..CampaignConfig::default() };
+    match mode {
+        Mode::Oracle => Campaign::oracle(c, terminals(), config, 33),
+        Mode::Identified => Campaign::identified(c, terminals(), config, 33),
+        Mode::Faulted => {
+            config.faults = FaultPlan::new(99, FaultRates::uniform(0.12));
+            config.min_margin = starsense_ident::DEFAULT_MIN_MARGIN;
+            config.quarantine_after = 2;
+            Campaign::identified(c, terminals(), config, 33)
+        }
+    }
+}
+
+/// A unique checkpoint path under the target-scoped temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("starsense-resume-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join("campaign.ckpt")
+}
+
+fn opts(path: PathBuf, every: usize) -> ResumeConfig {
+    ResumeConfig { checkpoint_every: every, ..ResumeConfig::new(path) }
+}
+
+/// Runs the campaign as a kill/resume chain: every call is stopped after
+/// one checkpoint (an in-process crash at the boundary), then a new call
+/// resumes from disk, until completion. Returns the final stream's
+/// fingerprint and the number of process "lives" used.
+fn run_killed_at_every_checkpoint(campaign: &Campaign<'_>, opts: &ResumeConfig) -> (u64, usize) {
+    let chain = ResumeConfig { stop_after_checkpoints: Some(1), ..opts.clone() };
+    let mut lives = 0;
+    loop {
+        lives += 1;
+        assert!(lives <= SLOTS + 2, "kill/resume chain failed to converge");
+        let (obs, _, report) = campaign
+            .run_resumable(start(), SLOTS, &chain)
+            .expect("interrupted segment must succeed");
+        if report.completed {
+            return (fingerprint_observations(&obs), lives);
+        }
+    }
+}
+
+#[test]
+fn resumable_matches_one_shot_bit_for_bit() {
+    let c = mini();
+    for mode in [Mode::Oracle, Mode::Identified, Mode::Faulted] {
+        let campaign = campaign(&c, mode, 1, 1);
+        let (one_shot, one_shot_stats) = campaign.run_with_stats(start(), SLOTS);
+        let path = scratch(&format!("oneshot-{mode:?}"));
+        let (resumed, stats, report) = campaign
+            .run_resumable(start(), SLOTS, &opts(path, 3))
+            .expect("resumable run must succeed");
+        assert!(report.completed && report.resumed_at_slot.is_none());
+        assert_eq!(report.checkpoints_written, 4, "ceil(10 / 3) segments");
+        assert_eq!(
+            fingerprint_observations(&resumed),
+            fingerprint_observations(&one_shot),
+            "mode {mode:?}: segmented engine must reproduce the one-shot stream"
+        );
+        assert_eq!(stats.observed, one_shot_stats.observed);
+        assert_eq!(stats.quarantined_sats, one_shot_stats.quarantined_sats);
+        assert_eq!(stats.masked_propagations, one_shot_stats.masked_propagations);
+    }
+}
+
+#[test]
+fn kill_resume_matrix_is_bit_identical() {
+    let c = mini();
+    for mode in [Mode::Oracle, Mode::Identified, Mode::Faulted] {
+        let baseline = {
+            let campaign = campaign(&c, mode, 1, 1);
+            let path = scratch(&format!("matrix-base-{mode:?}"));
+            let (obs, _, report) = campaign
+                .run_resumable(start(), SLOTS, &opts(path, 2))
+                .expect("baseline run must succeed");
+            assert!(report.completed);
+            fingerprint_observations(&obs)
+        };
+        for (threads, shards) in [(1, 1), (2, 1), (2, 4), (4, 4)] {
+            let campaign = campaign(&c, mode, threads, shards);
+            let path = scratch(&format!("matrix-{mode:?}-{threads}x{shards}"));
+            let (fp, lives) = run_killed_at_every_checkpoint(&campaign, &opts(path, 2));
+            assert!(lives >= SLOTS / 2, "every checkpoint must actually interrupt");
+            assert_eq!(
+                fp, baseline,
+                "mode {mode:?}, {threads} threads x {shards} shards: \
+                 kill/resume must not move a bit"
+            );
+        }
+    }
+}
+
+#[test]
+fn resume_after_completion_returns_stored_stream() {
+    let c = mini();
+    let campaign = campaign(&c, Mode::Oracle, 1, 1);
+    let path = scratch("complete");
+    let config = opts(path, 4);
+    let (first, _, report) = campaign.run_resumable(start(), SLOTS, &config).expect("first run");
+    assert!(report.completed);
+    let (second, _, report) = campaign.run_resumable(start(), SLOTS, &config).expect("second run");
+    assert_eq!(report.resumed_at_slot, Some(SLOTS));
+    assert_eq!(report.segments_run, 0, "a complete snapshot needs no recompute");
+    assert_eq!(fingerprint_observations(&second), fingerprint_observations(&first));
+}
+
+#[test]
+fn corrupt_primary_falls_back_to_last_good_and_converges() {
+    let c = mini();
+    let campaign = campaign(&c, Mode::Identified, 2, 2);
+    let base_path = scratch("corrupt-primary");
+    let config = opts(base_path.clone(), 2);
+    let baseline = {
+        let path = scratch("corrupt-primary-baseline");
+        let (obs, _, _) = campaign.run_resumable(start(), SLOTS, &opts(path, 2)).expect("baseline");
+        fingerprint_observations(&obs)
+    };
+
+    // Two checkpoints in: primary and .prev both exist.
+    let stopped = ResumeConfig { stop_after_checkpoints: Some(2), ..config.clone() };
+    let (_, _, report) = campaign.run_resumable(start(), SLOTS, &stopped).expect("partial run");
+    assert_eq!(report.checkpoints_written, 2);
+    assert!(!report.completed);
+
+    // A torn/corrupted primary (any flipped bit breaks a checksum).
+    let good = std::fs::read(&base_path).expect("read primary");
+    let mut rng = FaultRng::from_salt(7);
+    let bad = bit_flipped_copy(&good, &mut rng);
+    std::fs::write(&base_path, bad).expect("corrupt primary");
+
+    let (obs, _, report) = campaign.run_resumable(start(), SLOTS, &config).expect("recovery run");
+    assert!(report.completed);
+    assert_eq!(report.loaded_from, Some(LoadedFrom::Backup));
+    assert_eq!(report.corrupt_discarded, 1);
+    assert_eq!(report.resumed_at_slot, Some(2), "backup is one interval older");
+    assert_eq!(
+        fingerprint_observations(&obs),
+        baseline,
+        "recovering from the older checkpoint recomputes to the same bits"
+    );
+}
+
+#[test]
+fn corruption_of_all_history_restarts_cleanly() {
+    let c = mini();
+    let campaign = campaign(&c, Mode::Oracle, 1, 1);
+    let path = scratch("corrupt-all");
+    let config = opts(path.clone(), 2);
+    let stopped = ResumeConfig { stop_after_checkpoints: Some(2), ..config.clone() };
+    let (_, _, _) = campaign.run_resumable(start(), SLOTS, &stopped).expect("partial run");
+
+    let mut rng = FaultRng::from_salt(8);
+    for file in [path.clone(), starsense_checkpoint::backup_path(&path)] {
+        let good = std::fs::read(&file).expect("read snapshot");
+        std::fs::write(&file, bit_flipped_copy(&good, &mut rng)).expect("corrupt snapshot");
+    }
+
+    let (obs, _, report) = campaign.run_resumable(start(), SLOTS, &config).expect("fresh restart");
+    assert!(report.completed);
+    assert_eq!(report.resumed_at_slot, None, "nothing valid to resume from");
+    assert_eq!(report.corrupt_discarded, 2);
+    let (one_shot, _) = campaign.run_with_stats(start(), SLOTS);
+    assert_eq!(fingerprint_observations(&obs), fingerprint_observations(&one_shot));
+}
+
+#[test]
+fn foreign_snapshot_is_rejected_not_resumed() {
+    let c = mini();
+    let path = scratch("foreign");
+    let config = opts(path, 2);
+    let stopped = ResumeConfig { stop_after_checkpoints: Some(1), ..config.clone() };
+    let (_, _, _) = campaign(&c, Mode::Oracle, 1, 1)
+        .run_resumable(start(), SLOTS, &stopped)
+        .expect("partial run");
+
+    // Same path, different campaign seed: resuming would fabricate data.
+    let other = Campaign::oracle(
+        &c,
+        terminals(),
+        CampaignConfig { threads: 1, shards: 1, ..CampaignConfig::default() },
+        34,
+    );
+    let err = other.run_resumable(start(), SLOTS, &config).expect_err("must refuse");
+    assert!(
+        matches!(err, CampaignError::Checkpoint(CheckpointError::ConfigMismatch { .. })),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn injected_panics_retry_transparently() {
+    // Worker-fault channels perturb only the supervisor: as long as one
+    // attempt in the budget survives, the measurement stream is
+    // bit-identical to a run with no worker faults at all.
+    let c = mini();
+    let clean = campaign(&c, Mode::Oracle, 1, 2);
+    let clean_fp = {
+        let path = scratch("retry-clean");
+        let (obs, stats, _) =
+            clean.run_resumable(start(), SLOTS, &opts(path, 4)).expect("clean run");
+        assert_eq!(stats.worker_retries, 0);
+        fingerprint_observations(&obs)
+    };
+
+    let rates = FaultRates { worker_panic: 0.35, ..FaultRates::none() };
+    let flaky = Campaign::oracle(
+        &c,
+        terminals(),
+        CampaignConfig {
+            threads: 1,
+            shards: 2,
+            faults: FaultPlan::new(99, rates),
+            ..CampaignConfig::default()
+        },
+        33,
+    );
+    let path = scratch("retry-flaky");
+    let config = ResumeConfig { worker_retries: 6, ..opts(path, 4) };
+    let (obs, stats, report) =
+        flaky.run_resumable(start(), SLOTS, &config).expect("flaky run must recover");
+    assert!(report.completed);
+    assert!(stats.worker_retries > 0, "the fault plan must actually bite");
+    assert_eq!(stats.quarantined_workers, 0, "a 6-retry budget outlasts p=0.35 streaks");
+    assert_eq!(stats.worker_failed, 0);
+    assert_eq!(
+        fingerprint_observations(&obs),
+        clean_fp,
+        "retried panics must not leak into the measurement stream"
+    );
+}
+
+#[test]
+fn exhausted_units_quarantine_and_degrade_visibly() {
+    // Every attempt panics: each schedule shard burns its budget once,
+    // is quarantined (K = 1), and every slot degrades to WorkerFailed.
+    let c = mini();
+    let rates = FaultRates { worker_panic: 1.0, ..FaultRates::none() };
+    let campaign = Campaign::oracle(
+        &c,
+        terminals(),
+        CampaignConfig {
+            threads: 2,
+            shards: 2,
+            faults: FaultPlan::new(5, rates),
+            ..CampaignConfig::default()
+        },
+        33,
+    );
+    let path = scratch("quarantine");
+    let config = ResumeConfig { worker_retries: 1, worker_quarantine_after: 1, ..opts(path, 5) };
+    let (obs, stats, report) = campaign.run_resumable(start(), SLOTS, &config).expect("degrades");
+    assert!(report.completed);
+    assert_eq!(obs.len(), SLOTS * 2);
+    assert!(obs.iter().all(|o| o.outcome == SlotOutcome::NoData(DegradeReason::WorkerFailed)));
+    assert_eq!(stats.worker_failed, SLOTS * 2);
+    assert_eq!(stats.quarantined_workers, 2, "both schedule shards");
+    // Each shard failed 2 attempts in segment 1 (1 retry each), then was
+    // quarantined — segment 2 never attempts them.
+    assert_eq!(stats.worker_retries, 2);
+}
+
+#[test]
+fn overruns_fail_fast_when_quarantine_is_disabled() {
+    let c = mini();
+    let rates = FaultRates { worker_overrun: 1.0, ..FaultRates::none() };
+    let campaign = Campaign::oracle(
+        &c,
+        terminals(),
+        CampaignConfig {
+            threads: 1,
+            shards: 1,
+            faults: FaultPlan::new(5, rates),
+            ..CampaignConfig::default()
+        },
+        33,
+    );
+    let path = scratch("fail-fast");
+    let config = ResumeConfig { worker_retries: 2, worker_quarantine_after: 0, ..opts(path, 5) };
+    let err = campaign.run_resumable(start(), SLOTS, &config).expect_err("must fail fast");
+    match err {
+        CampaignError::WorkerExhausted { unit, attempts, failure } => {
+            assert_eq!(unit, 0);
+            assert_eq!(attempts, 3, "one try plus two retries");
+            assert_eq!(failure, ShardFailure::DeadlineOverrun);
+        }
+        other => panic!("expected WorkerExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn backoff_schedule_is_deterministic_bounded_and_inert_at_zero() {
+    let a = ResumeConfig { backoff_base_ms: 10, backoff_cap_ms: 80, ..ResumeConfig::new("x") };
+    let b = a.clone();
+    for unit in 0..8u64 {
+        for attempt in 1..6u32 {
+            let d = a.backoff_delay_ms(33, unit, attempt);
+            assert_eq!(d, b.backoff_delay_ms(33, unit, attempt), "deterministic");
+            assert!(d <= 80 + 10, "cap plus one jitter quantum");
+        }
+    }
+    // Exponential ramp until the cap dominates.
+    assert!(a.backoff_delay_ms(33, 1, 3) >= a.backoff_delay_ms(33, 1, 1));
+    let zero = ResumeConfig::new("y");
+    assert_eq!(zero.backoff_base_ms, 0);
+    for attempt in 1..4 {
+        assert_eq!(zero.backoff_delay_ms(33, 7, attempt), 0, "zero base never sleeps");
+    }
+}

@@ -13,13 +13,21 @@
 //! * degradation (no-data slots, probe losses, broken catalog records)
 //!   is monotone in the injected rate.
 //!
-//! Env knobs: `STARSENSE_CHAOS_SEEDS` (seed-sweep width, default 8) and
-//! `STARSENSE_SLOTS` (slots per campaign, default 40).
+//! A final kill/resume tier replays the mid-rate campaigns through the
+//! resumable engine, crashing (in-process) after every
+//! `STARSENSE_CHAOS_KILL` checkpoints (default 1) and resuming from the
+//! snapshot until done — the surviving stream must be bit-identical to
+//! the one-shot engine's, for every seed.
+//!
+//! Env knobs: `STARSENSE_CHAOS_SEEDS` (seed-sweep width, default 8),
+//! `STARSENSE_SLOTS` (slots per campaign, default 40), and
+//! `STARSENSE_CHAOS_KILL` (checkpoints between kills, default 1).
 
 use starsense_constellation::{load_catalog_text, Constellation, ConstellationBuilder};
 use starsense_core::campaign::{Campaign, CampaignConfig, SlotObservation};
 use starsense_core::degrade::DegradationStats;
 use starsense_core::report::{csv, pct, text_table};
+use starsense_core::resume::{fingerprint_observations, ResumeConfig};
 use starsense_core::vantage::paper_terminals;
 use starsense_experiments::{campaign_start, slots_from_env, write_artifact, WORLD_SEED};
 use starsense_faults::{FaultPlan, FaultRates};
@@ -222,6 +230,59 @@ fn main() {
             &rows
         )
     );
+    // Kill/resume tier: the same mid-rate campaigns through the
+    // resumable engine, crashed after every STARSENSE_CHAOS_KILL
+    // checkpoints and resumed, must reassemble the one-shot stream bit
+    // for bit.
+    let kill_every = std::env::var("STARSENSE_CHAOS_KILL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1usize)
+        .max(1);
+    let mid_rate = TIER_RATES[TIER_RATES.len() / 2];
+    let mut total_lives = 0usize;
+    for &seed in &seeds {
+        let campaign = Campaign::identified(
+            &constellation,
+            one_terminal(),
+            chaos_config(seed, mid_rate),
+            seed,
+        );
+        let one_shot = fingerprint_observations(&campaign.run(campaign_start(), slots));
+        let path = std::env::temp_dir()
+            .join(format!("starsense-chaos-soak-{}-{seed}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(starsense_checkpoint::backup_path(&path));
+        let opts = ResumeConfig {
+            checkpoint_every: (slots / 5).max(1),
+            stop_after_checkpoints: Some(kill_every),
+            ..ResumeConfig::new(path.clone())
+        };
+        let mut lives = 0usize;
+        let resumed = loop {
+            lives += 1;
+            assert!(lives <= slots + 2, "kill/resume chain failed to converge at seed {seed}");
+            let (obs, _, report) = campaign
+                .run_resumable(campaign_start(), slots, &opts)
+                .expect("resumable campaign must never abort");
+            if report.completed {
+                break fingerprint_observations(&obs);
+            }
+        };
+        assert_eq!(
+            resumed, one_shot,
+            "kill/resume stream diverged from one-shot at seed {seed} rate {mid_rate}"
+        );
+        total_lives += lives;
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(starsense_checkpoint::backup_path(&path));
+    }
+    println!(
+        "\nkill/resume tier: {} seeds at rate {mid_rate:.2}, killed every {kill_every} \
+         checkpoint(s), {total_lives} total process lives — all bit-identical to one-shot",
+        seeds.len()
+    );
+
     println!(
         "\n{} seeds x {} tiers, {} campaign slots + {:.0} s probe window each; \
          zero panics, fault-free tier bit-identical, degradation monotone",

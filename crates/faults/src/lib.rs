@@ -30,6 +30,7 @@ const DOMAIN_PROP: u64 = 0x5052_4f50_0000_0003;
 const DOMAIN_BURST: u64 = 0x4255_5253_5400_0004;
 const DOMAIN_JITTER: u64 = 0x4a49_5454_4500_0005;
 const DOMAIN_STREAM: u64 = 0x5354_5245_414d_0006;
+const DOMAIN_WORKER: u64 = 0x574f_524b_4552_0007;
 
 /// splitmix64 finalizer: a full-avalanche bijection on `u64`.
 fn mix(mut z: u64) -> u64 {
@@ -79,6 +80,13 @@ pub struct FaultRates {
     pub propagation_fail: f64,
     /// Probability a probe slot carries a loss or jitter burst.
     pub probe_burst: f64,
+    /// Probability a shard worker attempt panics mid-segment. Worker
+    /// channels are **not** part of [`FaultRates::uniform`]: the chaos
+    /// soak's golden fingerprints predate them, and worker faults only
+    /// perturb the supervision layer, never the measurement stream.
+    pub worker_panic: f64,
+    /// Probability a shard worker attempt overruns its virtual deadline.
+    pub worker_overrun: f64,
 }
 
 impl FaultRates {
@@ -91,13 +99,17 @@ impl FaultRates {
             tle_corrupt: 0.0,
             propagation_fail: 0.0,
             probe_burst: 0.0,
+            worker_panic: 0.0,
+            worker_overrun: 0.0,
         }
     }
 
-    /// Every channel at the same probability `p` — the knob the chaos
-    /// soak sweeps to escalate pressure uniformly. The three frame
-    /// channels share the single per-frame draw, so each gets `p / 3`
-    /// to keep the *total* frame-fault probability at `p`.
+    /// Every *measurement* channel at the same probability `p` — the
+    /// knob the chaos soak sweeps to escalate pressure uniformly. The
+    /// three frame channels share the single per-frame draw, so each
+    /// gets `p / 3` to keep the *total* frame-fault probability at `p`.
+    /// The worker channels stay at zero: they must be opted into
+    /// explicitly so the existing soak tiers keep their fingerprints.
     pub fn uniform(p: f64) -> Self {
         let p = clamp01(p);
         FaultRates {
@@ -107,6 +119,8 @@ impl FaultRates {
             tle_corrupt: p,
             propagation_fail: p,
             probe_burst: p,
+            worker_panic: 0.0,
+            worker_overrun: 0.0,
         }
     }
 
@@ -118,6 +132,8 @@ impl FaultRates {
             tle_corrupt: clamp01(self.tle_corrupt),
             propagation_fail: clamp01(self.propagation_fail),
             probe_burst: clamp01(self.probe_burst),
+            worker_panic: clamp01(self.worker_panic),
+            worker_overrun: clamp01(self.worker_overrun),
         }
     }
 
@@ -128,6 +144,8 @@ impl FaultRates {
             || self.tle_corrupt > 0.0
             || self.propagation_fail > 0.0
             || self.probe_burst > 0.0
+            || self.worker_panic > 0.0
+            || self.worker_overrun > 0.0
     }
 }
 
@@ -166,6 +184,24 @@ pub enum TleFault {
     /// checksum recomputed to match*, so only semantic field validation
     /// can reject it.
     NanField,
+}
+
+/// Injected failure of one shard-worker execution attempt.
+///
+/// Both outcomes are aimed at the supervision layer of
+/// `starsense-core`'s resumable campaign engine: a `Panic` is raised
+/// *inside* the worker's `catch_unwind` boundary and an `Overrun` is
+/// reported as a virtual deadline miss (no wall clock is consulted), so
+/// either way the retry / quarantine state machine — not the
+/// measurement stream — absorbs the fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The attempt completes normally.
+    None,
+    /// The attempt panics mid-segment.
+    Panic,
+    /// The attempt exceeds its virtual deadline budget.
+    Overrun,
 }
 
 /// Kind of probe-level burst injected into the network emulator.
@@ -306,6 +342,28 @@ impl FaultPlan {
         }
     }
 
+    /// Fault decision for one shard-worker execution attempt
+    /// (0-based; each retry re-draws with a fresh attempt key) of work
+    /// unit `unit` whose segment starts at absolute slot `first_slot`.
+    /// The two worker rates partition a single draw exactly like the
+    /// frame channels, so a key that panics at a low `worker_panic`
+    /// still panics when the rate rises.
+    pub fn worker_fault(&self, unit_id: u64, first_slot: i64, attempt: u32) -> WorkerFault {
+        if !self.enabled() {
+            return WorkerFault::None;
+        }
+        let h = self.draw(DOMAIN_WORKER, unit_id, first_slot as u64, u64::from(attempt));
+        let u = unit(h);
+        let r = &self.rates;
+        if u < r.worker_panic {
+            WorkerFault::Panic
+        } else if u < r.worker_panic + r.worker_overrun {
+            WorkerFault::Overrun
+        } else {
+            WorkerFault::None
+        }
+    }
+
     /// Corruption decision for the `index`-th TLE record of a feed.
     pub fn tle_fault(&self, index: u64) -> TleFault {
         if !self.enabled() {
@@ -391,6 +449,33 @@ impl FaultPlan {
         }
         joined
     }
+}
+
+/// Produce a torn copy of a snapshot: the byte stream is cut at a
+/// deterministic point drawn from `rng`, anywhere from the empty prefix
+/// to one byte short of complete. Used by the crash harness to model a
+/// writer killed mid-`write` (which the checkpoint layer's atomic
+/// rename normally prevents, and its checksums must catch regardless).
+pub fn truncated_copy(bytes: &[u8], rng: &mut FaultRng) -> Vec<u8> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    let keep = rng.below(bytes.len() as u64) as usize;
+    bytes[..keep].to_vec()
+}
+
+/// Produce a copy of a snapshot with a single bit flipped at a
+/// deterministic position drawn from `rng` — the classic torn-sector /
+/// cosmic-ray model the checkpoint checksums must detect. An empty
+/// input comes back empty.
+pub fn bit_flipped_copy(bytes: &[u8], rng: &mut FaultRng) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let bit = rng.below(out.len() as u64 * 8);
+    out[(bit / 8) as usize] ^= 1u8 << (bit % 8);
+    out
 }
 
 /// Mod-10 TLE checksum over the first 68 bytes: digits count their
@@ -661,6 +746,91 @@ mod tests {
             }
         }
         assert_eq!(found, 100, "probe_burst rate 1.0 must always fire");
+    }
+
+    #[test]
+    fn worker_channels_are_opt_in_only() {
+        // uniform() must never arm the worker channels: the chaos-soak
+        // golden fingerprints were frozen before they existed.
+        let u = FaultRates::uniform(0.9);
+        assert_eq!(u.worker_panic, 0.0);
+        assert_eq!(u.worker_overrun, 0.0);
+        let p = FaultPlan::new(3, u);
+        for unit_id in 0..200u64 {
+            assert_eq!(p.worker_fault(unit_id, 5, 0), WorkerFault::None);
+        }
+    }
+
+    #[test]
+    fn worker_faults_are_deterministic_and_partitioned() {
+        let rates = FaultRates { worker_panic: 0.3, worker_overrun: 0.3, ..FaultRates::none() };
+        let a = FaultPlan::new(11, rates);
+        let b = FaultPlan::new(11, rates);
+        let mut panics = 0;
+        let mut overruns = 0;
+        for unit_id in 0..3000u64 {
+            for attempt in 0..3u32 {
+                let f = a.worker_fault(unit_id, 42, attempt);
+                assert_eq!(f, b.worker_fault(unit_id, 42, attempt));
+                match f {
+                    WorkerFault::Panic => panics += 1,
+                    WorkerFault::Overrun => overruns += 1,
+                    WorkerFault::None => {}
+                }
+            }
+        }
+        let n = 9000.0;
+        assert!((panics as f64 / n - 0.3).abs() < 0.03, "panic rate {}", panics as f64 / n);
+        assert!((overruns as f64 / n - 0.3).abs() < 0.03, "overrun rate {}", overruns as f64 / n);
+        // A plan armed only with worker faults still reports enabled().
+        assert!(a.enabled());
+        // Retries re-draw: some unit that panics at attempt 0 succeeds later.
+        let recovers = (0..500u64).any(|unit_id| {
+            a.worker_fault(unit_id, 42, 0) == WorkerFault::Panic
+                && a.worker_fault(unit_id, 42, 1) == WorkerFault::None
+        });
+        assert!(recovers, "no panicking unit ever recovered on retry");
+    }
+
+    #[test]
+    fn worker_faults_do_not_perturb_measurement_channels() {
+        let quiet = FaultPlan::none();
+        let armed = FaultPlan::new(
+            0,
+            FaultRates { worker_panic: 1.0, worker_overrun: 0.0, ..FaultRates::none() },
+        );
+        // Arming the worker channel flips enabled(), but every
+        // measurement draw must still be fault-free because its own
+        // rate is zero — the streams are domain-separated.
+        for t in 0..50u64 {
+            assert_eq!(armed.frame_fault(t, 3, 0), quiet.frame_fault(t, 3, 0));
+            assert_eq!(armed.probe_burst(t, 3), quiet.probe_burst(t, 3));
+            assert_eq!(armed.tle_fault(t), quiet.tle_fault(t));
+            assert!(!armed.propagation_fails(44000 + t as u32, 3));
+        }
+    }
+
+    #[test]
+    fn snapshot_corruptors_are_deterministic_and_bounded() {
+        let bytes: Vec<u8> = (0..257u32).map(|i| (i % 251) as u8).collect();
+        let mut r1 = FaultRng::from_salt(9);
+        let mut r2 = FaultRng::from_salt(9);
+        let t1 = truncated_copy(&bytes, &mut r1);
+        let t2 = truncated_copy(&bytes, &mut r2);
+        assert_eq!(t1, t2);
+        assert!(t1.len() < bytes.len(), "truncation must remove at least one byte");
+        assert_eq!(t1[..], bytes[..t1.len()]);
+
+        let f1 = bit_flipped_copy(&bytes, &mut r1);
+        let f2 = bit_flipped_copy(&bytes, &mut r2);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.len(), bytes.len());
+        let flipped: usize =
+            f1.iter().zip(&bytes).map(|(a, b)| (a ^ b).count_ones() as usize).sum();
+        assert_eq!(flipped, 1, "exactly one bit must differ");
+
+        assert!(truncated_copy(&[], &mut r1).is_empty());
+        assert!(bit_flipped_copy(&[], &mut r1).is_empty());
     }
 
     #[test]

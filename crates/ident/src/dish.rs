@@ -58,6 +58,21 @@ pub struct FrameFetch {
     pub attempts: u32,
 }
 
+/// The mutable cross-slot state of a [`DishSimulator`], exported at a
+/// slot boundary for checkpointing. The rest of a simulator — location,
+/// reset cadence, samples per slot — is configuration the restoring side
+/// reconstructs; this triple is everything that evolves as slots play.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DishState {
+    /// The accumulated obstruction map.
+    pub map: ObstructionMap,
+    /// Slots played since the map was last blanked.
+    pub slots_since_reset: u32,
+    /// Whether a reset is still pending disclosure to the next
+    /// successful fetch.
+    pub reset_since_fetch: bool,
+}
+
 /// Simulates the dish's obstruction-map behaviour for one terminal.
 #[derive(Debug, Clone)]
 pub struct DishSimulator {
@@ -113,6 +128,25 @@ impl DishSimulator {
     /// Current map state (what a gRPC fetch would return right now).
     pub fn map(&self) -> &ObstructionMap {
         &self.map
+    }
+
+    /// Exports the mutable cross-slot state — the dish half of a campaign
+    /// checkpoint.
+    pub fn export_state(&self) -> DishState {
+        DishState {
+            map: self.map.clone(),
+            slots_since_reset: self.slots_since_reset,
+            reset_since_fetch: self.reset_since_fetch,
+        }
+    }
+
+    /// Restores state exported by [`DishSimulator::export_state`]: the
+    /// restored dish plays subsequent slots bit-identically to the
+    /// exporting dish continuing (given the same configuration).
+    pub fn restore_state(&mut self, state: DishState) {
+        self.map = state.map;
+        self.slots_since_reset = state.slots_since_reset;
+        self.reset_since_fetch = state.reset_since_fetch;
     }
 
     /// Forces a terminal reset: blanks the map and restarts the reset
@@ -483,6 +517,36 @@ mod tests {
         dish.reset();
         let next = dish.play_slot_faulted(&c, 4, start.plus_seconds(60.0), Some(id), &none, 0, 0);
         assert!(next.capture.expect("clean").after_reset);
+    }
+
+    #[test]
+    fn exported_state_resumes_dish_bit_identically() {
+        // Play 5 slots (crossing a reset), export, restore into a fresh
+        // dish, and play 6 more on both: captures must match exactly,
+        // including the pending-reset disclosure bit.
+        let (c, loc, at) = setup();
+        let start = slot_start(at);
+        let id = a_visible_sat(&c, loc, start);
+        let mut live = DishSimulator::new(loc).with_reset_every_slots(3);
+        for k in 0..5 {
+            live.play_slot(&c, k, start.plus_seconds(15.0 * k as f64), Some(id));
+        }
+        live.reset(); // leave a reset pending across the checkpoint
+        let state = live.export_state();
+
+        let mut resumed = DishSimulator::new(loc).with_reset_every_slots(3);
+        resumed.restore_state(state.clone());
+        assert_eq!(resumed.export_state(), state);
+        for k in 5..11 {
+            let t = start.plus_seconds(15.0 * k as f64);
+            let serving = if k % 4 == 3 { None } else { Some(id) };
+            let a = live.play_slot(&c, k, t, serving);
+            let b = resumed.play_slot(&c, k, t, serving);
+            assert_eq!(a.map, b.map, "slot {k}");
+            assert_eq!(a.after_reset, b.after_reset, "slot {k}");
+            assert_eq!(a.slot, b.slot);
+        }
+        assert_eq!(live.export_state(), resumed.export_state());
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod validate;
 pub use candidates::{
     candidate_tracks, candidate_tracks_through, slot_boundary_epochs, CandidateTrack,
 };
-pub use dish::{DishSimulator, FrameFetch, FrameStatus, SlotCapture};
+pub use dish::{DishSimulator, DishState, FrameFetch, FrameStatus, SlotCapture};
 pub use pipeline::{
     classify_identification, identify_from_trajectory, identify_from_trajectory_counted,
     identify_slot, identify_slot_through, identify_slot_tracked, verdict_slot_tracked,

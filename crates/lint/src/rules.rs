@@ -13,6 +13,7 @@
 //! | P103 | `panic!` in library code |
 //! | P104 | `unimplemented!` / `todo!` in library code |
 //! | F101 | `.unwrap()` / `.expect()` on a fault-handling path |
+//! | R101 | `std::process::exit` / `abort` in library code |
 //! | Q101 | `==` / `!=` with a float operand |
 //! | Q201 | `println!`/`print!`/`eprintln!`/`eprint!`/`dbg!` in library code |
 //! | Q301 | crate root missing `#![warn(missing_docs)]` |
@@ -100,6 +101,11 @@ pub const RULES: &[(&str, &str)] = &[
     ("P103", "panic! in library code"),
     ("P104", "unimplemented!/todo! in library code"),
     ("F101", "unwrap()/expect() on a fault-handling path (file uses fault-injection types)"),
+    (
+        "R101",
+        "process::exit / process::abort in library code (kills the process without unwinding; \
+         checkpoints, panic isolation, and Drop cleanup are all bypassed)",
+    ),
     ("Q101", "== or != comparison with a float operand"),
     ("Q201", "debug printing (println!/print!/eprintln!/eprint!/dbg!) in library code"),
     ("Q301", "crate root missing #![warn(missing_docs)]"),
@@ -518,6 +524,26 @@ impl<'a> Engine<'a> {
                     }
                     _ => {}
                 }
+            }
+            // R101: hard process termination from library code. Unlike a
+            // panic (which the supervised shard workers catch and turn
+            // into a retry/quarantine decision), `process::exit`/`abort`
+            // skip unwinding entirely — no checkpoint flush, no Drop, no
+            // typed error. Only binaries get to decide the exit status.
+            if tok.kind == TokenKind::Ident
+                && tok.text == "process"
+                && t2 == "::"
+                && matches!(t3, "exit" | "abort")
+            {
+                self.emit(
+                    "R101",
+                    &tok,
+                    format!(
+                        "process::{t3} kills the process from library code, bypassing \
+                         unwinding, checkpoint flushes, and Drop cleanup; return an error \
+                         and let the binary choose the exit status"
+                    ),
+                );
             }
         }
     }
@@ -997,6 +1023,51 @@ mod tests {
         let src = "fn f(s: &PropagationSchedule, x: Option<u8>) -> u8 { let _ = s; x.unwrap() }";
         let ctx = FileContext { simulation: false, ..lib_ctx() };
         assert_eq!(codes(src, &ctx), vec!["F101", "P101"]);
+    }
+
+    // ---- R101: hard process termination ------------------------------
+
+    #[test]
+    fn planted_process_exit_and_abort_are_detected() {
+        let src = "fn f() { std::process::exit(1); }";
+        assert_eq!(codes(src, &lib_ctx()), vec!["R101"]);
+        let src2 = "fn g() { process::abort(); }";
+        assert_eq!(codes(src2, &lib_ctx()), vec!["R101"]);
+    }
+
+    #[test]
+    fn process_exit_in_binaries_tests_and_benches_is_fine() {
+        let src = "fn main() { std::process::exit(3); }";
+        for kind in [FileKind::Bin, FileKind::Test, FileKind::Bench, FileKind::Example] {
+            let ctx = FileContext { kind, ..lib_ctx() };
+            assert!(codes(src, &ctx).is_empty(), "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn process_exit_applies_to_non_simulation_lib_crates_too() {
+        let src = "fn f() { std::process::exit(0); }";
+        let ctx = FileContext { simulation: false, ..lib_ctx() };
+        assert_eq!(codes(src, &ctx), vec!["R101"]);
+    }
+
+    #[test]
+    fn process_ident_without_exit_or_abort_is_fine() {
+        let src = "fn f(id: u32) -> String { std::process::id().to_string() }";
+        assert!(codes(src, &lib_ctx()).is_empty());
+        let src2 = "fn g(process: &P) { process.exit_handler(); }";
+        assert!(codes(src2, &lib_ctx()).is_empty());
+    }
+
+    #[test]
+    fn process_exit_honors_allow_directives() {
+        let src = r#"
+            fn f() {
+                // starlint: allow(R101, reason = "ffi teardown demands a hard stop")
+                std::process::exit(0);
+            }
+        "#;
+        assert!(codes(src, &lib_ctx()).is_empty());
     }
 
     // ---- no false positives in strings and comments -----------------

@@ -96,6 +96,32 @@ impl ObstructionMap {
         ObstructionMap { words: [0; WORDS] }
     }
 
+    /// Number of `u64` words in the packed raster, the length
+    /// [`ObstructionMap::words`] returns and
+    /// [`ObstructionMap::from_words`] requires.
+    pub const WORD_COUNT: usize = WORDS;
+
+    /// The packed raster, 64 row-major pixels per word — the export half
+    /// of checkpointing a map.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a map from words exported by [`ObstructionMap::words`].
+    ///
+    /// Returns `None` when `words` has the wrong length or sets bits past
+    /// the last pixel — the class introduced only by corruption, and one
+    /// that would otherwise break the "tail bits stay zero" invariant the
+    /// derived `Eq` relies on.
+    pub fn from_words(words: &[u64]) -> Option<ObstructionMap> {
+        let arr: [u64; WORDS] = words.try_into().ok()?;
+        let tail_bits = WORDS * 64 - MAP_SIZE * MAP_SIZE;
+        if tail_bits > 0 && arr[WORDS - 1] >> (64 - tail_bits) != 0 {
+            return None;
+        }
+        Some(ObstructionMap { words: arr })
+    }
+
     /// Reads a pixel. Out-of-bounds reads return `false`.
     pub fn get(&self, x: usize, y: usize) -> bool {
         if x >= MAP_SIZE || y >= MAP_SIZE {
@@ -482,6 +508,26 @@ mod tests {
         assert!(ObstructionMap::pixel_to_polar(MAP_SIZE - 1, MAP_SIZE - 1).is_none());
         // Out-of-bounds pixel coordinates are out of plot, not a panic.
         assert!(ObstructionMap::pixel_to_polar(MAP_SIZE + 7, 61).is_none());
+    }
+
+    #[test]
+    fn words_round_trip_and_reject_corruption() {
+        let mut m = ObstructionMap::new();
+        for az in (0..360).step_by(7) {
+            if let Some((x, y)) = ObstructionMap::polar_to_pixel(40.0, az as f64) {
+                m.set(x, y, true);
+            }
+        }
+        let words = m.words().to_vec();
+        assert_eq!(words.len(), ObstructionMap::WORD_COUNT);
+        let back = ObstructionMap::from_words(&words).expect("valid words");
+        assert_eq!(back, m);
+
+        // Wrong length and tail-bit corruption are both rejected.
+        assert!(ObstructionMap::from_words(&words[..words.len() - 1]).is_none());
+        let mut tail_set = words.clone();
+        tail_set[ObstructionMap::WORD_COUNT - 1] |= 1u64 << 63;
+        assert!(ObstructionMap::from_words(&tail_set).is_none());
     }
 
     /// The seed `Vec<bool>` representation, kept verbatim as the

@@ -246,6 +246,62 @@ fn sample_in_place(rng: &mut StdRng, temperature: f64, scores: &mut [f64]) -> Op
     Some(scores.len() - 1)
 }
 
+/// The mutable cross-slot state of one terminal inside a
+/// [`GlobalScheduler`], exported at a slot boundary for checkpointing.
+///
+/// Everything else a scheduler holds — GSO geometry, terminal geometry,
+/// the [`LoadModel`], the scratch buffers — is either a pure function of
+/// `(policy, terminals, seed)` or results-neutral caching, so this pair
+/// (RNG stream position + previous assignment) is the complete state a
+/// resumed scheduler needs to continue its allocation sequence
+/// bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TerminalSchedState {
+    /// Stable id of the terminal this state belongs to.
+    pub terminal_id: usize,
+    /// xoshiro256++ state of the terminal's softmax RNG stream.
+    pub rng_state: [u64; 4],
+    /// Satellite assigned in the previous slot (hysteresis key), if any.
+    pub previous: Option<u32>,
+}
+
+/// Why [`GlobalScheduler::restore_states`] rejected a state vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateRestoreError {
+    /// The vector length does not match the scheduler's terminal count.
+    CountMismatch {
+        /// Terminals the scheduler serves.
+        expected: usize,
+        /// States supplied.
+        got: usize,
+    },
+    /// A state's terminal id does not match the terminal at its position.
+    IdMismatch {
+        /// Position in the vector.
+        index: usize,
+        /// Terminal id the scheduler has at that position.
+        expected: usize,
+        /// Terminal id the state carries.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for StateRestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateRestoreError::CountMismatch { expected, got } => {
+                write!(f, "scheduler state count mismatch: {expected} terminals, {got} states")
+            }
+            StateRestoreError::IdMismatch { index, expected, got } => write!(
+                f,
+                "scheduler state id mismatch at {index}: terminal {expected}, state for {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StateRestoreError {}
+
 /// The global scheduler: owns per-terminal GSO geometry, the background
 /// load model, one softmax RNG stream per terminal and the
 /// previous-assignment state.
@@ -321,6 +377,57 @@ impl GlobalScheduler {
     /// and oracle analyses only; the measurement pipeline never reads it.
     pub fn load_model(&self) -> &LoadModel {
         &self.load
+    }
+
+    /// Exports the mutable cross-slot state of every terminal, in
+    /// terminal order — the scheduler half of a campaign checkpoint.
+    pub fn export_states(&self) -> Vec<TerminalSchedState> {
+        self.terminals
+            .iter()
+            .zip(&self.rngs)
+            .map(|(t, rng)| TerminalSchedState {
+                terminal_id: t.id,
+                rng_state: rng.state(),
+                previous: self.previous.get(&t.id).copied(),
+            })
+            .collect()
+    }
+
+    /// Restores state exported by [`GlobalScheduler::export_states`],
+    /// positioning every RNG stream and hysteresis key exactly where the
+    /// exporting scheduler left them: the restored scheduler's subsequent
+    /// allocations are bit-identical to the exporter continuing.
+    ///
+    /// `states` must carry one entry per terminal, in this scheduler's
+    /// terminal order (sub-schedulers restore the matching slice of a
+    /// whole-population export).
+    pub fn restore_states(
+        &mut self,
+        states: &[TerminalSchedState],
+    ) -> Result<(), StateRestoreError> {
+        if states.len() != self.terminals.len() {
+            return Err(StateRestoreError::CountMismatch {
+                expected: self.terminals.len(),
+                got: states.len(),
+            });
+        }
+        for (index, (t, s)) in self.terminals.iter().zip(states).enumerate() {
+            if t.id != s.terminal_id {
+                return Err(StateRestoreError::IdMismatch {
+                    index,
+                    expected: t.id,
+                    got: s.terminal_id,
+                });
+            }
+        }
+        self.previous.clear();
+        for (rng, s) in self.rngs.iter_mut().zip(states) {
+            *rng = StdRng::from_state(s.rng_state);
+            if let Some(prev) = s.previous {
+                self.previous.insert(s.terminal_id, prev);
+            }
+        }
+        Ok(())
     }
 
     /// Allocates a satellite to every terminal for the slot containing
@@ -1190,6 +1297,82 @@ mod tests {
                 b.iter().find(|x| x.terminal_id == 1).expect("Ithaca allocated every slot");
             assert_eq!(a[0].chosen_id(), b_ithaca.chosen_id(), "slot {k}");
             assert_eq!(a[0].eligible_ids, b_ithaca.eligible_ids, "slot {k}");
+        }
+    }
+
+    #[test]
+    fn exported_state_resumes_allocation_stream_bit_identically() {
+        // Run 5 slots, export, restore into a *fresh* scheduler, then both
+        // continue 6 more slots: the fresh scheduler must emit exactly the
+        // allocations the original does, hysteresis and RNG included.
+        let c = constellation();
+        let mut live = GlobalScheduler::new(SchedulerPolicy::default(), cohort_terminals(), 3);
+        for k in 0..5 {
+            live.allocate(&c, at().plus_seconds(15.0 * k as f64));
+        }
+        let states = live.export_states();
+        assert_eq!(states.len(), cohort_terminals().len());
+
+        let mut resumed = GlobalScheduler::new(SchedulerPolicy::default(), cohort_terminals(), 3);
+        resumed.restore_states(&states).expect("states match terminals");
+        for k in 5..11 {
+            let t = at().plus_seconds(15.0 * k as f64);
+            let a = live.allocate(&c, t);
+            let b = resumed.allocate(&c, t);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.terminal_id, y.terminal_id, "slot {k}");
+                assert_eq!(x.chosen_id(), y.chosen_id(), "slot {k}");
+                assert_eq!(x.eligible_ids, y.eligible_ids, "slot {k}");
+            }
+        }
+        // And the restored streams stay aligned: a second export agrees.
+        assert_eq!(live.export_states(), resumed.export_states());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_states() {
+        let mut g = GlobalScheduler::new(SchedulerPolicy::default(), terminals(), 3);
+        let states = g.export_states();
+        assert_eq!(
+            g.restore_states(&states[..1]),
+            Err(StateRestoreError::CountMismatch { expected: 2, got: 1 })
+        );
+        let mut wrong = states.clone();
+        wrong[1].terminal_id = 99;
+        assert_eq!(
+            g.restore_states(&wrong),
+            Err(StateRestoreError::IdMismatch { index: 1, expected: 1, got: 99 })
+        );
+        // A failed restore leaves the scheduler usable (state unchanged).
+        assert_eq!(g.export_states(), states);
+    }
+
+    #[test]
+    fn sub_scheduler_restores_slice_of_whole_population_export() {
+        // A shard scheduler over terminals [2..4] resumes from the
+        // matching slice of a whole-population export.
+        let c = constellation();
+        let pop = vec![
+            Terminal::new(0, "Iowa", Geodetic::new(41.66, -91.53, 0.2)),
+            Terminal::new(1, "Ithaca", Geodetic::new(42.44, -76.50, 0.3)),
+            Terminal::new(2, "Austin", Geodetic::new(30.27, -97.74, 0.15)),
+            Terminal::new(3, "Berlin", Geodetic::new(52.52, 13.40, 0.03)),
+        ];
+        let mut whole = GlobalScheduler::new(SchedulerPolicy::default(), pop.clone(), 7);
+        for k in 0..4 {
+            whole.allocate(&c, at().plus_seconds(15.0 * k as f64));
+        }
+        let states = whole.export_states();
+        let mut shard = GlobalScheduler::new(SchedulerPolicy::default(), pop[2..].to_vec(), 7);
+        shard.restore_states(&states[2..]).expect("slice matches shard terminals");
+        for k in 4..8 {
+            let t = at().plus_seconds(15.0 * k as f64);
+            let mono = whole.allocate(&c, t);
+            let part = shard.allocate(&c, t);
+            for (x, y) in mono[2..].iter().zip(&part) {
+                assert_eq!(x.terminal_id, y.terminal_id, "slot {k}");
+                assert_eq!(x.chosen_id(), y.chosen_id(), "slot {k}");
+            }
         }
     }
 

@@ -31,7 +31,9 @@ pub mod mac;
 pub mod slots;
 pub mod terminal;
 
-pub use global::{Allocation, GlobalScheduler, SchedulerPolicy};
+pub use global::{
+    Allocation, GlobalScheduler, SchedulerPolicy, StateRestoreError, TerminalSchedState,
+};
 pub use gso::GsoExclusion;
 pub use load::LoadModel;
 pub use mac::MacScheduler;

@@ -24,7 +24,10 @@
 //! * [`stats`] — Mann-Whitney U, ECDFs, Pearson correlation;
 //! * [`forest`] — from-scratch random forests with CV and grid search (§6);
 //! * [`faults`] — seeded deterministic fault injection (dropped frames,
-//!   corrupt TLEs, propagation failures, probe bursts) for chaos testing;
+//!   corrupt TLEs, propagation failures, probe bursts, worker panics) for
+//!   chaos testing;
+//! * [`checkpoint`] — the versioned, checksummed snapshot container and
+//!   atomic persistence behind crash-resilient campaigns;
 //! * [`core`] — campaigns, the §5 characterizations and the §6 model.
 //!
 //! # Quickstart
@@ -59,6 +62,7 @@
 #![forbid(unsafe_code)]
 
 pub use starsense_astro as astro;
+pub use starsense_checkpoint as checkpoint;
 pub use starsense_constellation as constellation;
 pub use starsense_core as core;
 pub use starsense_dtw as dtw;
@@ -82,6 +86,7 @@ pub mod prelude {
     };
     pub use starsense_core::degrade::{DegradationStats, DegradeReason, SlotOutcome};
     pub use starsense_core::model::train_and_evaluate;
+    pub use starsense_core::resume::{fingerprint_observations, ResumeConfig, ResumeReport};
     pub use starsense_core::vantage::paper_terminals;
     pub use starsense_faults::{FaultPlan, FaultRates};
     pub use starsense_ident::{identify_slot, run_validation, DishSimulator};

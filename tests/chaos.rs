@@ -145,6 +145,58 @@ fn fault_free_plans_are_bit_identical_to_fault_unaware_runs() {
     }
 }
 
+/// Kill/resume tier: every seed's campaign is run through the resumable
+/// engine and "killed" (in-process, after the checkpoint is durably on
+/// disk — the same boundary a real `kill -9` resumes from) after every
+/// `STARSENSE_CHAOS_KILL` checkpoints, then resumed from the snapshot
+/// until done. The reassembled stream must be bit-for-bit identical to
+/// the one-shot engine's, under fault injection, for every seed.
+#[test]
+fn kill_resume_chain_is_bit_identical_across_seeds() {
+    let constellation = mini();
+    let kill_every = std::env::var("STARSENSE_CHAOS_KILL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1usize)
+        .max(1);
+    let scratch = std::env::temp_dir().join(format!("starsense-chaos-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    for &seed in &SEEDS {
+        let campaign = Campaign::identified(
+            &constellation,
+            one_terminal(),
+            chaos_config(seed, TIER_RATES[2]),
+            seed,
+        );
+        let one_shot = fingerprint_observations(&campaign.run(start(), SLOTS));
+
+        let opts = ResumeConfig {
+            checkpoint_every: 4,
+            stop_after_checkpoints: Some(kill_every),
+            ..ResumeConfig::new(scratch.join(format!("seed-{seed}.ckpt")))
+        };
+        let mut lives = 0usize;
+        let (resumed, last_report) = loop {
+            lives += 1;
+            assert!(lives <= SLOTS + 2, "kill/resume chain failed to converge at seed {seed}");
+            let (obs, _, report) = campaign
+                .run_resumable(start(), SLOTS, &opts)
+                .expect("resumable campaign must never abort");
+            if report.completed {
+                break (fingerprint_observations(&obs), report);
+            }
+        };
+        assert!(lives > 1, "the kill switch must actually interrupt at seed {seed}");
+        assert!(last_report.resumed_at_slot.is_some(), "the final life must have resumed");
+        assert_eq!(
+            resumed, one_shot,
+            "seed {seed}: kill/resume stream diverged from the one-shot engine"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 #[test]
 fn probe_bursts_escalate_losses_and_stay_attributed() {
     let constellation = mini();
